@@ -1,0 +1,79 @@
+// Command gbbench regenerates the tables and figures of the paper's
+// evaluation section (Table I, Table II, Figures 5–11).
+//
+// Usage:
+//
+//	gbbench -exp fig8                 # one experiment
+//	gbbench -exp all                  # everything, paper order
+//	gbbench -exp fig11 -scale 0.1     # bigger CMV analogue
+//	gbbench -exp fig6 -reps 20        # the paper's repetition count
+//	gbbench -exp fig9 -csv            # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gbpolar/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gbbench: ")
+
+	var (
+		exp    = flag.String("exp", "all", "experiment id (tableI, tableII, fig5..fig11) or 'all'")
+		scale  = flag.Float64("scale", 0.02, "virus-shell scale factor (1 = paper's full CMV/BTV)")
+		stride = flag.Int("stride", 7, "ZDock-like suite stride (1 = all 84 proteins)")
+		reps   = flag.Int("reps", 5, "repetitions for min/max experiments (paper: 20)")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		list   = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := bench.Config{
+		Seed:        *seed,
+		Scale:       *scale,
+		SuiteStride: *stride,
+		Repetitions: *reps,
+	}
+
+	var exps []bench.Experiment
+	if *exp == "all" {
+		exps = bench.Registry()
+	} else {
+		e, err := bench.ByID(*exp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exps = []bench.Experiment{e}
+	}
+
+	for _, e := range exps {
+		tables, err := e.Run(cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", e.ID, err)
+		}
+		for _, t := range tables {
+			var err error
+			if *csv {
+				err = t.CSV(os.Stdout)
+			} else {
+				err = t.Fprint(os.Stdout)
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}

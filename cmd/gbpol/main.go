@@ -1,0 +1,134 @@
+// Command gbpol computes the GB polarization energy of a molecule with
+// the octree-based algorithm of Tithi & Chowdhury (SC 2012).
+//
+// Usage:
+//
+//	gbpol -in molecule.pqr                        # shared memory, all cores
+//	gbpol -gen 5000 -runner mpi -procs 12         # generated molecule, OCT_MPI
+//	gbpol -gen 50000 -runner hybrid -procs 4 -threads 6 -naive
+//
+// Runners: shared (OCT_CILK), mpi (OCT_MPI), hybrid (OCT_MPI+CILK),
+// naive (exact quadratic reference).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"gbpolar"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gbpol: ")
+
+	var (
+		inPath   = flag.String("in", "", "molecule file (.pqr or .xyzqr); empty = use -gen")
+		gen      = flag.Int("gen", 5000, "atoms in the generated test protein (when -in is empty)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		runner   = flag.String("runner", "shared", "shared | mpi | hybrid | naive")
+		procs    = flag.Int("procs", 4, "ranks P for mpi/hybrid runners")
+		threads  = flag.Int("threads", 0, "threads (shared: workers, hybrid: per rank; 0 = auto)")
+		epsBorn  = flag.Float64("eps-born", 0.9, "Born-radius approximation parameter")
+		epsEpol  = flag.Float64("eps-epol", 0.9, "E_pol approximation parameter")
+		approx   = flag.Bool("approx-math", false, "enable fast sqrt/exp kernels")
+		naive    = flag.Bool("naive", false, "also run the exact reference and report the error")
+		modeled  = flag.Bool("modeled", true, "distributed runners: virtual-clock accounting")
+		radiiOut = flag.String("radii-out", "", "write Born radii (one per line) to this file")
+	)
+	flag.Parse()
+
+	mol, err := loadOrGen(*inPath, *gen, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("molecule: %s (%d atoms, net charge %+.2f e)\n",
+		mol.Name, mol.NumAtoms(), mol.TotalCharge())
+
+	buildStart := time.Now()
+	eng, err := gbpolar.NewEngine(mol, gbpolar.Options{
+		EpsBorn:         *epsBorn,
+		EpsEpol:         *epsEpol,
+		ApproximateMath: *approx,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("surface: %d quadrature points; octrees built in %v (preprocessing)\n",
+		eng.NumQuadraturePoints(), time.Since(buildStart).Round(time.Millisecond))
+
+	var res *gbpolar.Result
+	switch *runner {
+	case "shared":
+		th := *threads
+		if th == 0 {
+			th = runtime.GOMAXPROCS(0)
+		}
+		res, err = eng.ComputeShared(th)
+	case "mpi":
+		res, err = eng.ComputeDistributed(gbpolar.Cluster{
+			Procs: *procs, ThreadsPerProc: 1, RanksPerNode: min(*procs, 12), Modeled: *modeled,
+		})
+	case "hybrid":
+		th := *threads
+		if th == 0 {
+			th = 6
+		}
+		res, err = eng.ComputeDistributed(gbpolar.Cluster{
+			Procs: *procs, ThreadsPerProc: th, RanksPerNode: max(1, 12/th), Modeled: *modeled,
+		})
+	case "naive":
+		start := time.Now()
+		e, radii := eng.ComputeNaive()
+		res = &gbpolar.Result{Epol: e, BornRadii: radii, WallSeconds: time.Since(start).Seconds()}
+	default:
+		log.Fatalf("unknown runner %q (want shared|mpi|hybrid|naive)", *runner)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("E_pol = %.6g kcal/mol\n", res.Epol)
+	fmt.Printf("wall time: %.4gs", res.WallSeconds)
+	if res.ModelSeconds > 0 {
+		fmt.Printf("   modeled time: %.4gs", res.ModelSeconds)
+	}
+	if res.Ops > 0 {
+		fmt.Printf("   kernel ops: %.3g", res.Ops)
+	}
+	fmt.Println()
+	if res.Report != nil {
+		fmt.Println(res.Report)
+	}
+
+	if *naive && *runner != "naive" {
+		e, _ := eng.ComputeNaive()
+		fmt.Printf("naive reference: %.6g kcal/mol  (error %.4f%%)\n",
+			e, 100*(res.Epol-e)/e)
+	}
+
+	if *radiiOut != "" {
+		f, err := os.Create(*radiiOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range res.BornRadii {
+			fmt.Fprintf(f, "%.6f\n", r)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Born radii written to %s\n", *radiiOut)
+	}
+}
+
+func loadOrGen(path string, n int, seed int64) (*gbpolar.Molecule, error) {
+	if path != "" {
+		return gbpolar.LoadMolecule(path)
+	}
+	return gbpolar.GenerateProtein(fmt.Sprintf("generated-%d", n), n, seed), nil
+}

@@ -1,0 +1,54 @@
+// Polarization forces — the gradient extension toward the paper's
+// future-work MD integration (Section VI). Computes the rigid-cavity
+// force profile on a ligand approaching a receptor: the desolvation
+// barrier every docking code must model.
+//
+//	go run ./examples/forces
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gbpolar"
+	"gbpolar/internal/geom"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	receptor := gbpolar.GenerateProtein("receptor", 1200, 11)
+	ligand := gbpolar.GenerateLigand("ligand", 30, 12)
+
+	// Receptor extent along +x.
+	maxX := 0.0
+	for _, a := range receptor.Atoms {
+		if x := a.Pos.X + a.Radius; x > maxX {
+			maxX = x
+		}
+	}
+
+	fmt.Printf("%12s %18s %22s\n", "distance (Å)", "E_pol (kcal/mol)", "force on ligand (x)")
+	for _, gap := range []float64{12, 8, 6, 4, 3, 2} {
+		posed := ligand.Clone()
+		posed.ApplyTransform(geom.Translate(geom.V(maxX+gap, 0, 0)))
+		cplx := gbpolar.MergeMolecules("complex", receptor, posed)
+
+		eng, err := gbpolar.NewEngine(cplx, gbpolar.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		grad := eng.ComputeGradient()
+
+		// Net polarization force on the ligand atoms (negative gradient),
+		// projected on the approach axis.
+		var fx float64
+		nRec := receptor.NumAtoms()
+		for i := nRec; i < cplx.NumAtoms(); i++ {
+			fx -= grad.Grad[i].X
+		}
+		fmt.Printf("%12.1f %18.3f %22.4f\n", gap, grad.Epol, fx)
+	}
+	fmt.Println("\n(negative force = solvent polarization resists burial of the")
+	fmt.Println(" charged ligand — the desolvation penalty of binding)")
+}

@@ -1,0 +1,284 @@
+// Package gbpolar computes the Generalized Born (GB) polarization energy
+// of molecules with the octree-based hierarchical O(M log M) algorithm of
+// Tithi & Chowdhury, "Polarization Energy on a Cluster of Multicores"
+// (SC 2012): a Greengard–Rokhlin-style near–far decomposition over atoms
+// and surface quadrature points, surface-based r⁶ Born radii, and three
+// execution models — shared-memory work stealing (OCT_CILK), distributed
+// message passing (OCT_MPI) and hybrid (OCT_MPI+CILK).
+//
+// Quick start:
+//
+//	mol := gbpolar.GenerateProtein("demo", 5000, 42)
+//	eng, err := gbpolar.NewEngine(mol, gbpolar.Options{})
+//	if err != nil { ... }
+//	res, err := eng.Compute()           // shared-memory, all cores
+//	fmt.Println(res.Epol, "kcal/mol")
+//
+// For cluster execution use Engine.ComputeDistributed with a Cluster
+// layout; for the exact quadratic reference use Engine.ComputeNaive.
+package gbpolar
+
+import (
+	"fmt"
+	"runtime"
+
+	"gbpolar/internal/cluster"
+	"gbpolar/internal/core"
+	"gbpolar/internal/geom"
+	"gbpolar/internal/mathx"
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/surface"
+)
+
+// Molecule re-exports the molecular model.
+type Molecule = molecule.Molecule
+
+// Atom re-exports the atom type.
+type Atom = molecule.Atom
+
+// Vec3 re-exports the vector type.
+type Vec3 = geom.Vec3
+
+// Transform re-exports rigid transforms (for docking pose scans).
+type Transform = geom.Transform
+
+// Surface re-exports the sampled molecular surface.
+type Surface = surface.Surface
+
+// Result is the outcome of an energy computation.
+type Result = core.Result
+
+// Options configures an Engine.
+type Options struct {
+	// EpsBorn is the Born-radius approximation parameter (default 0.9,
+	// the paper's headline setting). Smaller = more accurate, slower.
+	EpsBorn float64
+	// EpsEpol is the polarization-energy approximation parameter
+	// (default 0.9).
+	EpsEpol float64
+	// SolventDielectric defaults to 80 (water).
+	SolventDielectric float64
+	// ApproximateMath enables the paper's fast sqrt/exp kernels
+	// (≈1.4× faster, shifts the energy by a few percent).
+	ApproximateMath bool
+	// SurfaceLevel overrides the icosphere subdivision level (0 = auto).
+	SurfaceLevel int
+	// QuadratureDegree selects the Dunavant rule, 1–5 (0 = degree 2).
+	QuadratureDegree int
+	// LeafCap is the octree leaf capacity (0 = 8).
+	LeafCap int
+}
+
+func (o Options) params() core.Params {
+	p := core.DefaultParams()
+	if o.EpsBorn > 0 {
+		p.EpsBorn = o.EpsBorn
+	}
+	if o.EpsEpol > 0 {
+		p.EpsEpol = o.EpsEpol
+	}
+	if o.SolventDielectric > 1 {
+		p.EpsSolv = o.SolventDielectric
+	}
+	if o.ApproximateMath {
+		p.Math = mathx.Approximate
+	}
+	if o.LeafCap > 0 {
+		p.LeafCap = o.LeafCap
+	}
+	return p
+}
+
+// Engine holds a molecule, its sampled surface and the prebuilt octrees.
+// Building an Engine is the preprocessing step; Compute* calls are the
+// timed energy evaluations and can be repeated (e.g. per docking pose).
+type Engine struct {
+	sys  *core.System
+	mol  *Molecule
+	surf *Surface
+}
+
+// NewEngine samples the molecular surface and builds both octrees.
+func NewEngine(mol *Molecule, opts Options) (*Engine, error) {
+	if mol == nil || mol.NumAtoms() == 0 {
+		return nil, fmt.Errorf("gbpolar: molecule is empty")
+	}
+	if err := mol.Validate(); err != nil {
+		return nil, fmt.Errorf("gbpolar: %w", err)
+	}
+	surf, err := surface.ForMolecule(mol, surface.Options{
+		SubdivisionLevel: opts.SurfaceLevel,
+		QuadratureDegree: opts.QuadratureDegree,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("gbpolar: %w", err)
+	}
+	return NewEngineWithSurface(mol, surf, opts)
+}
+
+// NewEngineWithSurface builds an Engine from a pre-sampled surface
+// (e.g. one loaded from disk or shared between parameter sweeps).
+func NewEngineWithSurface(mol *Molecule, surf *Surface, opts Options) (*Engine, error) {
+	sys, err := core.NewSystem(mol, surf, opts.params())
+	if err != nil {
+		return nil, fmt.Errorf("gbpolar: %w", err)
+	}
+	return &Engine{sys: sys, mol: mol, surf: surf}, nil
+}
+
+// Molecule returns the engine's molecule.
+func (e *Engine) Molecule() *Molecule { return e.mol }
+
+// Surface returns the engine's sampled surface.
+func (e *Engine) Surface() *Surface { return e.surf }
+
+// NumQuadraturePoints returns the surface sample count.
+func (e *Engine) NumQuadraturePoints() int { return e.surf.NumPoints() }
+
+// Compute runs the shared-memory (OCT_CILK) algorithm on all cores.
+func (e *Engine) Compute() (*Result, error) {
+	return e.ComputeShared(runtime.GOMAXPROCS(0))
+}
+
+// ComputeShared runs the shared-memory algorithm on `threads`
+// work-stealing workers.
+func (e *Engine) ComputeShared(threads int) (*Result, error) {
+	return core.RunShared(e.sys, core.SharedOptions{Threads: threads})
+}
+
+// Cluster describes a distributed run layout.
+type Cluster struct {
+	// Procs is the number of ranks (P).
+	Procs int
+	// ThreadsPerProc is the intra-rank worker count (p); 1 = pure
+	// distributed (OCT_MPI), >1 = hybrid (OCT_MPI+CILK).
+	ThreadsPerProc int
+	// RanksPerNode places ranks on modeled 12-core nodes (0 = all on
+	// one node).
+	RanksPerNode int
+	// Nodes is the modeled machine size (0 = just enough nodes).
+	Nodes int
+	// Modeled selects virtual-clock accounting (reproducible replay of
+	// large clusters); false measures wall-clock.
+	Modeled bool
+}
+
+// ComputeDistributed runs the distributed/hybrid algorithm (Figure 4 of
+// the paper).
+func (e *Engine) ComputeDistributed(cl Cluster) (*Result, error) {
+	if cl.Procs <= 0 {
+		return nil, fmt.Errorf("gbpolar: Cluster.Procs must be positive")
+	}
+	if cl.ThreadsPerProc <= 0 {
+		cl.ThreadsPerProc = 1
+	}
+	if cl.RanksPerNode <= 0 {
+		cl.RanksPerNode = cl.Procs
+	}
+	if cl.Nodes <= 0 {
+		cl.Nodes = (cl.Procs + cl.RanksPerNode - 1) / cl.RanksPerNode
+	}
+	mode := cluster.Modeled
+	if !cl.Modeled {
+		mode = cluster.Real
+	}
+	return core.RunDistributed(e.sys, cluster.Config{
+		Procs:          cl.Procs,
+		ThreadsPerProc: cl.ThreadsPerProc,
+		RanksPerNode:   cl.RanksPerNode,
+		Topology:       cluster.Lonestar4(cl.Nodes),
+		Mode:           mode,
+	})
+}
+
+// DynStats re-exports the inter-rank stealing statistics.
+type DynStats = core.DynStats
+
+// ComputeDistributedDynamic runs the distributed algorithm with
+// inter-rank work stealing in the energy phase — the explicit dynamic
+// load balancing the paper's Section VI names as future work. It absorbs
+// stragglers (slow or noisy nodes) that the static node-based division
+// cannot.
+func (e *Engine) ComputeDistributedDynamic(cl Cluster) (*Result, *DynStats, error) {
+	if cl.Procs <= 0 {
+		return nil, nil, fmt.Errorf("gbpolar: Cluster.Procs must be positive")
+	}
+	if cl.ThreadsPerProc <= 0 {
+		cl.ThreadsPerProc = 1
+	}
+	if cl.RanksPerNode <= 0 {
+		cl.RanksPerNode = cl.Procs
+	}
+	if cl.Nodes <= 0 {
+		cl.Nodes = (cl.Procs + cl.RanksPerNode - 1) / cl.RanksPerNode
+	}
+	return core.RunDistributedDynamic(e.sys, cluster.Config{
+		Procs:          cl.Procs,
+		ThreadsPerProc: cl.ThreadsPerProc,
+		RanksPerNode:   cl.RanksPerNode,
+		Topology:       cluster.Lonestar4(cl.Nodes),
+		Mode:           cluster.Modeled,
+	})
+}
+
+// ComputeNaive evaluates the exact quadratic reference (Equations 2 and
+// 4 of the paper) — the accuracy baseline. It is Θ(M·N + M²).
+func (e *Engine) ComputeNaive() (epol float64, bornRadii []float64) {
+	return core.NaiveEnergy(e.mol, e.surf, e.sys.Params.EpsSolv, e.sys.Params.Math)
+}
+
+// Gradient re-exports the force-evaluation result.
+type Gradient = core.GradientResult
+
+// ComputeGradient evaluates E_pol and its exact gradient ∂E/∂x under the
+// rigid-cavity approximation (the sampled surface held fixed) — the
+// force the paper's future-work MD integration needs between boundary
+// rebuilds. Direct Θ(M·N + M²) summation.
+func (e *Engine) ComputeGradient() *Gradient {
+	return core.NaiveGradient(e.mol, e.surf, e.sys.Params.EpsSolv, e.sys.Params.Math)
+}
+
+// Repose rigidly moves the molecule, surface and both octrees without
+// rebuilding anything — the paper's docking workload (Section IV.C,
+// Step 1: "we can move the same octree to different positions or rotate
+// it ... by multiplying with proper transformation matrices").
+func (e *Engine) Repose(t Transform) {
+	e.mol.ApplyTransform(t)
+	e.surf.ApplyTransform(t)
+	e.sys.Atoms.ApplyTransform(t)
+	e.sys.QPts.ApplyTransform(t)
+	// Rotate the aggregated surface normals too.
+	for i := range e.sys.WN {
+		e.sys.WN[i] = t.ApplyVector(e.sys.WN[i])
+	}
+	for i := range e.sys.QNodeWN {
+		e.sys.QNodeWN[i] = t.ApplyVector(e.sys.QNodeWN[i])
+	}
+}
+
+// GenerateProtein deterministically generates a packed protein-like test
+// molecule (see internal/molecule for the model).
+func GenerateProtein(name string, atoms int, seed int64) *Molecule {
+	return molecule.GenProtein(name, atoms, seed)
+}
+
+// GenerateLigand generates a small drug-like molecule.
+func GenerateLigand(name string, atoms int, seed int64) *Molecule {
+	return molecule.GenLigand(name, atoms, seed)
+}
+
+// GenerateCapsid generates a virus-shell-like molecule.
+func GenerateCapsid(name string, atoms int, innerR, outerR float64, seed int64) *Molecule {
+	return molecule.GenCapsid(name, atoms, innerR, outerR, seed)
+}
+
+// LoadMolecule reads a PQR or XYZQR file.
+func LoadMolecule(path string) (*Molecule, error) { return molecule.LoadFile(path) }
+
+// SaveMolecule writes a PQR or XYZQR file.
+func SaveMolecule(path string, m *Molecule) error { return molecule.SaveFile(path, m) }
+
+// MergeMolecules concatenates molecules (receptor + ligand complexes).
+func MergeMolecules(name string, ms ...*Molecule) *Molecule {
+	return molecule.Merge(name, ms...)
+}

@@ -1,0 +1,3 @@
+module gbpolar
+
+go 1.22

@@ -1,0 +1,184 @@
+package baselines
+
+import (
+	"fmt"
+
+	"gbpolar/internal/cluster"
+	"gbpolar/internal/gbmodels"
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/nblist"
+	"gbpolar/internal/sched"
+)
+
+// buildList constructs the cutoff neighbor list for cutoff-based
+// packages (nil for all-pairs packages). The memory budget reproduces
+// the nblist OOM failures of Section V.F.
+func (p *Pkg) buildList(mol *molecule.Molecule, opts Options) (*nblist.List, error) {
+	cutoff := p.Spec.Cutoff
+	if opts.Cutoff != 0 {
+		cutoff = opts.Cutoff
+	}
+	if cutoff <= 0 {
+		return nil, nil
+	}
+	nb, err := nblist.Build(mol.Positions(), cutoff,
+		nblist.Options{MemoryBudgetBytes: opts.MemoryBudgetBytes})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Spec.Name, err)
+	}
+	return nb, nil
+}
+
+func segment(n, p, i int) (int, int) { return n * i / p, n * (i + 1) / p }
+
+// runMPI executes the package under atom-based MPI division: rows of the
+// pairwise sums are split across ranks, radii are allgathered, energies
+// reduced — the parallel structure of Amber/Gromacs/NAMD GB.
+func (p *Pkg) runMPI(mol *molecule.Molecule, opts Options) (*Result, error) {
+	nb, err := p.buildList(mol, opts)
+	if err != nil {
+		return nil, err
+	}
+	nodes := (opts.Cores + opts.RanksPerNode - 1) / opts.RanksPerNode
+	cfg := cluster.Config{
+		Procs:        opts.Cores,
+		RanksPerNode: opts.RanksPerNode,
+		Topology:     cluster.Lonestar4(nodes),
+		Mode:         opts.Mode,
+		OpsPerSecond: p.rate(opts),
+		StartupCost:  opts.MPIStartup,
+	}
+	M := mol.NumAtoms()
+	radiiOut := make([]float64, M)
+	var epolOut float64
+	var totalOps float64
+	overhead := p.measureOverhead()
+
+	rep, err := cluster.Run(cfg, func(c *cluster.Comm) error {
+		P, rank := c.Size(), c.Rank()
+		c.TrackMemory(mol.MemoryBytes())
+		if nb != nil {
+			// Domain-decomposed packages hold roughly 1/P of the list.
+			c.TrackMemory(nb.MemoryBytes() / int64(P))
+		}
+		lo, hi := segment(M, P, rank)
+		radii, ops := p.radiiRows(mol, nb, lo, hi)
+		c.ChargeOps(ops * overhead)
+
+		counts := make([]int, P)
+		for r := 0; r < P; r++ {
+			l, h := segment(M, P, r)
+			counts[r] = h - l
+		}
+		all, err := c.Allgatherv(radii, counts)
+		if err != nil {
+			return err
+		}
+		raw, eops := energyRows(mol, all, nb, lo, hi)
+		c.ChargeOps(eops * overhead)
+
+		total, err := c.Allreduce([]float64{raw, ops + eops}, cluster.Sum)
+		if err != nil {
+			return err
+		}
+		if rank == 0 {
+			copy(radiiOut, all)
+			epolOut = -0.5 * gbmodels.Tau(opts.EpsSolv) * total[0]
+			totalOps = total[1]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Epol:         epolOut,
+		BornRadii:    radiiOut,
+		ModelSeconds: rep.VirtualSeconds,
+		Ops:          totalOps,
+		Report:       rep,
+	}, nil
+}
+
+// runShared executes the package with OpenMP-style static loop
+// partitioning over threads (Tinker): no work stealing, so the modeled
+// time is the maximum statically-assigned chunk.
+func (p *Pkg) runShared(mol *molecule.Molecule, opts Options) (*Result, error) {
+	nb, err := p.buildList(mol, opts)
+	if err != nil {
+		return nil, err
+	}
+	M := mol.NumAtoms()
+	threads := opts.Cores
+	pool := sched.NewPool(threads)
+	defer pool.Close()
+
+	radii := make([]float64, M)
+	chunkOps := make([]float64, threads)
+	// Static partition: thread t gets exactly segment t (no stealing).
+	done := make(chan int, threads)
+	pool.Run(func(w *sched.Worker) {
+		for t := 0; t < threads; t++ {
+			t := t
+			w.Spawn(func(*sched.Worker) {
+				lo, hi := segment(M, threads, t)
+				rows, ops := p.radiiRows(mol, nb, lo, hi)
+				copy(radii[lo:hi], rows)
+				chunkOps[t] = ops
+				done <- t
+			})
+		}
+	})
+	for t := 0; t < threads; t++ {
+		<-done
+	}
+	var raw float64
+	rawParts := make([]float64, threads)
+	pool.Run(func(w *sched.Worker) {
+		for t := 0; t < threads; t++ {
+			t := t
+			w.Spawn(func(*sched.Worker) {
+				lo, hi := segment(M, threads, t)
+				e, ops := energyRows(mol, radii, nb, lo, hi)
+				rawParts[t] = e
+				chunkOps[t] += ops
+				done <- t
+			})
+		}
+	})
+	var maxChunk, totalOps float64
+	for t := 0; t < threads; t++ {
+		<-done
+	}
+	for t := 0; t < threads; t++ {
+		raw += rawParts[t]
+		totalOps += chunkOps[t]
+		if chunkOps[t] > maxChunk {
+			maxChunk = chunkOps[t]
+		}
+	}
+	return &Result{
+		Epol:         -0.5 * gbmodels.Tau(opts.EpsSolv) * raw,
+		BornRadii:    radii,
+		ModelSeconds: maxChunk * p.measureOverhead() / p.rate(opts),
+		Ops:          totalOps,
+	}, nil
+}
+
+// runSerial executes single-core packages (GBr⁶).
+func (p *Pkg) runSerial(mol *molecule.Molecule, opts Options) (*Result, error) {
+	nb, err := p.buildList(mol, opts)
+	if err != nil {
+		return nil, err
+	}
+	M := mol.NumAtoms()
+	radii, ops := p.radiiRows(mol, nb, 0, M)
+	raw, eops := energyRows(mol, radii, nb, 0, M)
+	total := ops + eops
+	return &Result{
+		Epol:         -0.5 * gbmodels.Tau(opts.EpsSolv) * raw,
+		BornRadii:    radii,
+		ModelSeconds: total * p.measureOverhead() / p.rate(opts),
+		Ops:          total,
+	}, nil
+}

@@ -1,0 +1,385 @@
+// Package cluster is gbpolar's message-passing substrate: an in-process
+// SPMD runtime with MPI-like semantics (ranks, point-to-point sends,
+// Barrier/Bcast/Reduce/Allreduce/Allgatherv collectives).
+//
+// The paper runs on Lonestar4 with MVAPICH2; this repository has no MPI,
+// so the substrate "rolls its own cluster communication" (see DESIGN.md
+// §2): ranks are goroutines, and every communication both actually moves
+// the data (so algorithms compute exact results) and is *metered* by a
+// virtual clock that charges the Grama-et-al. cost formulas the paper's
+// own complexity analysis uses (t_s·log P startup plus t_w per word,
+// Section IV.C), with distinct parameter tiers for intra-socket,
+// intra-node and inter-node traffic. In Modeled mode the reported time is
+// the virtual clock — allowing faithful replay of 144-core runs on a
+// small host; in Real mode it is the wall clock.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Mode selects how Run accounts time.
+type Mode int
+
+const (
+	// Modeled meters compute via ChargeCompute/ChargeOps and
+	// communication via the cost model; the result is deterministic for
+	// a fixed seed and independent of the host's core count.
+	Modeled Mode = iota
+	// Real measures wall-clock time and ignores the virtual clock.
+	Real
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Real {
+		return "real"
+	}
+	return "modeled"
+}
+
+// Topology describes the machine being modeled. The defaults mirror the
+// paper's Table I (Lonestar4: dual-socket hexa-core Westmere nodes).
+type Topology struct {
+	Nodes          int
+	SocketsPerNode int
+	CoresPerSocket int
+}
+
+// Lonestar4 returns the paper's Table I topology with the given node
+// count.
+func Lonestar4(nodes int) Topology {
+	return Topology{Nodes: nodes, SocketsPerNode: 2, CoresPerSocket: 6}
+}
+
+// CoresPerNode returns SocketsPerNode·CoresPerSocket.
+func (t Topology) CoresPerNode() int { return t.SocketsPerNode * t.CoresPerSocket }
+
+// TotalCores returns the machine's core count.
+func (t Topology) TotalCores() int { return t.Nodes * t.CoresPerNode() }
+
+// LinkCost is the latency/bandwidth pair of one communication tier.
+type LinkCost struct {
+	// Latency is the per-message startup time t_s.
+	Latency time.Duration
+	// SecPerWord is the per-8-byte-word transfer time t_w.
+	SecPerWord float64
+}
+
+// CostModel holds the three communication tiers. The strict ordering
+// IntraSocket ≤ IntraNode ≤ InterNode is the paper's Section IV.B
+// hierarchy ("cost of communication among k threads in shared-memory <
+// ... < cost ... across the cluster").
+type CostModel struct {
+	IntraSocket LinkCost
+	IntraNode   LinkCost
+	InterNode   LinkCost
+}
+
+// DefaultCostModel returns parameters representative of a QDR-InfiniBand
+// cluster of shared-memory nodes (Table I: 40 Gb/s point-to-point).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		IntraSocket: LinkCost{Latency: 200 * time.Nanosecond, SecPerWord: 8.0 / 16e9},
+		IntraNode:   LinkCost{Latency: 500 * time.Nanosecond, SecPerWord: 8.0 / 8e9},
+		InterNode:   LinkCost{Latency: 2 * time.Microsecond, SecPerWord: 8.0 / 3e9},
+	}
+}
+
+// Config configures one SPMD run.
+type Config struct {
+	// Procs is the number of ranks (P in the paper).
+	Procs int
+	// ThreadsPerProc (p) is recorded for reports and used by callers to
+	// size their per-rank worker pools; the runtime itself does not
+	// spawn threads.
+	ThreadsPerProc int
+	// RanksPerNode controls placement: rank r lives on node
+	// r/RanksPerNode, socket (r%RanksPerNode)/ceil(RanksPerNode/sockets).
+	// 0 packs all ranks onto one node.
+	RanksPerNode int
+	// Topology describes the modeled machine. Zero value = one Lonestar4
+	// node.
+	Topology Topology
+	// Cost is the communication cost model. Zero value = defaults.
+	Cost CostModel
+	// Mode selects virtual-clock vs wall-clock accounting.
+	Mode Mode
+	// OpsPerSecond is the calibrated single-core kernel rate used by
+	// ChargeOps (interactions per second).
+	OpsPerSecond float64
+	// NoiseSigma adds multiplicative compute jitter (modeled mode): each
+	// compute charge is scaled by 1 + |N(0,σ)|, emulating transient OS
+	// noise. 0 disables jitter.
+	NoiseSigma float64
+	// HeteroSigma draws, once per rank at launch, a persistent slowdown
+	// factor 1 + |N(0,σ_h)| applied to all of that rank's compute —
+	// modeling heterogeneous or noisy NODES (the straggler scenario that
+	// dynamic load balancing targets). 0 disables it; runs with only
+	// HeteroSigma set are deterministic for a fixed Seed.
+	HeteroSigma float64
+	// Seed seeds the per-rank jitter generators.
+	Seed int64
+	// StartupCost is charged to every rank's virtual clock at launch:
+	// the per-run MPI job-startup/connection overhead that makes
+	// distributed runs lose to shared-memory runs on small molecules
+	// (the paper's Section V.C crossover at ≈2500 atoms).
+	StartupCost time.Duration
+	// Paced aligns real execution order with virtual clocks (see
+	// pace.go). Required for asynchronous protocols whose behaviour
+	// depends on virtual timing (work stealing); unnecessary for purely
+	// collective algorithms.
+	Paced bool
+	// PaceWindow is the allowed virtual-clock lead while paced (seconds;
+	// 0 = strict ordering).
+	PaceWindow float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ThreadsPerProc <= 0 {
+		c.ThreadsPerProc = 1
+	}
+	if c.Topology == (Topology{}) {
+		c.Topology = Lonestar4(1)
+	}
+	if c.RanksPerNode <= 0 {
+		c.RanksPerNode = c.Procs
+	}
+	if c.Cost == (CostModel{}) {
+		c.Cost = DefaultCostModel()
+	}
+	if c.OpsPerSecond <= 0 {
+		c.OpsPerSecond = 100e6
+	}
+	return c
+}
+
+// Validate reports configuration problems.
+func (c Config) Validate() error {
+	if c.Procs <= 0 {
+		return fmt.Errorf("cluster: Procs must be positive, got %d", c.Procs)
+	}
+	cc := c.withDefaults()
+	nodesUsed := (c.Procs + cc.RanksPerNode - 1) / cc.RanksPerNode
+	if nodesUsed > cc.Topology.Nodes {
+		return fmt.Errorf("cluster: %d ranks at %d/node need %d nodes, topology has %d",
+			c.Procs, cc.RanksPerNode, nodesUsed, cc.Topology.Nodes)
+	}
+	if cc.ThreadsPerProc*cc.RanksPerNode > cc.Topology.CoresPerNode() {
+		return fmt.Errorf("cluster: %d ranks × %d threads oversubscribe a %d-core node",
+			cc.RanksPerNode, cc.ThreadsPerProc, cc.Topology.CoresPerNode())
+	}
+	return nil
+}
+
+// ErrAborted is returned from communication calls on surviving ranks
+// after another rank failed.
+var ErrAborted = errors.New("cluster: run aborted by another rank's failure")
+
+// world is the shared state of one Run.
+type world struct {
+	cfg   Config
+	ranks []*Comm
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	aborted bool
+
+	// collective rendezvous state: cur* fields belong to the round being
+	// assembled; result/doneMaxClock are the snapshot of the last
+	// completed round (see rendezvous).
+	gen          uint64
+	arrived      int
+	kind         string
+	contribs     [][]float64
+	curMaxClock  float64
+	result       []float64
+	doneMaxClock float64
+
+	tier  LinkCost // tier spanning the whole communicator
+	pacer *pacer
+}
+
+// Comm is one rank's communicator handle.
+type Comm struct {
+	w    *world
+	rank int
+
+	clock       float64 // virtual seconds
+	slowdown    float64 // persistent rate factor (≥1), from HeteroSigma
+	computeSecs float64
+	commSecs    float64
+	bytesSent   int64
+	memoryBytes int64
+	jitter      *rand.Rand
+
+	inbox struct {
+		mu   sync.Mutex
+		cond *sync.Cond
+		msgs []p2pMsg
+	}
+}
+
+type p2pMsg struct {
+	src, tag  int
+	data      []float64
+	sendClock float64
+}
+
+// Rank returns this rank's index.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return len(c.w.ranks) }
+
+// Threads returns the configured threads per rank (p).
+func (c *Comm) Threads() int { return c.w.cfg.ThreadsPerProc }
+
+// Clock returns the rank's current virtual time in seconds.
+func (c *Comm) Clock() float64 { return c.clock }
+
+// OpsPerSecond returns the configured calibrated kernel rate.
+func (c *Comm) OpsPerSecond() float64 { return c.w.cfg.OpsPerSecond }
+
+// node returns the node index hosting rank r.
+func (w *world) node(r int) int { return r / w.cfg.RanksPerNode }
+
+// socket returns the global socket index hosting rank r.
+func (w *world) socket(r int) int {
+	perSocket := (w.cfg.RanksPerNode + w.cfg.Topology.SocketsPerNode - 1) /
+		w.cfg.Topology.SocketsPerNode
+	if perSocket == 0 {
+		perSocket = 1
+	}
+	local := r % w.cfg.RanksPerNode
+	return w.node(r)*w.cfg.Topology.SocketsPerNode + local/perSocket
+}
+
+// linkTier returns the cost tier between two ranks.
+func (w *world) linkTier(a, b int) LinkCost {
+	switch {
+	case w.node(a) != w.node(b):
+		return w.cfg.Cost.InterNode
+	case w.socket(a) != w.socket(b):
+		return w.cfg.Cost.IntraNode
+	default:
+		return w.cfg.Cost.IntraSocket
+	}
+}
+
+// spanTier returns the widest tier used by the whole communicator —
+// the tier charged for collectives.
+func (w *world) spanTier() LinkCost {
+	p := len(w.ranks)
+	if w.node(0) != w.node(p-1) {
+		return w.cfg.Cost.InterNode
+	}
+	if w.socket(0) != w.socket(p-1) {
+		return w.cfg.Cost.IntraNode
+	}
+	return w.cfg.Cost.IntraSocket
+}
+
+// ChargeCompute advances the rank's virtual clock by the given seconds of
+// single-stream compute (already divided by whatever intra-rank
+// parallelism the caller achieved), plus jitter.
+func (c *Comm) ChargeCompute(seconds float64) {
+	if seconds < 0 || math.IsNaN(seconds) {
+		return
+	}
+	seconds *= c.slowdown
+	if c.w.cfg.NoiseSigma > 0 {
+		seconds *= 1 + math.Abs(c.jitter.NormFloat64())*c.w.cfg.NoiseSigma
+	}
+	c.clock += seconds
+	c.computeSecs += seconds
+}
+
+// ChargeOps charges ops kernel evaluations at the configured calibrated
+// rate.
+func (c *Comm) ChargeOps(ops float64) {
+	c.ChargeCompute(ops / c.w.cfg.OpsPerSecond)
+}
+
+// TrackMemory records bytes of resident per-rank data (replicated
+// molecule, octrees, result arrays) for the report's memory accounting.
+func (c *Comm) TrackMemory(bytes int64) {
+	c.memoryBytes += bytes
+}
+
+// Run executes fn on every rank concurrently and gathers the report.
+// The first error (by rank order) is returned; panics in rank functions
+// are converted to errors.
+func Run(cfg Config, fn func(c *Comm) error) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	w := &world{cfg: cfg}
+	w.cond = sync.NewCond(&w.mu)
+	w.pacer = newPacer(cfg.Procs, cfg.Paced)
+	w.ranks = make([]*Comm, cfg.Procs)
+	for r := range w.ranks {
+		c := &Comm{w: w, rank: r, jitter: rand.New(rand.NewSource(cfg.Seed + int64(r)*1000003 + 17))}
+		c.inbox.cond = sync.NewCond(&c.inbox.mu)
+		c.clock = cfg.StartupCost.Seconds()
+		c.commSecs = cfg.StartupCost.Seconds()
+		c.slowdown = 1
+		if cfg.HeteroSigma > 0 {
+			c.slowdown = 1 + math.Abs(c.jitter.NormFloat64())*cfg.HeteroSigma
+		}
+		w.ranks[r] = c
+	}
+	w.tier = w.spanTier()
+
+	errs := make([]error, cfg.Procs)
+	var wg sync.WaitGroup
+	wg.Add(cfg.Procs)
+	start := time.Now()
+	for r := 0; r < cfg.Procs; r++ {
+		go func(r int) {
+			defer wg.Done()
+			// A finished rank must not hold the virtual-time pacer's
+			// minimum at its final clock (other ranks would wait on it
+			// forever).
+			defer w.pacer.block(r, math.Inf(1))
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[r] = fmt.Errorf("cluster: rank %d panicked: %v", r, rec)
+					w.abort()
+				}
+			}()
+			if err := fn(w.ranks[r]); err != nil {
+				errs[r] = fmt.Errorf("cluster: rank %d: %w", r, err)
+				w.abort()
+			}
+		}(r)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return w.report(wall), nil
+}
+
+// abort wakes every blocked rank so the run can unwind after a failure.
+func (w *world) abort() {
+	w.mu.Lock()
+	w.aborted = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	for _, c := range w.ranks {
+		c.inbox.mu.Lock()
+		c.inbox.cond.Broadcast()
+		c.inbox.mu.Unlock()
+	}
+}

@@ -1,0 +1,515 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func smallCfg(procs int) Config {
+	return Config{
+		Procs:        procs,
+		Topology:     Lonestar4(4),
+		RanksPerNode: 4,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{Procs: 0}).Validate(); err == nil {
+		t.Error("zero procs should fail")
+	}
+	// 13 ranks per node on a 12-core node: oversubscribed.
+	bad := Config{Procs: 13, Topology: Lonestar4(1), RanksPerNode: 13}
+	if err := bad.Validate(); err == nil {
+		t.Error("oversubscription should fail")
+	}
+	// 24 ranks but only 1 node available.
+	bad2 := Config{Procs: 24, Topology: Lonestar4(1), RanksPerNode: 12}
+	if err := bad2.Validate(); err == nil {
+		t.Error("too few nodes should fail")
+	}
+	ok := Config{Procs: 12, Topology: Lonestar4(1), RanksPerNode: 12}
+	if err := ok.Validate(); err != nil {
+		t.Error(err)
+	}
+	hybrid := Config{Procs: 24, ThreadsPerProc: 6, Topology: Lonestar4(12), RanksPerNode: 2}
+	if err := hybrid.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunAllRanksExecute(t *testing.T) {
+	var count int64
+	rep, err := Run(smallCfg(8), func(c *Comm) error {
+		atomic.AddInt64(&count, 1)
+		if c.Size() != 8 {
+			return fmt.Errorf("size %d", c.Size())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 8 {
+		t.Fatalf("ran %d ranks", count)
+	}
+	if len(rep.PerRank) != 8 {
+		t.Fatalf("report has %d ranks", len(rep.PerRank))
+	}
+}
+
+func TestRanksHaveDistinctIDs(t *testing.T) {
+	seen := make([]int64, 8)
+	_, err := Run(smallCfg(8), func(c *Comm) error {
+		atomic.AddInt64(&seen[c.Rank()], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, n := range seen {
+		if n != 1 {
+			t.Errorf("rank %d ran %d times", r, n)
+		}
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	_, err := Run(smallCfg(6), func(c *Comm) error {
+		data := []float64{float64(c.Rank()), 1, float64(c.Rank() * c.Rank())}
+		res, err := c.Allreduce(data, Sum)
+		if err != nil {
+			return err
+		}
+		want := []float64{0 + 1 + 2 + 3 + 4 + 5, 6, 0 + 1 + 4 + 9 + 16 + 25}
+		for i := range want {
+			if res[i] != want[i] {
+				return fmt.Errorf("rank %d: res[%d]=%v want %v", c.Rank(), i, res[i], want[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceMinMax(t *testing.T) {
+	_, err := Run(smallCfg(5), func(c *Comm) error {
+		v := []float64{float64(c.Rank())}
+		mn, err := c.Allreduce(v, Min)
+		if err != nil {
+			return err
+		}
+		mx, err := c.Allreduce(v, Max)
+		if err != nil {
+			return err
+		}
+		if mn[0] != 0 || mx[0] != 4 {
+			return fmt.Errorf("min/max = %v/%v", mn[0], mx[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceOnlyRoot(t *testing.T) {
+	_, err := Run(smallCfg(4), func(c *Comm) error {
+		res, err := c.Reduce(2, []float64{1}, Sum)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 2 {
+			if res == nil || res[0] != 4 {
+				return fmt.Errorf("root got %v", res)
+			}
+		} else if res != nil {
+			return fmt.Errorf("non-root got %v", res)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	_, err := Run(smallCfg(7), func(c *Comm) error {
+		var data []float64
+		if c.Rank() == 3 {
+			data = []float64{42, 7}
+		}
+		res, err := c.Bcast(3, data)
+		if err != nil {
+			return err
+		}
+		if len(res) != 2 || res[0] != 42 || res[1] != 7 {
+			return fmt.Errorf("rank %d got %v", c.Rank(), res)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherv(t *testing.T) {
+	_, err := Run(smallCfg(4), func(c *Comm) error {
+		counts := []int{1, 2, 3, 4}
+		contrib := make([]float64, counts[c.Rank()])
+		for i := range contrib {
+			contrib[i] = float64(c.Rank()*10 + i)
+		}
+		res, err := c.Allgatherv(contrib, counts)
+		if err != nil {
+			return err
+		}
+		want := []float64{0, 10, 11, 20, 21, 22, 30, 31, 32, 33}
+		if len(res) != len(want) {
+			return fmt.Errorf("len %d", len(res))
+		}
+		for i := range want {
+			if res[i] != want[i] {
+				return fmt.Errorf("res[%d] = %v want %v", i, res[i], want[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgathervBadCounts(t *testing.T) {
+	_, err := Run(smallCfg(2), func(c *Comm) error {
+		_, err := c.Allgatherv([]float64{1}, []int{1})
+		if err == nil {
+			return errors.New("wrong counts length accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	_, err := Run(smallCfg(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 7, []float64{3.14, 2.71})
+		}
+		data, src, err := c.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		if src != 0 || len(data) != 2 || data[0] != 3.14 {
+			return fmt.Errorf("got %v from %d", data, src)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvAnySourceAndTagFiltering(t *testing.T) {
+	_, err := Run(smallCfg(3), func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			if err := c.Send(2, 5, []float64{5}); err != nil {
+				return err
+			}
+		case 1:
+			if err := c.Send(2, 6, []float64{6}); err != nil {
+				return err
+			}
+		case 2:
+			// Receive tag 6 first even if tag 5 arrives earlier.
+			d6, src6, err := c.Recv(AnySource, 6)
+			if err != nil {
+				return err
+			}
+			if src6 != 1 || d6[0] != 6 {
+				return fmt.Errorf("tag 6: got %v from %d", d6, src6)
+			}
+			d5, _, err := c.Recv(AnySource, 5)
+			if err != nil {
+				return err
+			}
+			if d5[0] != 5 {
+				return fmt.Errorf("tag 5: got %v", d5)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	_, err := Run(smallCfg(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(5, 0, nil); err == nil {
+				return errors.New("send to invalid rank accepted")
+			}
+			if err := c.Send(0, 0, nil); err == nil {
+				return errors.New("send to self accepted")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorAbortsRun(t *testing.T) {
+	_, err := Run(smallCfg(4), func(c *Comm) error {
+		if c.Rank() == 1 {
+			return errors.New("deliberate failure")
+		}
+		// Other ranks block in a collective; the failure must unblock them.
+		if err := c.Barrier(); err != nil && !errors.Is(err, ErrAborted) {
+			return err
+		}
+		return nil
+	})
+	if err == nil || !contains(err.Error(), "deliberate failure") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	_, err := Run(smallCfg(3), func(c *Comm) error {
+		if c.Rank() == 0 {
+			panic("rank crashed")
+		}
+		if err := c.Barrier(); err != nil && !errors.Is(err, ErrAborted) {
+			return err
+		}
+		return nil
+	})
+	if err == nil || !contains(err.Error(), "rank crashed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCollectiveMismatchDetected(t *testing.T) {
+	_, err := Run(smallCfg(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Barrier()
+		}
+		_, err := c.Allreduce([]float64{1}, Sum)
+		return err
+	})
+	if err == nil {
+		t.Fatal("mismatched collectives not detected")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		(func() bool {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+			return false
+		})())
+}
+
+func TestVirtualClockAdvances(t *testing.T) {
+	rep, err := Run(smallCfg(4), func(c *Comm) error {
+		c.ChargeCompute(0.5)
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		c.ChargeCompute(0.25)
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every rank charged 0.75s of compute; the virtual total must be at
+	// least that plus nonzero comm cost.
+	if rep.VirtualSeconds < 0.75 {
+		t.Errorf("virtual time %v < 0.75", rep.VirtualSeconds)
+	}
+	if rep.VirtualSeconds > 0.76 {
+		t.Errorf("virtual time %v implausibly large", rep.VirtualSeconds)
+	}
+	for _, rs := range rep.PerRank {
+		if math.Abs(rs.ComputeSeconds-0.75) > 1e-12 {
+			t.Errorf("rank %d compute %v", rs.Rank, rs.ComputeSeconds)
+		}
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	// The slowest rank dictates the post-barrier clock of every rank.
+	_, err := Run(smallCfg(4), func(c *Comm) error {
+		c.ChargeCompute(float64(c.Rank())) // rank 3 is slowest: 3s
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Clock() < 3 {
+			return fmt.Errorf("rank %d clock %v after barrier, want ≥3", c.Rank(), c.Clock())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommCostGrowsWithRanksAndSpan(t *testing.T) {
+	run := func(procs, perNode int) float64 {
+		cfg := Config{Procs: procs, Topology: Lonestar4(24), RanksPerNode: perNode}
+		rep, err := Run(cfg, func(c *Comm) error {
+			data := make([]float64, 10000)
+			for i := 0; i < 10; i++ {
+				if _, err := c.Allreduce(data, Sum); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.VirtualSeconds
+	}
+	oneNode := run(12, 12)  // 12 ranks on one node
+	multiNode := run(12, 1) // 12 ranks across 12 nodes
+	more := run(24, 1)      // 24 ranks across 24 nodes
+	if !(multiNode > oneNode) {
+		t.Errorf("inter-node comm (%v) not costlier than intra-node (%v)", multiNode, oneNode)
+	}
+	if !(more > multiNode) {
+		t.Errorf("more ranks (%v) not costlier than fewer (%v)", more, multiNode)
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	cfg := Config{Procs: 8, Topology: Lonestar4(2), RanksPerNode: 4}
+	rep, err := Run(cfg, func(c *Comm) error {
+		c.TrackMemory(1000)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalMemoryBytes != 8000 {
+		t.Errorf("total memory %d", rep.TotalMemoryBytes)
+	}
+	if rep.MaxNodeMemoryBytes != 4000 {
+		t.Errorf("max node memory %d", rep.MaxNodeMemoryBytes)
+	}
+}
+
+func TestDeterminismWithoutNoise(t *testing.T) {
+	run := func() float64 {
+		rep, err := Run(smallCfg(6), func(c *Comm) error {
+			c.ChargeOps(1e6 * float64(c.Rank()+1))
+			_, err := c.Allreduce([]float64{1, 2, 3}, Sum)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.VirtualSeconds
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("modeled runs differ: %v vs %v", a, b)
+	}
+}
+
+func TestNoiseWidensSpread(t *testing.T) {
+	run := func(seed int64) float64 {
+		cfg := smallCfg(6)
+		cfg.NoiseSigma = 0.05
+		cfg.Seed = seed
+		rep, err := Run(cfg, func(c *Comm) error {
+			c.ChargeCompute(1.0)
+			return c.Barrier()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.VirtualSeconds
+	}
+	a, b := run(1), run(2)
+	if a == b {
+		t.Error("different seeds gave identical noisy times")
+	}
+	if a < 1.0 || b < 1.0 {
+		t.Error("noise must only slow down, never speed up")
+	}
+}
+
+func TestRealModeWallClock(t *testing.T) {
+	cfg := smallCfg(2)
+	cfg.Mode = Real
+	rep, err := Run(cfg, func(c *Comm) error {
+		time.Sleep(20 * time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seconds() < 0.02 {
+		t.Errorf("wall seconds %v < slept 0.02", rep.Seconds())
+	}
+}
+
+func TestPlacement(t *testing.T) {
+	cfg := Config{Procs: 24, ThreadsPerProc: 1, Topology: Lonestar4(2), RanksPerNode: 12}
+	rep, err := Run(cfg, func(c *Comm) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PerRank[0].Node != 0 || rep.PerRank[11].Node != 0 || rep.PerRank[12].Node != 1 {
+		t.Error("node placement wrong")
+	}
+	// 12 ranks/node over 2 sockets: ranks 0-5 socket 0, 6-11 socket 1.
+	if rep.PerRank[5].Socket != 0 || rep.PerRank[6].Socket != 1 {
+		t.Errorf("socket placement wrong: %d, %d", rep.PerRank[5].Socket, rep.PerRank[6].Socket)
+	}
+}
+
+func TestRepeatedCollectiveRounds(t *testing.T) {
+	// Stress the cross-round state handoff (the done*/cur* split).
+	_, err := Run(smallCfg(8), func(c *Comm) error {
+		for round := 0; round < 200; round++ {
+			res, err := c.Allreduce([]float64{float64(round)}, Sum)
+			if err != nil {
+				return err
+			}
+			if res[0] != float64(round*8) {
+				return fmt.Errorf("round %d: got %v", round, res[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep, err := Run(smallCfg(2), func(c *Comm) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := rep.String(); s == "" {
+		t.Error("empty report string")
+	}
+}

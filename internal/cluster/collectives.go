@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op is a reduction operator.
+type Op int
+
+const (
+	// Sum adds element-wise.
+	Sum Op = iota
+	// Min takes the element-wise minimum.
+	Min
+	// Max takes the element-wise maximum.
+	Max
+)
+
+func (o Op) apply(dst, src []float64) {
+	switch o {
+	case Sum:
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	case Min:
+		for i := range dst {
+			if src[i] < dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	case Max:
+		for i := range dst {
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	}
+}
+
+// rendezvous runs one collective round: every rank deposits its
+// contribution, the last arrival combines them (in rank order, so
+// floating-point results are deterministic), the completion time
+// max(entry clocks)+cost is applied to every rank, and the combined
+// result is handed back.
+func (c *Comm) rendezvous(kind string, contrib []float64,
+	combine func(contribs [][]float64) []float64, costFn func(result []float64) float64) ([]float64, error) {
+	w := c.w
+	entry := c.clock
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.aborted {
+		return nil, ErrAborted
+	}
+	if w.arrived == 0 {
+		w.kind = kind
+		w.contribs = make([][]float64, len(w.ranks))
+		w.curMaxClock = entry
+	} else if w.kind != kind {
+		err := fmt.Errorf("cluster: collective mismatch: rank %d called %s while round is %s",
+			c.rank, kind, w.kind)
+		w.aborted = true
+		w.cond.Broadcast()
+		return nil, err
+	}
+	if entry > w.curMaxClock {
+		w.curMaxClock = entry
+	}
+	w.contribs[c.rank] = contrib
+	w.arrived++
+	myGen := w.gen
+
+	if w.arrived == len(w.ranks) {
+		// Publish the completed round: a fast rank may immediately start
+		// the next round and reset the in-progress fields, so slow ranks
+		// read only the done* snapshot.
+		w.result = combine(w.contribs)
+		w.doneMaxClock = w.curMaxClock
+		w.arrived = 0
+		w.gen++
+		w.cond.Broadcast()
+	} else {
+		w.pacer.block(c.rank, c.clock)
+		for w.gen == myGen && !w.aborted {
+			w.cond.Wait()
+		}
+		w.pacer.resume(c.rank, c.clock)
+		if w.aborted {
+			return nil, ErrAborted
+		}
+	}
+	done := w.doneMaxClock + costFn(w.result)
+	c.commSecs += done - entry
+	c.clock = done
+	c.bytesSent += int64(len(contrib)) * 8
+	return w.result, nil
+}
+
+func log2ceil(p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(p)))
+}
+
+// treeCost is the (t_s + t_w·m)·⌈log₂P⌉ cost of tree-structured
+// collectives (Bcast, Reduce, Allreduce) from the Grama et al. tables the
+// paper cites.
+func (w *world) treeCost(words int) float64 {
+	t := w.tier
+	return log2ceil(len(w.ranks)) * (t.Latency.Seconds() + t.SecPerWord*float64(words))
+}
+
+// gatherCost is t_s·⌈log₂P⌉ + t_w·m·(P−1): the Allgather cost the paper
+// quotes for its Steps 3 & 5 (Section IV.C).
+func (w *world) gatherCost(wordsPerRank int) float64 {
+	t := w.tier
+	p := len(w.ranks)
+	return log2ceil(p)*t.Latency.Seconds() + t.SecPerWord*float64(wordsPerRank)*float64(p-1)
+}
+
+// Barrier blocks until every rank arrives.
+func (c *Comm) Barrier() error {
+	_, err := c.rendezvous("barrier", nil,
+		func([][]float64) []float64 { return nil },
+		func([]float64) float64 { return c.w.treeCost(0) })
+	return err
+}
+
+// Allreduce combines data element-wise across ranks with op and returns
+// the combined vector to every rank. All ranks must pass equal lengths.
+func (c *Comm) Allreduce(data []float64, op Op) ([]float64, error) {
+	res, err := c.rendezvous("allreduce", data, func(contribs [][]float64) []float64 {
+		out := append([]float64(nil), contribs[0]...)
+		for r := 1; r < len(contribs); r++ {
+			if len(contribs[r]) != len(out) {
+				panic(fmt.Sprintf("cluster: allreduce length mismatch: rank 0 has %d, rank %d has %d",
+					len(out), r, len(contribs[r])))
+			}
+			op.apply(out, contribs[r])
+		}
+		return out
+	}, func(res []float64) float64 { return c.w.treeCost(len(res)) })
+	if err != nil {
+		return nil, err
+	}
+	// Each rank gets its own copy so callers can mutate freely.
+	return append([]float64(nil), res...), nil
+}
+
+// Reduce combines data across ranks with op; only root receives the
+// result (others get nil).
+func (c *Comm) Reduce(root int, data []float64, op Op) ([]float64, error) {
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("cluster: reduce root %d out of range", root)
+	}
+	res, err := c.rendezvous("reduce", data, func(contribs [][]float64) []float64 {
+		out := append([]float64(nil), contribs[0]...)
+		for r := 1; r < len(contribs); r++ {
+			op.apply(out, contribs[r])
+		}
+		return out
+	}, func(res []float64) float64 { return c.w.treeCost(len(res)) })
+	if err != nil {
+		return nil, err
+	}
+	if c.rank != root {
+		return nil, nil
+	}
+	return append([]float64(nil), res...), nil
+}
+
+// Bcast distributes root's data to every rank (returned; the argument is
+// only read on root).
+func (c *Comm) Bcast(root int, data []float64) ([]float64, error) {
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("cluster: bcast root %d out of range", root)
+	}
+	var contrib []float64
+	if c.rank == root {
+		contrib = data
+	}
+	res, err := c.rendezvous("bcast", contrib, func(contribs [][]float64) []float64 {
+		return contribs[root]
+	}, func(res []float64) float64 { return c.w.treeCost(len(res)) })
+	if err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), res...), nil
+}
+
+// Allgatherv concatenates every rank's contribution in rank order and
+// returns the whole vector to every rank. counts[r] must equal the
+// length rank r contributes.
+func (c *Comm) Allgatherv(contrib []float64, counts []int) ([]float64, error) {
+	if len(counts) != c.Size() {
+		return nil, fmt.Errorf("cluster: allgatherv needs %d counts, got %d", c.Size(), len(counts))
+	}
+	if len(contrib) != counts[c.rank] {
+		return nil, fmt.Errorf("cluster: rank %d contributes %d values, counts says %d",
+			c.rank, len(contrib), counts[c.rank])
+	}
+	maxCount := 0
+	for _, n := range counts {
+		if n > maxCount {
+			maxCount = n
+		}
+	}
+	res, err := c.rendezvous("allgatherv", contrib, func(contribs [][]float64) []float64 {
+		var out []float64
+		for r, part := range contribs {
+			if len(part) != counts[r] {
+				panic(fmt.Sprintf("cluster: allgatherv count mismatch at rank %d", r))
+			}
+			out = append(out, part...)
+		}
+		return out
+	}, func([]float64) float64 { return c.w.gatherCost(maxCount) })
+	if err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), res...), nil
+}

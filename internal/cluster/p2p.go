@@ -1,0 +1,188 @@
+package cluster
+
+import "fmt"
+
+// AnySource matches any sender in Recv.
+const AnySource = -1
+
+// AnyTag matches any tag in RecvAny.
+const AnyTag = -1
+
+// Send delivers data to rank dst with the given tag. Sends are eager
+// (buffered): the call charges the sender's clock with the startup cost
+// and returns immediately, like an MPI eager-protocol send.
+func (c *Comm) Send(dst, tag int, data []float64) error {
+	if dst < 0 || dst >= c.Size() {
+		return fmt.Errorf("cluster: send to invalid rank %d", dst)
+	}
+	if dst == c.rank {
+		return fmt.Errorf("cluster: rank %d sending to itself", c.rank)
+	}
+	tier := c.w.linkTier(c.rank, dst)
+	c.clock += tier.Latency.Seconds()
+	c.commSecs += tier.Latency.Seconds()
+	c.bytesSent += int64(len(data)) * 8
+
+	msg := p2pMsg{
+		src:       c.rank,
+		tag:       tag,
+		data:      append([]float64(nil), data...),
+		sendClock: c.clock,
+	}
+	peer := c.w.ranks[dst]
+	peer.inbox.mu.Lock()
+	peer.inbox.msgs = append(peer.inbox.msgs, msg)
+	peer.inbox.cond.Broadcast()
+	peer.inbox.mu.Unlock()
+	return nil
+}
+
+// Recv blocks until a message with matching source (or AnySource) and
+// tag arrives, returning its payload and actual source. The receiver's
+// clock advances to max(own clock, sender clock + transfer time).
+func (c *Comm) Recv(src, tag int) ([]float64, int, error) {
+	data, from, _, err := c.recv(src, tag, true)
+	return data, from, err
+}
+
+// RecvAny blocks for the next message from src (or AnySource) with ANY
+// tag, returning payload, source and tag — the primitive a server-style
+// loop needs (e.g. the inter-rank work-stealing protocol, which must
+// answer steal requests while waiting for its own replies).
+func (c *Comm) RecvAny(src int) ([]float64, int, int, error) {
+	return c.recv(src, AnyTag, true)
+}
+
+// TryRecv is the non-blocking variant of Recv: ok reports whether a
+// matching message was consumed.
+func (c *Comm) TryRecv(src, tag int) (data []float64, from int, ok bool, err error) {
+	data, from, _, err = c.recv(src, tag, false)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return data, from, from >= 0, nil
+}
+
+// Message is a received point-to-point message with its virtual
+// timestamp, for protocols that need to reason about when the sender
+// acted (e.g. the work-stealing reply stamping below).
+type Message struct {
+	Data     []float64
+	Src, Tag int
+	// SentAt is the sender's virtual clock when the message was sent.
+	SentAt float64
+}
+
+// RecvMsg is Recv returning full message metadata. With block=false it
+// returns (nil, nil) when nothing matches.
+func (c *Comm) RecvMsg(src, tag int, block bool) (*Message, error) {
+	c.inbox.mu.Lock()
+	defer c.inbox.mu.Unlock()
+	for {
+		if c.w.isAborted() {
+			return nil, ErrAborted
+		}
+		for i, m := range c.inbox.msgs {
+			if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+				tier := c.w.linkTier(m.src, c.rank)
+				arrive := m.sendClock + tier.SecPerWord*float64(len(m.data))
+				// A non-blocking probe must not see messages that have
+				// not virtually arrived yet — the in-process transport
+				// can deliver them early, but on the modeled machine
+				// they are still in flight. (A blocking receive WAITS
+				// for them, so there the clock jump is the semantics.)
+				if !block && arrive > c.clock {
+					continue
+				}
+				c.inbox.msgs = append(c.inbox.msgs[:i], c.inbox.msgs[i+1:]...)
+				entry := c.clock
+				if arrive > c.clock {
+					c.clock = arrive
+				}
+				c.commSecs += c.clock - entry
+				return &Message{Data: m.data, Src: m.src, Tag: m.tag, SentAt: m.sendClock}, nil
+			}
+		}
+		if !block {
+			return nil, nil
+		}
+		c.w.pacer.block(c.rank, c.clock)
+		c.inbox.cond.Wait()
+		c.w.pacer.resume(c.rank, c.clock)
+	}
+}
+
+// ReplyStamped answers req with a message whose virtual timestamp is the
+// request's arrival time plus one handling latency — the behaviour of an
+// asynchronous communication engine (MPI progress thread) that serves
+// requests as they arrive, independent of where the rank's main
+// computation currently stands. Without this, in-process execution order
+// leaks into the virtual clock: a victim whose goroutine happened to run
+// ahead would stamp replies with its (much later) compute clock,
+// penalizing the requester for scheduling noise the modeled machine
+// would not have. The sender is charged one startup latency.
+func (c *Comm) ReplyStamped(req *Message, tag int, data []float64) error {
+	if req == nil {
+		return fmt.Errorf("cluster: ReplyStamped with nil request")
+	}
+	tier := c.w.linkTier(req.Src, c.rank)
+	stamp := req.SentAt + 2*tier.Latency.Seconds()
+	c.clock += tier.Latency.Seconds()
+	c.commSecs += tier.Latency.Seconds()
+	c.bytesSent += int64(len(data)) * 8
+
+	msg := p2pMsg{
+		src:       c.rank,
+		tag:       tag,
+		data:      append([]float64(nil), data...),
+		sendClock: stamp,
+	}
+	peer := c.w.ranks[req.Src]
+	peer.inbox.mu.Lock()
+	peer.inbox.msgs = append(peer.inbox.msgs, msg)
+	peer.inbox.cond.Broadcast()
+	peer.inbox.mu.Unlock()
+	return nil
+}
+
+// recv implements the matching loop. When block is false it returns
+// (nil, -1, -1, nil) if nothing matches.
+func (c *Comm) recv(src, tag int, block bool) ([]float64, int, int, error) {
+	c.inbox.mu.Lock()
+	defer c.inbox.mu.Unlock()
+	for {
+		if c.w.isAborted() {
+			return nil, -1, -1, ErrAborted
+		}
+		for i, m := range c.inbox.msgs {
+			if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+				tier := c.w.linkTier(m.src, c.rank)
+				arrive := m.sendClock + tier.SecPerWord*float64(len(m.data))
+				// See RecvMsg: non-blocking probes skip messages still
+				// in flight on the modeled machine.
+				if !block && arrive > c.clock {
+					continue
+				}
+				c.inbox.msgs = append(c.inbox.msgs[:i], c.inbox.msgs[i+1:]...)
+				entry := c.clock
+				if arrive > c.clock {
+					c.clock = arrive
+				}
+				c.commSecs += c.clock - entry
+				return m.data, m.src, m.tag, nil
+			}
+		}
+		if !block {
+			return nil, -1, -1, nil
+		}
+		c.w.pacer.block(c.rank, c.clock)
+		c.inbox.cond.Wait()
+		c.w.pacer.resume(c.rank, c.clock)
+	}
+}
+
+func (w *world) isAborted() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.aborted
+}

@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestTryRecvNonBlocking(t *testing.T) {
+	_, err := Run(smallCfg(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			// No message with tag 99 ever exists: must not block.
+			if _, _, ok, err := c.TryRecv(AnySource, 99); err != nil || ok {
+				t.Errorf("TryRecv with unmatched tag: ok=%v err=%v", ok, err)
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			// Rank 1 sent before the barrier: must be there now.
+			data, from, ok, err := c.TryRecv(1, 5)
+			if err != nil {
+				return err
+			}
+			if !ok || from != 1 || data[0] != 9 {
+				t.Errorf("TryRecv after send: ok=%v from=%d data=%v", ok, from, data)
+			}
+			return nil
+		}
+		if err := c.Send(0, 5, []float64{9}); err != nil {
+			return err
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvMsgMetadataAndAnyTag(t *testing.T) {
+	_, err := Run(smallCfg(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 7, []float64{1, 2}); err != nil {
+				return err
+			}
+			return nil
+		}
+		msg, err := c.RecvMsg(AnySource, AnyTag, true)
+		if err != nil {
+			return err
+		}
+		if msg.Src != 0 || msg.Tag != 7 || len(msg.Data) != 2 {
+			t.Errorf("msg = %+v", msg)
+		}
+		if msg.SentAt < 0 {
+			t.Errorf("SentAt = %v", msg.SentAt)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplyStampedIgnoresServerClock(t *testing.T) {
+	// The server burns lots of virtual compute before answering; the
+	// client's clock after the reply must reflect the request round trip,
+	// NOT the server's inflated clock.
+	_, err := Run(smallCfg(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 1, nil); err != nil {
+				return err
+			}
+			before := c.Clock()
+			if _, _, err := c.Recv(1, 2); err != nil {
+				return err
+			}
+			// Round trip ≈ a few latencies, far below the server's 10 s.
+			if c.Clock() > before+0.001 {
+				t.Errorf("client clock jumped to %v after stamped reply", c.Clock())
+			}
+			return nil
+		}
+		req, err := c.RecvMsg(0, 1, true)
+		if err != nil {
+			return err
+		}
+		c.ChargeCompute(10) // server is busy for 10 virtual seconds
+		return c.ReplyStamped(req, 2, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplyStampedNilRequest(t *testing.T) {
+	_, err := Run(smallCfg(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.ReplyStamped(nil, 1, nil); err == nil {
+				t.Error("nil request accepted")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeteroSigmaPersistentAndDeterministic(t *testing.T) {
+	run := func() []float64 {
+		cfg := smallCfg(4)
+		cfg.HeteroSigma = 1.0
+		cfg.Seed = 7
+		out := make([]float64, 4)
+		_, err := Run(cfg, func(c *Comm) error {
+			c.ChargeCompute(1)
+			c.ChargeCompute(1)
+			out[c.Rank()] = c.Clock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	distinct := map[float64]bool{}
+	for r := range a {
+		if a[r] != b[r] {
+			t.Errorf("rank %d hetero slowdown not deterministic: %v vs %v", r, a[r], b[r])
+		}
+		if a[r] < 2 {
+			t.Errorf("rank %d clock %v below unslowed 2 s", r, a[r])
+		}
+		// Persistent: both charges slowed equally ⇒ clock = 2·(1+f).
+		distinct[a[r]] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("all ranks equally slow — hetero factors not varying")
+	}
+}
+
+func TestPaceOrdersExecution(t *testing.T) {
+	// With pacing on, a rank that charges big compute must not complete
+	// its quanta before a virtually-slower... rather: quanta complete in
+	// virtual-clock order across ranks (within the window).
+	cfg := smallCfg(2)
+	cfg.Paced = true
+	var order []int
+	var mu int64
+	_, err := Run(cfg, func(c *Comm) error {
+		quantum := 1.0
+		if c.Rank() == 1 {
+			quantum = 10.0 // rank 1 is virtually 10× slower per quantum
+		}
+		for i := 0; i < 3; i++ {
+			c.Pace()
+			c.ChargeCompute(quantum)
+			for !atomic.CompareAndSwapInt64(&mu, 0, 1) {
+			}
+			order = append(order, c.Rank())
+			atomic.StoreInt64(&mu, 0)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0's three cheap quanta (clocks 1,2,3) must all complete before
+	// rank 1's last quantum (clock 30); with strict pacing rank 1's
+	// second quantum (starting at clock 10) cannot precede rank 0's
+	// first (clock 0).
+	if len(order) != 6 {
+		t.Fatalf("order = %v", order)
+	}
+	first := order[0]
+	if first != 0 {
+		// rank 0 paces at clock 0, rank 1 at clock 0: either may start,
+		// but rank 1 cannot run its SECOND quantum before rank 0 ran at
+		// least once.
+		second := -1
+		for i, r := range order {
+			if r == 1 && i > 0 && order[i-1] == 1 {
+				second = i
+				break
+			}
+		}
+		if second == 1 {
+			t.Errorf("rank 1 ran twice before rank 0 ran at all: %v", order)
+		}
+	}
+}
+
+func TestPaceNoopWhenDisabled(t *testing.T) {
+	_, err := Run(smallCfg(2), func(c *Comm) error {
+		c.Pace() // must not block or panic when Paced is false
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeteroZeroMeansNoSlowdown(t *testing.T) {
+	cfg := smallCfg(2)
+	_, err := Run(cfg, func(c *Comm) error {
+		c.ChargeCompute(1)
+		if math.Abs(c.Clock()-1) > 1e-12 {
+			t.Errorf("clock %v, want exactly 1", c.Clock())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+)
+
+// The pacer keeps the REAL execution order of ranks roughly aligned with
+// their VIRTUAL clocks — a conservative parallel-discrete-event-style
+// throttle. Collectives don't need it (their barrier semantics are
+// order-independent), but asynchronous protocols (the inter-rank
+// work-stealing of internal/core/dyndist.go) do: without pacing, the Go
+// scheduler may run a virtually-slow rank to completion before a
+// virtually-idle thief ever gets to ask it for work, so steal
+// availability would reflect goroutine scheduling instead of the modeled
+// machine.
+//
+// Ranks call Pace() between work quanta: the call blocks while the
+// rank's clock is ahead of the minimum clock among RUNNING ranks (ranks
+// blocked in Recv or in a collective are excluded — they advance only
+// when messages arrive). The rank with the smallest clock always
+// proceeds, so pacing cannot deadlock.
+
+type paceState uint8
+
+const (
+	paceRunning paceState = iota
+	paceBlocked
+)
+
+type pacer struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	enabled bool
+	state   []paceState
+	clocks  []float64
+}
+
+func newPacer(n int, enabled bool) *pacer {
+	p := &pacer{
+		enabled: enabled,
+		state:   make([]paceState, n),
+		clocks:  make([]float64, n),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// pace blocks rank r until its clock is within window of the minimum
+// running clock.
+func (p *pacer) pace(r int, clock, window float64) {
+	if !p.enabled {
+		return
+	}
+	p.mu.Lock()
+	p.clocks[r] = clock
+	p.state[r] = paceRunning
+	// Our own advance may unblock ranks waiting on this clock.
+	p.cond.Broadcast()
+	for clock > p.minOther(r)+window {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// minOther returns the minimum clock among the other running ranks
+// (+Inf when none — then the caller may proceed).
+func (p *pacer) minOther(r int) float64 {
+	min := math.Inf(1)
+	for i := range p.clocks {
+		if i == r || p.state[i] != paceRunning {
+			continue
+		}
+		if p.clocks[i] < min {
+			min = p.clocks[i]
+		}
+	}
+	return min
+}
+
+// block marks rank r as waiting on communication (excluded from the
+// minimum) and wakes pacers.
+func (p *pacer) block(r int, clock float64) {
+	if !p.enabled {
+		return
+	}
+	p.mu.Lock()
+	p.clocks[r] = clock
+	p.state[r] = paceBlocked
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// resume marks rank r running again with its (possibly advanced) clock.
+func (p *pacer) resume(r int, clock float64) {
+	if !p.enabled {
+		return
+	}
+	p.mu.Lock()
+	p.clocks[r] = clock
+	p.state[r] = paceRunning
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// Pace cooperates with the virtual-time pacer: a rank calls it between
+// work quanta when the run was configured with Paced. It is a no-op
+// otherwise.
+func (c *Comm) Pace() {
+	c.w.pacer.pace(c.rank, c.clock, c.w.cfg.PaceWindow)
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// CalibratedOpsPerSecond measures (once per process) how many f_GB-style
+// kernel evaluations one core of the host sustains. The modeled virtual
+// clock divides per-rank work counts by this rate, so modeled times are
+// in host-calibrated seconds.
+func CalibratedOpsPerSecond() float64 {
+	calibrateOnce.Do(func() {
+		const n = 2_000_000
+		r2, ri, rj := 9.0, 1.7, 2.1
+		var sink float64
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			rr := ri * rj
+			sink += 1 / math.Sqrt(r2+rr*math.Exp(-r2/(4*rr)))
+			r2 += 1e-7
+		}
+		elapsed := time.Since(start).Seconds()
+		if sink == 0 || elapsed <= 0 { // keep the loop alive
+			calibratedRate = 100e6
+			return
+		}
+		calibratedRate = n / elapsed
+	})
+	return calibratedRate
+}
+
+var (
+	calibrateOnce  sync.Once
+	calibratedRate float64
+)

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+
+	"gbpolar/internal/gbmodels"
+	"gbpolar/internal/octree"
+)
+
+// EpolContext holds the precomputed state of Figure 3's APPROX-EPOL:
+// Born radii per atom slot and, for every atoms-octree node U, the
+// charge histogram q_U[k] binned by Born radius in logarithmic bins of
+// ratio (1+ε) — q_U[k] = Σ q_u over atoms u under U whose Born radius
+// falls in [R_min(1+ε)^k, R_min(1+ε)^{k+1}).
+type EpolContext struct {
+	sys *System
+	// Radii holds Born radii in atom slot order.
+	Radii []float64
+	// MEps is the bin count M_ε = ⌈log_{1+ε}(R_max/R_min)⌉.
+	MEps int
+	// RMin and RMax are the Born-radius extremes over all atoms.
+	RMin, RMax float64
+	// hist[n] is q_U[·] for node n.
+	hist [][]float64
+	// rr[k] = R_min²·(1+ε)^k for k < 2·MEps: the R_u·R_v surrogate of
+	// the far-field kernel, indexed by i+j.
+	rr []float64
+	// farFactor is (1 + 2/ε); nodes are far when dist > (r_U+r_V)·farFactor.
+	farFactor float64
+	lnBase    float64
+	tau       float64
+}
+
+// binOf returns the histogram bin of a Born radius.
+func (ctx *EpolContext) binOf(r float64) int {
+	if ctx.MEps == 1 || ctx.lnBase == 0 {
+		return 0
+	}
+	k := int(math.Log(r/ctx.RMin) / ctx.lnBase)
+	if k < 0 {
+		k = 0
+	}
+	if k >= ctx.MEps {
+		k = ctx.MEps - 1
+	}
+	return k
+}
+
+// NewEpolContext builds the histograms (bottom-up over the linearized
+// tree: leaves sum their atoms, internal nodes sum their children) and
+// the bin-product table.
+func NewEpolContext(sys *System, slotRadii []float64) *EpolContext {
+	eps := sys.Params.EpsEpol
+	ctx := &EpolContext{
+		sys:   sys,
+		Radii: slotRadii,
+		tau:   gbmodels.Tau(sys.Params.EpsSolv),
+	}
+	ctx.RMin, ctx.RMax = slotRadii[0], slotRadii[0]
+	for _, r := range slotRadii {
+		if r < ctx.RMin {
+			ctx.RMin = r
+		}
+		if r > ctx.RMax {
+			ctx.RMax = r
+		}
+	}
+	if eps <= 0 {
+		// ε = 0 disables the far field entirely (see macFactor); a single
+		// bin keeps the structures well-formed.
+		ctx.MEps = 1
+		ctx.farFactor = math.Inf(1)
+	} else {
+		ctx.MEps = int(math.Ceil(math.Log(ctx.RMax/ctx.RMin)/math.Log(1+eps))) + 1
+		if ctx.MEps < 1 {
+			ctx.MEps = 1
+		}
+		// Tiny ε would explode the bin count, but it also pushes the
+		// far-field threshold (1+2/ε) so far out that the bins are never
+		// consulted — cap them. (1+ε)^256 covers any physical R range
+		// for every ε where the far field can actually fire.
+		if ctx.MEps > 256 {
+			ctx.MEps = 256
+		}
+		ctx.farFactor = 1 + 2/eps
+	}
+
+	ctx.lnBase = math.Log(1 + eps)
+
+	t := sys.Atoms
+	ctx.hist = make([][]float64, t.NumNodes())
+	flat := make([]float64, t.NumNodes()*ctx.MEps)
+	for i := range ctx.hist {
+		ctx.hist[i] = flat[i*ctx.MEps : (i+1)*ctx.MEps]
+	}
+	for i := t.NumNodes() - 1; i >= 0; i-- {
+		n := &t.Nodes[i]
+		h := ctx.hist[i]
+		if n.IsLeaf {
+			for s := n.Start; s < n.End; s++ {
+				h[ctx.binOf(slotRadii[s])] += sys.Charge[s]
+			}
+			continue
+		}
+		for _, c := range n.Children {
+			if c == octree.NoChild {
+				continue
+			}
+			for k, v := range ctx.hist[c] {
+				h[k] += v
+			}
+		}
+	}
+
+	ctx.rr = make([]float64, 2*ctx.MEps-1)
+	for k := range ctx.rr {
+		ctx.rr[k] = ctx.RMin * ctx.RMin * math.Pow(1+eps, float64(k))
+	}
+	return ctx
+}
+
+// epolAccum is one worker's energy accumulator.
+type epolAccum struct {
+	energy  float64 // Σ q_u·q_v/f_GB over ordered pairs (prefactor applied later)
+	ops     float64
+	maxTask float64 // largest single-leaf op count (span term, see modelPhaseOps)
+}
+
+// ApproxEpol runs Figure 3's APPROX-EPOL for the atoms-octree leaf V
+// against the subtree rooted at U, accumulating the raw pair sum
+// Σ q_u q_v / f_GB into acc (the −τ/2 prefactor is applied by the
+// caller after reduction).
+func ApproxEpol(ctx *EpolContext, uNode, vLeaf int32, acc *epolAccum) {
+	sys := ctx.sys
+	t := sys.Atoms
+	u := &t.Nodes[uNode]
+	v := &t.Nodes[vLeaf]
+	k := sys.kern()
+	acc.ops++
+
+	if u.IsLeaf {
+		// Exact value: every ordered pair (u-atom, v-atom), including the
+		// diagonal when U == V (f_GB(a,a) = R_a).
+		for ui := u.Start; ui < u.End; ui++ {
+			pu := t.Pts[ui]
+			qu := sys.Charge[ui]
+			ru := ctx.Radii[ui]
+			var s float64
+			for vi := v.Start; vi < v.End; vi++ {
+				r2 := pu.Dist2(t.Pts[vi])
+				rr := ru * ctx.Radii[vi]
+				f2 := r2 + rr*k.Exp(-r2/(4*rr))
+				s += sys.Charge[vi] * k.RSqrt(f2)
+			}
+			acc.energy += qu * s
+		}
+		acc.ops += float64(u.Count() * v.Count())
+		return
+	}
+
+	d2 := u.Center.Dist2(v.Center)
+	if s := (u.Radius + v.Radius) * ctx.farFactor; d2 > s*s {
+		// Far enough: interact the charge histograms bin-by-bin, using
+		// R_min²(1+ε)^{i+j} as the R_u·R_v surrogate.
+		hu, hv := ctx.hist[uNode], ctx.hist[vLeaf]
+		var s float64
+		for i, qi := range hu {
+			if qi == 0 {
+				continue
+			}
+			for j, qj := range hv {
+				if qj == 0 {
+					continue
+				}
+				rr := ctx.rr[i+j]
+				f2 := d2 + rr*k.Exp(-d2/(4*rr))
+				s += qi * qj * k.RSqrt(f2)
+				acc.ops++
+			}
+		}
+		acc.energy += s
+		return
+	}
+	for _, child := range u.Children {
+		if child != octree.NoChild {
+			ApproxEpol(ctx, child, vLeaf, acc)
+		}
+	}
+}
+
+// Finish converts the accumulated raw pair sum into E_pol in kcal/mol.
+func (ctx *EpolContext) Finish(rawSum float64) float64 {
+	return -0.5 * ctx.tau * rawSum
+}

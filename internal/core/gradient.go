@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+
+	"gbpolar/internal/gbmodels"
+	"gbpolar/internal/geom"
+	"gbpolar/internal/mathx"
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/surface"
+)
+
+// This file adds polarization forces — the gradient ∂E_pol/∂x_i — under
+// the RIGID-CAVITY approximation: the sampled molecular surface (and
+// hence the dielectric boundary) is held fixed while atoms move. That is
+// the quantity needed for the paper's stated future work ("high
+// performance MD simulations", Section VI) in the common setting where
+// the boundary is rebuilt every few steps: between rebuilds, forces come
+// from exactly this gradient. The gradient is exact for the energy
+// function E(x; S) with S fixed — the finite-difference tests verify it
+// to machine-ish precision — but it omits the surface-motion term
+// ∂E/∂S·∂S/∂x.
+//
+// Two coupling paths contribute:
+//
+//  1. the direct pair term of Eq. 2 at fixed Born radii,
+//     ∂/∂x_i [ −τ q_i q_j / f_GB(r_ij) ];
+//  2. the Born-radius chain: R_i depends on x_i through the surface
+//     integral s_i of Eq. 4; ∂E/∂R_i · dR_i/ds_i · ∂s_i/∂x_i.
+
+// GradientResult bundles the naive-gradient outputs.
+type GradientResult struct {
+	// Epol is the energy at the evaluation point.
+	Epol float64
+	// Grad is ∂E_pol/∂x per atom (kcal/mol/Å), original atom order.
+	Grad []geom.Vec3
+	// BornRadii are the effective radii used.
+	BornRadii []float64
+	// Clamped marks atoms whose Born radius sat on a clamp (vdW floor or
+	// burial ceiling), where dR/ds is zero and the gradient ignores the
+	// radius chain.
+	Clamped []bool
+}
+
+// NaiveGradient evaluates E_pol and its exact rigid-cavity gradient by
+// direct summation — Θ(M·N + M²), the reference for octree-accelerated
+// force evaluation and for MD/minimization use at small sizes.
+func NaiveGradient(mol *molecule.Molecule, surf *surface.Surface, epsSolv float64, mode mathx.Mode) *GradientResult {
+	k := mathx.ForMode(mode)
+	M := mol.NumAtoms()
+	tau := gbmodels.Tau(epsSolv)
+
+	// Surface integrals s_i and their position derivatives ∂s_i/∂x_i.
+	s := make([]float64, M)
+	dsdx := make([]geom.Vec3, M)
+	for i, a := range mol.Atoms {
+		var si float64
+		var di geom.Vec3
+		for _, q := range surf.Points {
+			d := q.Pos.Sub(a.Pos) // d = p_q − x_i
+			r2 := d.Norm2()
+			if r2 == 0 {
+				continue
+			}
+			r6 := r2 * r2 * r2
+			wn := q.Normal.Scale(q.Weight)
+			si += wn.Dot(d) / r6
+			// ∂/∂x_i [ wn·(p−x)/|p−x|⁶ ] = −wn/r⁶ + 6 (wn·d)·d/r⁸.
+			di = di.Add(wn.Scale(-1 / r6)).Add(d.Scale(6 * wn.Dot(d) / (r6 * r2)))
+		}
+		s[i] = si
+		dsdx[i] = di
+	}
+
+	// Born radii with clamp bookkeeping, plus dR/ds on the smooth branch:
+	// R = (s/4π)^{-1/3} ⇒ dR/ds = −R/(3s).
+	radii := make([]float64, M)
+	clamped := make([]bool, M)
+	dRds := make([]float64, M)
+	for i := range radii {
+		radii[i] = bornFromIntegral(s[i], mol.Atoms[i].Radius, k)
+		vdw := mol.Atoms[i].Radius
+		if s[i] <= 0 || radii[i] <= vdw || radii[i] >= maxBornFactor*vdw {
+			clamped[i] = true
+			continue
+		}
+		dRds[i] = -radii[i] / (3 * s[i])
+	}
+
+	// Pair sums: energy, direct force, and ∂E/∂R_i accumulators.
+	grad := make([]geom.Vec3, M)
+	dEdR := make([]float64, M)
+	var eSum float64
+	for i := 0; i < M; i++ {
+		qi := mol.Atoms[i].Charge
+		// Self term: E_ii = −τ/2·q²/R_i ⇒ ∂E_ii/∂R_i = +τ/2·q²/R².
+		eSum += qi * qi / radii[i]
+		dEdR[i] += 0.5 * tau * qi * qi / (radii[i] * radii[i])
+		for j := i + 1; j < M; j++ {
+			d := mol.Atoms[i].Pos.Sub(mol.Atoms[j].Pos)
+			r2 := d.Norm2()
+			rr := radii[i] * radii[j]
+			ex := math.Exp(-r2 / (4 * rr))
+			f2 := r2 + rr*ex
+			f := math.Sqrt(f2)
+			qq := qi * mol.Atoms[j].Charge
+			eSum += 2 * qq / f
+
+			// E_ij(total, both orders) = −τ·qq/f.
+			// ∂f²/∂r² = 1 − ex/4; ∂E/∂r² = τ·qq/(2f³)·∂f²/∂r².
+			dEdr2 := tau * qq / (2 * f2 * f) * (1 - ex/4)
+			g := d.Scale(2 * dEdr2) // ∂r²/∂x_i = 2d
+			grad[i] = grad[i].Add(g)
+			grad[j] = grad[j].Sub(g)
+
+			// ∂f²/∂R_i = ex·(R_j + r²/(4R_i)).
+			dEdR[i] += tau * qq / (2 * f2 * f) * ex * (radii[j] + r2/(4*radii[i]))
+			dEdR[j] += tau * qq / (2 * f2 * f) * ex * (radii[i] + r2/(4*radii[j]))
+		}
+	}
+
+	// Radius chain: ∂E/∂x_i += ∂E/∂R_i · dR_i/ds_i · ∂s_i/∂x_i.
+	for i := range grad {
+		if clamped[i] {
+			continue
+		}
+		grad[i] = grad[i].Add(dsdx[i].Scale(dEdR[i] * dRds[i]))
+	}
+
+	return &GradientResult{
+		Epol:      -0.5 * tau * eSum,
+		Grad:      grad,
+		BornRadii: radii,
+		Clamped:   clamped,
+	}
+}
+
+// EpolAtFixedSurface recomputes the rigid-cavity energy for displaced
+// positions (Born radii re-derived from the fixed surface) — the exact
+// function NaiveGradient differentiates. Used by the finite-difference
+// tests and by minimizers.
+func EpolAtFixedSurface(mol *molecule.Molecule, surf *surface.Surface, epsSolv float64) float64 {
+	radii := NaiveBornRadii(mol, surf, mathx.Exact)
+	return NaiveEpol(mol, radii, epsSolv, mathx.Exact)
+}

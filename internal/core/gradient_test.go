@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gbpolar/internal/geom"
+	"gbpolar/internal/mathx"
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/surface"
+)
+
+// fdGradient computes the central finite difference of the rigid-cavity
+// energy for atom i, component axis.
+func fdGradient(mol *molecule.Molecule, surf *surface.Surface, i, axis int, h float64) float64 {
+	bump := func(sign float64) float64 {
+		m2 := mol.Clone()
+		switch axis {
+		case 0:
+			m2.Atoms[i].Pos.X += sign * h
+		case 1:
+			m2.Atoms[i].Pos.Y += sign * h
+		default:
+			m2.Atoms[i].Pos.Z += sign * h
+		}
+		return EpolAtFixedSurface(m2, surf, 80)
+	}
+	return (bump(1) - bump(-1)) / (2 * h)
+}
+
+func TestNaiveGradientMatchesFiniteDifference(t *testing.T) {
+	mol := molecule.GenProtein("grad", 60, 171)
+	surf, err := surface.ForMolecule(mol, surface.Options{SubdivisionLevel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := NaiveGradient(mol, surf, 80, mathx.Exact)
+
+	// Energy at the evaluation point must match the plain pipeline.
+	if e := EpolAtFixedSurface(mol, surf, 80); relErr(res.Epol, e) > 1e-12 {
+		t.Fatalf("gradient-path energy %v != pipeline energy %v", res.Epol, e)
+	}
+
+	const h = 1e-5
+	checked := 0
+	for i := 0; i < mol.NumAtoms(); i += 7 {
+		if res.Clamped[i] {
+			continue // dR/ds is zero on clamps; FD would see the kink
+		}
+		for axis := 0; axis < 3; axis++ {
+			fd := fdGradient(mol, surf, i, axis, h)
+			var got float64
+			switch axis {
+			case 0:
+				got = res.Grad[i].X
+			case 1:
+				got = res.Grad[i].Y
+			default:
+				got = res.Grad[i].Z
+			}
+			tol := 1e-5 + 1e-4*math.Abs(fd)
+			if math.Abs(got-fd) > tol {
+				t.Errorf("atom %d axis %d: analytic %v, FD %v", i, axis, got, fd)
+			}
+			checked++
+		}
+	}
+	if checked < 9 {
+		t.Fatalf("only %d components checked — too many clamped atoms", checked)
+	}
+}
+
+func TestGradientTranslationInvariance(t *testing.T) {
+	// The direct pair terms must sum to zero (Newton's third law); only
+	// the radius-chain terms couple to the fixed surface, so the total
+	// is the net force the rigid cavity exerts — finite but equal to the
+	// negative of the force on the cavity. Verify the pair part by
+	// zeroing the chain: use a molecule where all radii are clamped.
+	mol := molecule.GenLigand("ti", 25, 172)
+	surf, err := surface.SphereSurface(geom.V(0, 0, 0), 500, 2, 1) // far away: everything near max clamp
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := NaiveGradient(mol, surf, 80, mathx.Exact)
+	var net geom.Vec3
+	allClamped := true
+	for i, g := range res.Grad {
+		net = net.Add(g)
+		if !res.Clamped[i] {
+			allClamped = false
+		}
+	}
+	if !allClamped {
+		t.Skip("surface too close; atoms not clamped")
+	}
+	if net.Norm() > 1e-8 {
+		t.Errorf("net internal force %v, want ~0 (Newton's third law)", net)
+	}
+}
+
+func TestGradientPointsDownhill(t *testing.T) {
+	// A small steepest-descent step along −grad must not increase the
+	// rigid-cavity energy.
+	mol := molecule.GenProtein("down", 80, 173)
+	surf, err := surface.ForMolecule(mol, surface.Options{SubdivisionLevel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := NaiveGradient(mol, surf, 80, mathx.Exact)
+	var gnorm2 float64
+	for _, g := range res.Grad {
+		gnorm2 += g.Norm2()
+	}
+	if gnorm2 == 0 {
+		t.Fatal("zero gradient")
+	}
+	step := 1e-6 / math.Sqrt(gnorm2)
+	m2 := mol.Clone()
+	for i := range m2.Atoms {
+		m2.Atoms[i].Pos = m2.Atoms[i].Pos.Sub(res.Grad[i].Scale(step * 1e3))
+	}
+	e2 := EpolAtFixedSurface(m2, surf, 80)
+	if e2 > res.Epol+1e-9 {
+		t.Errorf("descent step raised energy: %v -> %v", res.Epol, e2)
+	}
+}
+
+func TestGradientFiniteEverywhere(t *testing.T) {
+	mol := molecule.GenProtein("fin", 150, 174)
+	surf, err := surface.ForMolecule(mol, surface.Options{SubdivisionLevel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := NaiveGradient(mol, surf, 80, mathx.Exact)
+	for i, g := range res.Grad {
+		if !g.IsFinite() {
+			t.Fatalf("atom %d gradient %v not finite", i, g)
+		}
+	}
+	if math.IsNaN(res.Epol) {
+		t.Fatal("energy NaN")
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gbpolar/internal/geom"
+	"gbpolar/internal/mathx"
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/surface"
+)
+
+// For a point charge at the CENTER of a sphere of radius a, both kernels
+// are exact: 1/R = (1/4π)∮(r·n)/r⁴ = 1/a and 1/R³ = (1/4π)∮(r·n)/r⁶ = 1/a³.
+func TestBothKernelsExactAtSphereCenter(t *testing.T) {
+	a := 8.0
+	surf, err := surface.SphereSurface(geom.Vec3{}, a, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mol := &molecule.Molecule{Atoms: []molecule.Atom{{Charge: 1, Radius: 1}}}
+	for _, kern := range []BornKernel{R4, R6} {
+		r := NaiveBornRadiiKernel(mol, surf, mathx.Exact, kern)[0]
+		if relErr(r, a) > 0.01 {
+			t.Errorf("%v: center Born radius %v, want %v", kern, r, a)
+		}
+	}
+}
+
+// Off-center, the exact ("perfect") Born radius of a spherical solute is
+// the Kirkwood value R_perf = (a² − d²)/a. Grycuk (reference [14]) showed
+// the r⁶ integral reproduces it exactly while the Coulomb-field r⁴ form
+// overestimates — the reason the paper adopts the r⁶ approximation
+// ("better accuracy for spherical solutes", Section II). This test
+// verifies both facts numerically.
+func TestR6MoreAccurateThanR4OffCenter(t *testing.T) {
+	a := 10.0
+	surf, err := surface.SphereSurface(geom.Vec3{}, a, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []float64{2, 4, 6} {
+		mol := &molecule.Molecule{Atoms: []molecule.Atom{
+			{Pos: geom.V(d, 0, 0), Charge: 1, Radius: 1},
+		}}
+		perfect := (a*a - d*d) / a
+		r6 := NaiveBornRadiiKernel(mol, surf, mathx.Exact, R6)[0]
+		r4 := NaiveBornRadiiKernel(mol, surf, mathx.Exact, R4)[0]
+		e6 := math.Abs(r6 - perfect)
+		e4 := math.Abs(r4 - perfect)
+		if relErr(r6, perfect) > 0.02 {
+			t.Errorf("d=%v: r⁶ radius %v, Kirkwood perfect %v (err %.3f)", d, r6, perfect, e6)
+		}
+		if e4 <= e6 {
+			t.Errorf("d=%v: r⁴ (err %.4f) not worse than r⁶ (err %.4f) — contradicts Grycuk", d, e4, e6)
+		}
+	}
+}
+
+func TestOctreeR4MatchesNaiveR4(t *testing.T) {
+	params := DefaultParams()
+	params.Kernel = R4
+	sys, mol, surf := testSystem(t, 400, 161, params)
+	res, err := RunShared(sys, SharedOptions{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := NaiveBornRadiiKernel(mol, surf, mathx.Exact, R4)
+	var worst float64
+	for i := range naive {
+		if e := relErr(res.BornRadii[i], naive[i]); e > worst {
+			worst = e
+		}
+	}
+	// Same loose-MAC error class as the r⁶ tests.
+	if worst > 0.5 {
+		t.Errorf("worst octree-r⁴ Born radius error %.1f%%", 100*worst)
+	}
+}
+
+func TestKernelStrings(t *testing.T) {
+	if R6.String() != "r6" || R4.String() != "r4" {
+		t.Error("BornKernel.String broken")
+	}
+}
+
+func TestStrictMACKernelDependence(t *testing.T) {
+	// The r⁴ kernel decays more slowly, so its worst-case opening bound
+	// is less strict than r⁶'s.
+	if strictMACFactorKernel(0.9, R4) >= strictMACFactorKernel(0.9, R6) {
+		t.Error("r⁴ strict MAC should be looser than r⁶'s")
+	}
+}
+
+func TestR4R6RadiiDifferOnProteins(t *testing.T) {
+	mol := molecule.GenProtein("kern", 300, 162)
+	surf, err := surface.ForMolecule(mol, surface.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4 := NaiveBornRadiiKernel(mol, surf, mathx.Exact, R4)
+	r6 := NaiveBornRadiiKernel(mol, surf, mathx.Exact, R6)
+	diff := 0
+	for i := range r4 {
+		if relErr(r4[i], r6[i]) > 1e-3 {
+			diff++
+		}
+	}
+	if diff < len(r4)/4 {
+		t.Errorf("r⁴ and r⁶ agree on %d/%d atoms — suspicious", len(r4)-diff, len(r4))
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gbpolar/internal/geom"
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/surface"
+)
+
+func TestUpdateAtomsMatchesFreshSystem(t *testing.T) {
+	mol := molecule.GenProtein("upd", 600, 191)
+	surf, err := surface.ForMolecule(mol, surface.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(mol, surf, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Perturb positions like an MD step.
+	rng := rand.New(rand.NewSource(192))
+	newPos := mol.Positions()
+	for i := range newPos {
+		newPos[i] = newPos[i].Add(geom.V(
+			rng.NormFloat64()*0.3, rng.NormFloat64()*0.3, rng.NormFloat64()*0.3))
+	}
+	if _, err := sys.UpdateAtoms(newPos); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Atoms.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	updated, err := RunShared(sys, SharedOptions{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: a fresh system over the moved molecule (same surface).
+	movedMol := mol.Clone()
+	for i := range movedMol.Atoms {
+		movedMol.Atoms[i].Pos = newPos[i]
+	}
+	fresh, err := NewSystem(movedMol, surf, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := RunShared(fresh, SharedOptions{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cell partitions may differ (update preserves old boundaries), so
+	// the ε-approximations differ slightly — but both are valid ε-bounded
+	// answers and must agree to well within the approximation band.
+	if relErr(updated.Epol, ref.Epol) > 0.02 {
+		t.Errorf("updated-system energy %v vs fresh-system %v", updated.Epol, ref.Epol)
+	}
+}
+
+func TestUpdateAtomsRepeated(t *testing.T) {
+	mol := molecule.GenProtein("updr", 300, 193)
+	surf, err := surface.ForMolecule(mol, surface.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(mol, surf, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(194))
+	pos := mol.Positions()
+	for step := 0; step < 10; step++ {
+		for i := range pos {
+			pos[i] = pos[i].Add(geom.V(
+				rng.NormFloat64()*0.1, rng.NormFloat64()*0.1, rng.NormFloat64()*0.1))
+		}
+		if _, err := sys.UpdateAtoms(pos); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		res, err := RunShared(sys, SharedOptions{Threads: 2})
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if res.Epol >= 0 {
+			t.Fatalf("step %d: energy %v", step, res.Epol)
+		}
+	}
+}
+
+func TestUpdateAtomsBadLength(t *testing.T) {
+	sys, _, _ := testSystem(t, 100, 195, DefaultParams())
+	if _, err := sys.UpdateAtoms(make([]geom.Vec3, 50)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

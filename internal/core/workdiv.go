@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+
+	"gbpolar/internal/cluster"
+	"gbpolar/internal/octree"
+	"gbpolar/internal/sched"
+)
+
+// Scheme selects how Figure 4's steps 2 and 6 divide work across ranks
+// (Section IV.A, "Different Work Distribution Approaches").
+type Scheme int
+
+const (
+	// NodeNode divides q-point leaves for the Born phase and atom leaves
+	// for the energy phase — the paper's default and best performer. Its
+	// error is independent of P because every rank always handles whole
+	// tree nodes.
+	NodeNode Scheme = iota
+	// AtomNode divides atoms for the Born phase (each rank traverses
+	// both octrees but only computes for its atom range) and leaves for
+	// the energy phase. Division boundaries can split tree nodes, so the
+	// error varies with P — the artifact the paper observes (and also
+	// sees in Gromacs).
+	AtomNode
+	// AtomAtom divides atoms in both phases.
+	AtomAtom
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case NodeNode:
+		return "node-node"
+	case AtomNode:
+		return "atom-node"
+	case AtomAtom:
+		return "atom-atom"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// ApproxIntegralsAtomRange is the atom-based variant of APPROX-INTEGRALS:
+// only atoms with slot index in [lo, hi) receive contributions. The
+// far-field shortcut applies only to nodes FULLY inside the range — a
+// partially-owned node must recurse so the un-owned part is not
+// contaminated, which is both the extra traversal cost and the
+// P-dependent approximation error of atom-based division.
+func ApproxIntegralsAtomRange(sys *System, acc *bornAccum, aNode, qLeaf int32, mac float64, lo, hi int32) {
+	a := &sys.Atoms.Nodes[aNode]
+	if a.End <= lo || a.Start >= hi {
+		return
+	}
+	q := &sys.QPts.Nodes[qLeaf]
+	d := q.Center.Sub(a.Center)
+	d2 := d.Norm2()
+	acc.ops++
+
+	kern := sys.Params.Kernel
+	owned := a.Start >= lo && a.End <= hi
+	if s := (a.Radius + q.Radius) * mac; owned && d2 > s*s {
+		acc.node[aNode] += sys.QNodeWN[qLeaf].Dot(d) / bornDenom(d2, kern)
+		return
+	}
+	if a.IsLeaf {
+		alo, ahi := a.Start, a.End
+		if alo < lo {
+			alo = lo
+		}
+		if ahi > hi {
+			ahi = hi
+		}
+		for ai := alo; ai < ahi; ai++ {
+			pa := sys.Atoms.Pts[ai]
+			var s float64
+			for qi := q.Start; qi < q.End; qi++ {
+				dv := sys.QPts.Pts[qi].Sub(pa)
+				r2 := dv.Norm2()
+				if r2 == 0 {
+					continue
+				}
+				s += sys.WN[qi].Dot(dv) / bornDenom(r2, kern)
+			}
+			acc.atom[ai] += s
+		}
+		acc.ops += float64(int(ahi-alo) * q.Count())
+		return
+	}
+	for _, child := range a.Children {
+		if child != octree.NoChild {
+			ApproxIntegralsAtomRange(sys, acc, child, qLeaf, mac, lo, hi)
+		}
+	}
+}
+
+// ApproxEpolAtomRange is the atom-based variant of APPROX-EPOL: the rank
+// owns atoms [lo, hi) on the V side. Exact loops restrict v to owned
+// atoms; far-field interactions use a histogram of only the owned part
+// of V, built on the fly (V is a leaf, so this is cheap).
+func ApproxEpolAtomRange(ctx *EpolContext, uNode, vLeaf int32, acc *epolAccum, lo, hi int32) {
+	sys := ctx.sys
+	t := sys.Atoms
+	v := &t.Nodes[vLeaf]
+	vlo, vhi := v.Start, v.End
+	if vlo < lo {
+		vlo = lo
+	}
+	if vhi > hi {
+		vhi = hi
+	}
+	if vlo >= vhi {
+		return
+	}
+	ctx.epolAtomRange(uNode, vLeaf, vlo, vhi, acc)
+}
+
+func (ctx *EpolContext) epolAtomRange(uNode, vLeaf, vlo, vhi int32, acc *epolAccum) {
+	sys := ctx.sys
+	t := sys.Atoms
+	u := &t.Nodes[uNode]
+	v := &t.Nodes[vLeaf]
+	k := sys.kern()
+	acc.ops++
+
+	if u.IsLeaf {
+		for ui := u.Start; ui < u.End; ui++ {
+			pu := t.Pts[ui]
+			qu := sys.Charge[ui]
+			ru := ctx.Radii[ui]
+			var s float64
+			for vi := vlo; vi < vhi; vi++ {
+				r2 := pu.Dist2(t.Pts[vi])
+				rr := ru * ctx.Radii[vi]
+				f2 := r2 + rr*k.Exp(-r2/(4*rr))
+				s += sys.Charge[vi] * k.RSqrt(f2)
+			}
+			acc.energy += qu * s
+		}
+		acc.ops += float64(u.Count() * int(vhi-vlo))
+		return
+	}
+
+	d2 := u.Center.Dist2(v.Center)
+	if s := (u.Radius + v.Radius) * ctx.farFactor; d2 > s*s {
+		// Histogram of the owned V sub-range, built on the fly.
+		hv := make([]float64, ctx.MEps)
+		for vi := vlo; vi < vhi; vi++ {
+			hv[ctx.binOf(ctx.Radii[vi])] += sys.Charge[vi]
+		}
+		hu := ctx.hist[uNode]
+		var s float64
+		for i, qi := range hu {
+			if qi == 0 {
+				continue
+			}
+			for j, qj := range hv {
+				if qj == 0 {
+					continue
+				}
+				rr := ctx.rr[i+j]
+				f2 := d2 + rr*k.Exp(-d2/(4*rr))
+				s += qi * qj * k.RSqrt(f2)
+				acc.ops++
+			}
+		}
+		acc.energy += s
+		return
+	}
+	for _, child := range u.Children {
+		if child != octree.NoChild {
+			ctx.epolAtomRange(child, vLeaf, vlo, vhi, acc)
+		}
+	}
+}
+
+// RunDistributedScheme is RunDistributed with an explicit work-division
+// scheme (RunDistributed uses NodeNode).
+func RunDistributedScheme(sys *System, cfg cluster.Config, scheme Scheme) (*Result, error) {
+	if scheme == NodeNode {
+		return RunDistributed(sys, cfg)
+	}
+	if cfg.OpsPerSecond <= 0 {
+		cfg.OpsPerSecond = CalibratedOpsPerSecond()
+	}
+	outs := make([]rankOut, cfg.Procs)
+	rep, err := cluster.Run(cfg, func(c *Comm) error {
+		return distRankScheme(sys, c, scheme, &outs[c.Rank()])
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Epol:         outs[0].epol,
+		BornRadii:    sys.BornRadiiToOriginalOrder(outs[0].radii),
+		WallSeconds:  rep.WallSeconds,
+		ModelSeconds: rep.VirtualSeconds,
+		Report:       rep,
+	}
+	for i := range outs {
+		res.Ops += outs[i].ops
+	}
+	return res, nil
+}
+
+// distRankScheme mirrors distRank with atom-based divisions.
+func distRankScheme(sys *System, c *Comm, scheme Scheme, out *rankOut) error {
+	P, rank := c.Size(), c.Rank()
+	p := c.Threads()
+	pool := sched.NewPool(p)
+	defer pool.Close()
+	c.TrackMemory(sys.MemoryBytes())
+
+	mac := sys.bornMAC()
+	qLeaves := sys.QPts.Leaves()
+	nNodes := sys.Atoms.NumNodes()
+	nAtoms := sys.Mol.NumAtoms()
+
+	// Step 2, atom-based: this rank owns atom slots [aLo, aHi) and
+	// traverses every q-point leaf.
+	aLo, aHi := segment(nAtoms, P, rank)
+	accs := make([]*bornAccum, p)
+	for i := range accs {
+		accs[i] = newBornAccum(sys)
+	}
+	sched.ParallelFor(pool, len(qLeaves), 1, func(l, h, w int) {
+		for i := l; i < h; i++ {
+			before := accs[w].ops
+			ApproxIntegralsAtomRange(sys, accs[w], sys.Atoms.Root(), qLeaves[i], mac,
+				int32(aLo), int32(aHi))
+			if d := accs[w].ops - before; d > accs[w].maxTask {
+				accs[w].maxTask = d
+			}
+		}
+	})
+	merged := accs[0]
+	for _, a := range accs[1:] {
+		merged.add(a)
+	}
+	c.ChargeOps(modelPhaseOps(merged.ops, maxOps(accs), merged.maxTask, p))
+	out.ops += merged.ops
+
+	// Step 3: combine partial s-fields.
+	vec := make([]float64, nNodes+nAtoms)
+	copy(vec, merged.node)
+	copy(vec[nNodes:], merged.atom)
+	sum, err := c.Allreduce(vec, cluster.Sum)
+	if err != nil {
+		return err
+	}
+	copy(merged.node, sum[:nNodes])
+	copy(merged.atom, sum[nNodes:])
+
+	// Steps 4–5: unchanged (atom segments are the only sensible split).
+	slotRadii := make([]float64, nAtoms)
+	pushOps := PushIntegralsToAtoms(sys, merged, aLo, aHi, slotRadii)
+	c.ChargeOps(pushOps / float64(p))
+	out.ops += pushOps
+	counts := make([]int, P)
+	for r := 0; r < P; r++ {
+		l, h := segment(nAtoms, P, r)
+		counts[r] = h - l
+	}
+	gathered, err := c.Allgatherv(slotRadii[aLo:aHi], counts)
+	if err != nil {
+		return err
+	}
+	copy(slotRadii, gathered)
+
+	// Step 6: energy with the selected division.
+	ctx := NewEpolContext(sys, slotRadii)
+	aLeaves := sys.Atoms.Leaves()
+	eaccs := make([]epolAccum, p)
+	track := func(w int, fn func()) {
+		before := eaccs[w].ops
+		fn()
+		if d := eaccs[w].ops - before; d > eaccs[w].maxTask {
+			eaccs[w].maxTask = d
+		}
+	}
+	switch scheme {
+	case AtomNode:
+		eLo, eHi := segment(len(aLeaves), P, rank)
+		sched.ParallelFor(pool, eHi-eLo, 1, func(l, h, w int) {
+			for i := l; i < h; i++ {
+				i := i
+				track(w, func() { ApproxEpol(ctx, sys.Atoms.Root(), aLeaves[eLo+i], &eaccs[w]) })
+			}
+		})
+	case AtomAtom:
+		sched.ParallelFor(pool, len(aLeaves), 1, func(l, h, w int) {
+			for i := l; i < h; i++ {
+				i := i
+				track(w, func() { ApproxEpolAtomRange(ctx, sys.Atoms.Root(), aLeaves[i], &eaccs[w], int32(aLo), int32(aHi)) })
+			}
+		})
+	default:
+		return fmt.Errorf("core: unsupported scheme %v", scheme)
+	}
+	var raw, maxE, maxTask, rankOps float64
+	for i := range eaccs {
+		raw += eaccs[i].energy
+		if eaccs[i].ops > maxE {
+			maxE = eaccs[i].ops
+		}
+		if eaccs[i].maxTask > maxTask {
+			maxTask = eaccs[i].maxTask
+		}
+		rankOps += eaccs[i].ops
+		out.ops += eaccs[i].ops
+	}
+	c.ChargeOps(modelPhaseOps(rankOps, maxE, maxTask, p))
+
+	total, err := c.Allreduce([]float64{raw}, cluster.Sum)
+	if err != nil {
+		return err
+	}
+	out.epol = ctx.Finish(total[0])
+	out.radii = slotRadii
+	return nil
+}

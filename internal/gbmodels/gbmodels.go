@@ -1,0 +1,321 @@
+// Package gbmodels implements the pairwise Generalized Born flavors the
+// baseline MD packages use (Table II of the paper): the HCT pairwise-
+// descreening model (Amber, Gromacs), the OBC rescaled variant (NAMD),
+// the Still-style model (Tinker) and the volume-based r⁶ descreening of
+// GBr⁶ — plus the shared Still f_GB interaction kernel used by every
+// package, including the paper's octree algorithms.
+package gbmodels
+
+import (
+	"fmt"
+	"math"
+
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/nblist"
+)
+
+// CoulombConstant converts e²/Å to kcal/mol.
+const CoulombConstant = 332.0636
+
+// DefaultSolventDielectric is the relative permittivity of water.
+const DefaultSolventDielectric = 80.0
+
+// Tau returns the GB prefactor τ = k_e·(1 − 1/ε_solv) so that
+// E_pol = −(τ/2)·Σ q_i q_j / f_GB is in kcal/mol.
+func Tau(epsSolv float64) float64 {
+	return CoulombConstant * (1 - 1/epsSolv)
+}
+
+// FGB evaluates the Still interaction kernel
+// f_GB = sqrt(r² + R_i·R_j·exp(−r²/(4·R_i·R_j))) (Eq. 2 of the paper).
+func FGB(r2, ri, rj float64) float64 {
+	rr := ri * rj
+	return math.Sqrt(r2 + rr*math.Exp(-r2/(4*rr)))
+}
+
+// PairEnergy returns the energy contribution of an ordered atom pair
+// with squared distance r2 (use r2=0 and i==j for the self term, where
+// f_GB reduces to R_i).
+func PairEnergy(tau, qi, qj, r2, ri, rj float64) float64 {
+	return -0.5 * tau * qi * qj / FGB(r2, ri, rj)
+}
+
+// Model computes effective Born radii for a molecule from a cutoff
+// neighbor list. Implementations differ exactly the way the packages in
+// Table II differ.
+type Model interface {
+	// Name identifies the model (HCT, OBC, STILL, VR6).
+	Name() string
+	// BornRadii returns one effective Born radius per atom. Interactions
+	// beyond the neighbor list's cutoff are ignored — the truncation
+	// artifact inherent to nblist-based packages.
+	BornRadii(m *molecule.Molecule, nb *nblist.List) []float64
+}
+
+// DielectricOffset shrinks vdW radii to intrinsic Born radii
+// (the standard 0.09 Å of HCT/OBC parameterizations).
+const DielectricOffset = 0.09
+
+// dielectricOffset is the package-internal alias.
+const dielectricOffset = DielectricOffset
+
+// Descreening scale factors applied to neighbor radii. Package
+// parameterizations use per-element values tuned on real proteins; a
+// single scale per model, calibrated once against the naive surface-r⁶
+// reference on the synthetic generator's packing fraction (see
+// EXPERIMENTS.md "model calibration"), keeps the models honest but
+// simple. The generator's 2.2 Å jittered lattice has a lower van der
+// Waals volume fraction than a covalently bonded protein, so the scales
+// sit above the literature's ≈0.8 per-element values.
+const (
+	// HCTDescreenScale calibrates the plain HCT model (Amber, Gromacs).
+	HCTDescreenScale = 1.08
+	// OBCDescreenScale calibrates the tanh-rescaled variant (NAMD).
+	OBCDescreenScale = 1.0
+)
+
+// StillVolumeFactor multiplies the Coulomb-field volume descreening of
+// the Still-style model (Tinker). Calibrated so the model lands near the
+// ≈70%-of-naive deviation the paper's Figure 9 reports for Tinker.
+const StillVolumeFactor = 1.3
+
+// VR6VolumeFactor multiplies the volume-r⁶ descreening of the GBr⁶-style
+// model (overlap/self-consistency correction; GBr⁶ itself adds
+// higher-order neighbor-overlap terms).
+const VR6VolumeFactor = 2.0
+
+// HCTIntegral exposes the closed-form HCT descreening integral for the
+// baseline packages' row-partitioned accumulation.
+func HCTIntegral(r, rhoi, sj float64) float64 { return hctIntegral(r, rhoi, sj) }
+
+// HCT is the Hawkins–Cramer–Truhlar pairwise descreening model
+// (reference [17] of the paper; Amber's and Gromacs' default GB).
+type HCT struct{}
+
+// Name implements Model.
+func (HCT) Name() string { return "HCT" }
+
+// BornRadii implements Model using the closed-form HCT descreening
+// integral accumulated over neighbor pairs.
+func (HCT) BornRadii(m *molecule.Molecule, nb *nblist.List) []float64 {
+	inv := hctInverseRadii(m, nb, HCTDescreenScale)
+	out := make([]float64, len(inv))
+	for i, v := range inv {
+		rho := m.Atoms[i].Radius - dielectricOffset
+		if v <= 0 {
+			// Fully descreened (deeply buried): clamp to a large radius.
+			out[i] = 30 * rho
+			continue
+		}
+		out[i] = 1 / v
+		if out[i] < rho {
+			out[i] = rho
+		}
+	}
+	return out
+}
+
+// hctInverseRadii returns 1/R_i = 1/ρ_i − Σ_j I(r_ij, ρ_i, s·ρ_j)/2.
+func hctInverseRadii(m *molecule.Molecule, nb *nblist.List, scale float64) []float64 {
+	inv := make([]float64, len(m.Atoms))
+	for i, a := range m.Atoms {
+		inv[i] = 1 / (a.Radius - dielectricOffset)
+	}
+	nb.ForEachPair(func(i, j int32) {
+		r := m.Atoms[i].Pos.Dist(m.Atoms[j].Pos)
+		inv[i] -= 0.5 * hctIntegral(r, m.Atoms[i].Radius-dielectricOffset, scale*(m.Atoms[j].Radius-dielectricOffset))
+		inv[j] -= 0.5 * hctIntegral(r, m.Atoms[j].Radius-dielectricOffset, scale*(m.Atoms[i].Radius-dielectricOffset))
+	})
+	return inv
+}
+
+// hctIntegral is the closed-form Coulomb-field descreening integral of a
+// sphere of radius sj at distance r from an atom of intrinsic radius
+// rhoi (Hawkins, Cramer & Truhlar 1996).
+func hctIntegral(r, rhoi, sj float64) float64 {
+	if sj <= 0 {
+		return 0
+	}
+	// The descreening sphere does not reach the atom surface.
+	if r >= rhoi+sj {
+		u := r + sj
+		l := r - sj
+		return 1/l - 1/u + (r-sj*sj/r)*(1/(u*u)-1/(l*l))/4 + math.Log(l/u)/(2*r)
+	}
+	// Atom center inside the descreening sphere: full descreening of the
+	// shell from rhoi outwards.
+	if r+sj <= rhoi {
+		return 0 // neighbor sphere entirely inside the atom: no effect
+	}
+	u := r + sj
+	l := rhoi
+	if l < r-sj {
+		l = r - sj
+	}
+	v := 1/l - 1/u + (r-sj*sj/r)*(1/(u*u)-1/(l*l))/4 + math.Log(l/u)/(2*r)
+	if r < sj-rhoi {
+		// Atom engulfed by the neighbor sphere.
+		v += 2 * (1/rhoi - 1/l)
+	}
+	return v
+}
+
+// OBC is the Onufriev–Bashford–Case model (reference [28]; NAMD's GB):
+// the HCT integral sum rescaled through a tanh to keep buried atoms'
+// radii finite.
+type OBC struct{}
+
+// Name implements Model.
+func (OBC) Name() string { return "OBC" }
+
+// OBC II parameters (α, β, γ).
+const (
+	obcAlpha = 1.0
+	obcBeta  = 0.8
+	obcGamma = 4.85
+)
+
+// BornRadii implements Model.
+func (OBC) BornRadii(m *molecule.Molecule, nb *nblist.List) []float64 {
+	inv := hctInverseRadii(m, nb, OBCDescreenScale)
+	out := make([]float64, len(inv))
+	for i := range inv {
+		rhoTilde := m.Atoms[i].Radius - dielectricOffset
+		rho := m.Atoms[i].Radius
+		// Ψ = ρ̃·(Σ integral terms) = ρ̃·(1/ρ̃ − inv).
+		psi := rhoTilde * (1/rhoTilde - inv[i])
+		th := math.Tanh(obcAlpha*psi - obcBeta*psi*psi + obcGamma*psi*psi*psi)
+		r := 1 / (1/rhoTilde - th/rho)
+		if r < rhoTilde || math.IsInf(r, 0) || math.IsNaN(r) || r < 0 {
+			r = rhoTilde
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// Still is a Still-style empirical model (reference [16]; Tinker's GB):
+// Coulomb-field (r⁴) pairwise descreening by neighbor volumes. Its
+// radii differ systematically from the r⁶ family — the reason the
+// paper's Figure 9 shows Tinker's energies deviating from the naïve
+// reference while all r⁶-based codes agree.
+type Still struct{}
+
+// Name implements Model.
+func (Still) Name() string { return "STILL" }
+
+// BornRadii implements Model using 1/R_i = 1/ρ_i − Σ_j V_j/(4π·r_ij⁴)
+// — the Coulomb-field approximation with point-volume neighbors.
+func (Still) BornRadii(m *molecule.Molecule, nb *nblist.List) []float64 {
+	inv := make([]float64, len(m.Atoms))
+	for i, a := range m.Atoms {
+		inv[i] = 1 / a.Radius
+	}
+	nb.ForEachPair(func(i, j int32) {
+		r2 := m.Atoms[i].Pos.Dist2(m.Atoms[j].Pos)
+		r4 := r2 * r2
+		vi := sphereVolume(m.Atoms[i].Radius)
+		vj := sphereVolume(m.Atoms[j].Radius)
+		inv[i] -= StillVolumeFactor * vj / (4 * math.Pi * r4)
+		inv[j] -= StillVolumeFactor * vi / (4 * math.Pi * r4)
+	})
+	out := make([]float64, len(inv))
+	for i, v := range inv {
+		rho := m.Atoms[i].Radius
+		if v <= 1/(30*rho) {
+			out[i] = 30 * rho
+			continue
+		}
+		out[i] = 1 / v
+		if out[i] < rho {
+			out[i] = rho
+		}
+	}
+	return out
+}
+
+// VR6 is the volume-based r⁶ descreening of GBr⁶ (Tjong & Zhou 2007,
+// reference [35]): 1/R_i³ = 1/ρ_i³ − Σ_j (3/4π)·V_j/r_ij⁶. It is the
+// volume-integral counterpart of the paper's surface-based r⁶ scheme.
+type VR6 struct{}
+
+// Name implements Model.
+func (VR6) Name() string { return "VR6" }
+
+// BornRadii implements Model.
+func (VR6) BornRadii(m *molecule.Molecule, nb *nblist.List) []float64 {
+	invCubed := make([]float64, len(m.Atoms))
+	for i, a := range m.Atoms {
+		invCubed[i] = 1 / (a.Radius * a.Radius * a.Radius)
+	}
+	nb.ForEachPair(func(i, j int32) {
+		r2 := m.Atoms[i].Pos.Dist2(m.Atoms[j].Pos)
+		r6 := r2 * r2 * r2
+		invCubed[i] -= VR6VolumeFactor * 3 * sphereVolume(m.Atoms[j].Radius) / (4 * math.Pi * r6)
+		invCubed[j] -= VR6VolumeFactor * 3 * sphereVolume(m.Atoms[i].Radius) / (4 * math.Pi * r6)
+	})
+	out := make([]float64, len(invCubed))
+	for i, v := range invCubed {
+		rho := m.Atoms[i].Radius
+		maxR := 30 * rho
+		if v <= 1/(maxR*maxR*maxR) {
+			out[i] = maxR
+			continue
+		}
+		out[i] = 1 / math.Cbrt(v)
+		if out[i] < rho {
+			out[i] = rho
+		}
+	}
+	return out
+}
+
+func sphereVolume(r float64) float64 { return 4 * math.Pi / 3 * r * r * r }
+
+// ByName returns the model with the given name.
+func ByName(name string) (Model, error) {
+	switch name {
+	case "HCT":
+		return HCT{}, nil
+	case "OBC":
+		return OBC{}, nil
+	case "STILL":
+		return Still{}, nil
+	case "VR6":
+		return VR6{}, nil
+	}
+	return nil, fmt.Errorf("gbmodels: unknown model %q", name)
+}
+
+// Energy computes the GB polarization energy from precomputed Born radii
+// over the neighbor list (pairs beyond the cutoff are dropped — the
+// truncation all nblist packages make) plus the exact self terms.
+func Energy(m *molecule.Molecule, radii []float64, nb *nblist.List, epsSolv float64) float64 {
+	tau := Tau(epsSolv)
+	var e float64
+	for i, a := range m.Atoms {
+		e += PairEnergy(tau, a.Charge, a.Charge, 0, radii[i], radii[i])
+	}
+	nb.ForEachPair(func(i, j int32) {
+		r2 := m.Atoms[i].Pos.Dist2(m.Atoms[j].Pos)
+		// ×2: the naive double sum counts unordered pairs twice.
+		e += 2 * PairEnergy(tau, m.Atoms[i].Charge, m.Atoms[j].Charge, r2, radii[i], radii[j])
+	})
+	return e
+}
+
+// EnergyAllPairs computes the untruncated pairwise GB energy (O(M²)),
+// used by reference implementations and tests.
+func EnergyAllPairs(m *molecule.Molecule, radii []float64, epsSolv float64) float64 {
+	tau := Tau(epsSolv)
+	var e float64
+	for i := range m.Atoms {
+		qi := m.Atoms[i].Charge
+		e += PairEnergy(tau, qi, qi, 0, radii[i], radii[i])
+		for j := i + 1; j < len(m.Atoms); j++ {
+			r2 := m.Atoms[i].Pos.Dist2(m.Atoms[j].Pos)
+			e += 2 * PairEnergy(tau, qi, m.Atoms[j].Charge, r2, radii[i], radii[j])
+		}
+	}
+	return e
+}

@@ -1,0 +1,144 @@
+package gbmodels
+
+import (
+	"math"
+
+	"gbpolar/internal/molecule"
+)
+
+// The functions in this file are the row-partitioned, untruncated
+// (all-pairs) variants the baseline packages use under atom-based MPI
+// division: rank r computes rows [lo, hi) of the pairwise sums against
+// ALL atoms — Θ(M²/P) work per rank, the scaling the paper's octree
+// replaces. They return values only for the owned rows.
+
+// HCTInverseRadiiRange returns 1/R for atoms lo..hi−1 via all-pairs HCT
+// descreening (Amber's GB default runs without a Born-radius cutoff)
+// with the given descreening scale (HCTDescreenScale or
+// OBCDescreenScale).
+func HCTInverseRadiiRange(m *molecule.Molecule, lo, hi int, scale float64) []float64 {
+	out := make([]float64, hi-lo)
+	for i := lo; i < hi; i++ {
+		rhoi := m.Atoms[i].Radius - dielectricOffset
+		inv := 1 / rhoi
+		for j := range m.Atoms {
+			if j == i {
+				continue
+			}
+			r := m.Atoms[i].Pos.Dist(m.Atoms[j].Pos)
+			inv -= 0.5 * hctIntegral(r, rhoi, scale*(m.Atoms[j].Radius-dielectricOffset))
+		}
+		out[i-lo] = inv
+	}
+	return out
+}
+
+// HCTRadiiFromInverse converts inverse radii to clamped Born radii
+// (shared by the HCT-family packages).
+func HCTRadiiFromInverse(m *molecule.Molecule, lo int, inv []float64) []float64 {
+	out := make([]float64, len(inv))
+	for k, v := range inv {
+		rho := m.Atoms[lo+k].Radius - dielectricOffset
+		if v <= 0 {
+			out[k] = 30 * rho
+			continue
+		}
+		out[k] = 1 / v
+		if out[k] < rho {
+			out[k] = rho
+		}
+	}
+	return out
+}
+
+// OBCRadiiFromInverse applies the OBC tanh rescaling to HCT inverse
+// radii.
+func OBCRadiiFromInverse(m *molecule.Molecule, lo int, inv []float64) []float64 {
+	out := make([]float64, len(inv))
+	for k, v := range inv {
+		rhoTilde := m.Atoms[lo+k].Radius - dielectricOffset
+		rho := m.Atoms[lo+k].Radius
+		psi := rhoTilde * (1/rhoTilde - v)
+		th := math.Tanh(obcAlpha*psi - obcBeta*psi*psi + obcGamma*psi*psi*psi)
+		r := 1 / (1/rhoTilde - th/rho)
+		if r < rhoTilde || math.IsInf(r, 0) || math.IsNaN(r) || r < 0 {
+			r = rhoTilde
+		}
+		out[k] = r
+	}
+	return out
+}
+
+// StillRadiiRange returns Born radii for rows lo..hi−1 via all-pairs
+// Coulomb-field (r⁴) volume descreening (Tinker's Still-style model).
+func StillRadiiRange(m *molecule.Molecule, lo, hi int) []float64 {
+	out := make([]float64, hi-lo)
+	for i := lo; i < hi; i++ {
+		rho := m.Atoms[i].Radius
+		inv := 1 / rho
+		for j := range m.Atoms {
+			if j == i {
+				continue
+			}
+			r2 := m.Atoms[i].Pos.Dist2(m.Atoms[j].Pos)
+			r4 := r2 * r2
+			inv -= StillVolumeFactor * sphereVolume(m.Atoms[j].Radius) / (4 * math.Pi * r4)
+		}
+		if inv <= 1/(30*rho) {
+			out[i-lo] = 30 * rho
+			continue
+		}
+		out[i-lo] = 1 / inv
+		if out[i-lo] < rho {
+			out[i-lo] = rho
+		}
+	}
+	return out
+}
+
+// VR6RadiiRange returns Born radii for rows lo..hi−1 via all-pairs
+// volume-based r⁶ descreening (GBr⁶'s model).
+func VR6RadiiRange(m *molecule.Molecule, lo, hi int) []float64 {
+	out := make([]float64, hi-lo)
+	for i := lo; i < hi; i++ {
+		rho := m.Atoms[i].Radius
+		invCubed := 1 / (rho * rho * rho)
+		for j := range m.Atoms {
+			if j == i {
+				continue
+			}
+			r2 := m.Atoms[i].Pos.Dist2(m.Atoms[j].Pos)
+			r6 := r2 * r2 * r2
+			invCubed -= VR6VolumeFactor * 3 * sphereVolume(m.Atoms[j].Radius) / (4 * math.Pi * r6)
+		}
+		maxR := 30 * rho
+		if invCubed <= 1/(maxR*maxR*maxR) {
+			out[i-lo] = maxR
+			continue
+		}
+		out[i-lo] = 1 / math.Cbrt(invCubed)
+		if out[i-lo] < rho {
+			out[i-lo] = rho
+		}
+	}
+	return out
+}
+
+// EnergyRange returns the raw ordered-pair energy sum Σ_i∈[lo,hi) Σ_j
+// q_i·q_j/f_GB (diagonal included). Multiply the global total by −τ/2.
+// radii must cover all atoms.
+func EnergyRange(m *molecule.Molecule, radii []float64, lo, hi int) float64 {
+	var e float64
+	for i := lo; i < hi; i++ {
+		qi := m.Atoms[i].Charge
+		ri := radii[i]
+		var row float64
+		for j := range m.Atoms {
+			r2 := m.Atoms[i].Pos.Dist2(m.Atoms[j].Pos)
+			row += m.Atoms[j].Charge / FGB(r2, ri, radii[j])
+		}
+		// FGB(0, ri, ri) = ri, so the diagonal is handled by the j loop.
+		e += qi * row
+	}
+	return e
+}

@@ -1,0 +1,88 @@
+package gbmodels
+
+import (
+	"math"
+	"testing"
+
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/nblist"
+)
+
+func TestHCTRangeMatchesNblistWithFullCutoff(t *testing.T) {
+	m := molecule.GenProtein("range", 300, 121)
+	nb, err := nblist.Build(m.Positions(), 1e6, nblist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := HCT{}.BornRadii(m, nb)
+	inv := HCTInverseRadiiRange(m, 0, m.NumAtoms(), HCTDescreenScale)
+	got := HCTRadiiFromInverse(m, 0, inv)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9*want[i] {
+			t.Fatalf("atom %d: range %v, nblist %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRangePartitionsCompose(t *testing.T) {
+	m := molecule.GenProtein("parts", 200, 122)
+	full := StillRadiiRange(m, 0, m.NumAtoms())
+	lo := StillRadiiRange(m, 0, 77)
+	hi := StillRadiiRange(m, 77, m.NumAtoms())
+	for i := range full {
+		var v float64
+		if i < 77 {
+			v = lo[i]
+		} else {
+			v = hi[i-77]
+		}
+		if v != full[i] {
+			t.Fatalf("atom %d: partitioned %v, full %v", i, v, full[i])
+		}
+	}
+}
+
+func TestEnergyRangeMatchesAllPairs(t *testing.T) {
+	m := molecule.GenProtein("erange", 200, 123)
+	radii := make([]float64, m.NumAtoms())
+	for i := range radii {
+		radii[i] = m.Atoms[i].Radius * 1.5
+	}
+	want := EnergyAllPairs(m, radii, 80)
+	raw := EnergyRange(m, radii, 0, 100) + EnergyRange(m, radii, 100, m.NumAtoms())
+	got := -0.5 * Tau(80) * raw
+	if math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Errorf("EnergyRange total %v, EnergyAllPairs %v", got, want)
+	}
+}
+
+func TestOBCRangeMatchesModel(t *testing.T) {
+	m := molecule.GenProtein("obcr", 250, 124)
+	nb, err := nblist.Build(m.Positions(), 1e6, nblist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := OBC{}.BornRadii(m, nb)
+	inv := HCTInverseRadiiRange(m, 0, m.NumAtoms(), OBCDescreenScale)
+	got := OBCRadiiFromInverse(m, 0, inv)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9*want[i] {
+			t.Fatalf("atom %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestVR6RangeMatchesModel(t *testing.T) {
+	m := molecule.GenProtein("vr6r", 250, 125)
+	nb, err := nblist.Build(m.Positions(), 1e6, nblist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := VR6{}.BornRadii(m, nb)
+	got := VR6RadiiRange(m, 0, m.NumAtoms())
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9*want[i] {
+			t.Fatalf("atom %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}

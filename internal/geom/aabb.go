@@ -1,0 +1,125 @@
+package geom
+
+import "math"
+
+// AABB is an axis-aligned bounding box. A box with Min components greater
+// than Max components is empty; Empty() constructs the canonical empty box.
+type AABB struct {
+	Min, Max Vec3
+}
+
+// Empty returns the identity element for Union: a box containing nothing.
+func Empty() AABB {
+	inf := math.Inf(1)
+	return AABB{
+		Min: Vec3{inf, inf, inf},
+		Max: Vec3{-inf, -inf, -inf},
+	}
+}
+
+// IsEmpty reports whether the box contains no points.
+func (b AABB) IsEmpty() bool {
+	return b.Min.X > b.Max.X || b.Min.Y > b.Max.Y || b.Min.Z > b.Max.Z
+}
+
+// Extend returns the smallest box containing b and p.
+func (b AABB) Extend(p Vec3) AABB {
+	return AABB{Min: b.Min.Min(p), Max: b.Max.Max(p)}
+}
+
+// Union returns the smallest box containing both b and c.
+func (b AABB) Union(c AABB) AABB {
+	if b.IsEmpty() {
+		return c
+	}
+	if c.IsEmpty() {
+		return b
+	}
+	return AABB{Min: b.Min.Min(c.Min), Max: b.Max.Max(c.Max)}
+}
+
+// Contains reports whether p lies inside b (boundaries inclusive).
+func (b AABB) Contains(p Vec3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// Center returns the midpoint of the box.
+func (b AABB) Center() Vec3 { return b.Min.Add(b.Max).Scale(0.5) }
+
+// Size returns the box extents along each axis.
+func (b AABB) Size() Vec3 { return b.Max.Sub(b.Min) }
+
+// HalfDiagonal returns half the length of the main diagonal — the radius
+// of the sphere centered at Center() that encloses the whole box.
+func (b AABB) HalfDiagonal() float64 { return b.Size().Norm() / 2 }
+
+// LongestSide returns the largest extent among the three axes.
+func (b AABB) LongestSide() float64 {
+	s := b.Size()
+	return math.Max(s.X, math.Max(s.Y, s.Z))
+}
+
+// Cube returns the smallest cube sharing b's center that contains b.
+// Octrees are built over cubic root cells so all eight octants stay
+// congruent, which keeps the node-radius bookkeeping simple.
+func (b AABB) Cube() AABB {
+	if b.IsEmpty() {
+		return b
+	}
+	h := b.LongestSide() / 2
+	c := b.Center()
+	d := Vec3{h, h, h}
+	return AABB{Min: c.Sub(d), Max: c.Add(d)}
+}
+
+// Octant returns the i-th (0..7) octant of the box, splitting at the
+// center. Bit 0 selects the upper X half, bit 1 upper Y, bit 2 upper Z.
+func (b AABB) Octant(i int) AABB {
+	c := b.Center()
+	o := b
+	if i&1 != 0 {
+		o.Min.X = c.X
+	} else {
+		o.Max.X = c.X
+	}
+	if i&2 != 0 {
+		o.Min.Y = c.Y
+	} else {
+		o.Max.Y = c.Y
+	}
+	if i&4 != 0 {
+		o.Min.Z = c.Z
+	} else {
+		o.Max.Z = c.Z
+	}
+	return o
+}
+
+// OctantIndex returns which octant of b the point p falls in, using the
+// same bit convention as Octant. Points exactly on a splitting plane go
+// to the upper half, matching Octant's half-open split.
+func (b AABB) OctantIndex(p Vec3) int {
+	c := b.Center()
+	i := 0
+	if p.X >= c.X {
+		i |= 1
+	}
+	if p.Y >= c.Y {
+		i |= 2
+	}
+	if p.Z >= c.Z {
+		i |= 4
+	}
+	return i
+}
+
+// Bound returns the smallest box containing all points.
+func Bound(pts []Vec3) AABB {
+	b := Empty()
+	for _, p := range pts {
+		b = b.Extend(p)
+	}
+	return b
+}

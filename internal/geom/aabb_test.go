@@ -1,0 +1,113 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEmptyBox(t *testing.T) {
+	e := Empty()
+	if !e.IsEmpty() {
+		t.Fatal("Empty() not empty")
+	}
+	if e.Contains(Vec3{0, 0, 0}) {
+		t.Error("empty box contains origin")
+	}
+	p := Vec3{1, 2, 3}
+	b := e.Extend(p)
+	if b.IsEmpty() || !b.Contains(p) {
+		t.Error("Extend of empty box broken")
+	}
+	if b.Min != p || b.Max != p {
+		t.Errorf("degenerate box = %v", b)
+	}
+}
+
+func TestBoundContainsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randVecs(rng, 500, 42)
+	b := Bound(pts)
+	for _, p := range pts {
+		if !b.Contains(p) {
+			t.Fatalf("Bound does not contain %v", p)
+		}
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := AABB{Vec3{0, 0, 0}, Vec3{1, 1, 1}}
+	b := AABB{Vec3{2, -1, 0.5}, Vec3{3, 0.5, 2}}
+	u := a.Union(b)
+	if u.Min != (Vec3{0, -1, 0}) || u.Max != (Vec3{3, 1, 2}) {
+		t.Errorf("Union = %v", u)
+	}
+	if got := a.Union(Empty()); got != a {
+		t.Errorf("Union with empty = %v", got)
+	}
+	if got := Empty().Union(a); got != a {
+		t.Errorf("empty Union a = %v", got)
+	}
+}
+
+func TestCube(t *testing.T) {
+	b := AABB{Vec3{0, 0, 0}, Vec3{4, 2, 1}}
+	c := b.Cube()
+	s := c.Size()
+	if !approxEq(s.X, 4, 1e-12) || !approxEq(s.Y, 4, 1e-12) || !approxEq(s.Z, 4, 1e-12) {
+		t.Errorf("Cube size = %v", s)
+	}
+	if c.Center() != b.Center() {
+		t.Error("Cube moved center")
+	}
+	if !c.Contains(b.Min) || !c.Contains(b.Max) {
+		t.Error("Cube does not contain original box")
+	}
+}
+
+func TestOctantsPartition(t *testing.T) {
+	b := AABB{Vec3{-1, -1, -1}, Vec3{1, 1, 1}}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		p := Vec3{rng.Float64()*2 - 1, rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+		idx := b.OctantIndex(p)
+		oct := b.Octant(idx)
+		if !oct.Contains(p) {
+			t.Fatalf("point %v assigned octant %d=%v which does not contain it", p, idx, oct)
+		}
+	}
+	// The 8 octants exactly tile the box volume.
+	var vol float64
+	for i := 0; i < 8; i++ {
+		s := b.Octant(i).Size()
+		vol += s.X * s.Y * s.Z
+	}
+	want := 8.0
+	if !approxEq(vol, want, 1e-9) {
+		t.Errorf("octant volumes sum to %v, want %v", vol, want)
+	}
+}
+
+func TestOctantIndexRoundTrip(t *testing.T) {
+	b := AABB{Vec3{0, 0, 0}, Vec3{2, 2, 2}}
+	for i := 0; i < 8; i++ {
+		c := b.Octant(i).Center()
+		if got := b.OctantIndex(c); got != i {
+			t.Errorf("octant %d center maps to %d", i, got)
+		}
+	}
+}
+
+func TestHalfDiagonal(t *testing.T) {
+	b := AABB{Vec3{0, 0, 0}, Vec3{2, 2, 2}}
+	want := (Vec3{2, 2, 2}).Norm() / 2
+	if got := b.HalfDiagonal(); !approxEq(got, want, 1e-12) {
+		t.Errorf("HalfDiagonal = %v want %v", got, want)
+	}
+}
+
+func TestLongestSide(t *testing.T) {
+	b := AABB{Vec3{0, 0, 0}, Vec3{1, 5, 3}}
+	if got := b.LongestSide(); got != 5 {
+		t.Errorf("LongestSide = %v", got)
+	}
+}

@@ -1,0 +1,41 @@
+package geom
+
+import "math"
+
+// Sphere is a center plus radius. It is used for the "smallest ball that
+// encloses all atom centers under a node" bookkeeping from the paper's
+// APPROX-INTEGRALS and APPROX-EPOL routines.
+type Sphere struct {
+	Center Vec3
+	Radius float64
+}
+
+// Contains reports whether p lies inside the sphere (boundary inclusive,
+// with a small tolerance to absorb floating-point noise).
+func (s Sphere) Contains(p Vec3) bool {
+	const eps = 1e-9
+	r := s.Radius * (1 + eps)
+	return s.Center.Dist2(p) <= r*r+eps
+}
+
+// EnclosingSphere returns a small sphere containing all points: the ball
+// centered at the centroid with radius max distance to the centroid.
+//
+// This is the construction the paper uses for node radii (geometric center
+// of the points under a node). It is within a factor 2 of the minimum
+// enclosing ball, and using the centroid — rather than the true miniball
+// center — matters for correctness of the far-field approximation because
+// the pseudo-atom/pseudo-q-point is placed at the geometric center.
+func EnclosingSphere(pts []Vec3) Sphere {
+	if len(pts) == 0 {
+		return Sphere{}
+	}
+	c := Centroid(pts)
+	r2 := 0.0
+	for _, p := range pts {
+		if d2 := c.Dist2(p); d2 > r2 {
+			r2 = d2
+		}
+	}
+	return Sphere{Center: c, Radius: math.Sqrt(r2)}
+}

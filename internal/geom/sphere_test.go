@@ -1,0 +1,43 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEnclosingSphereContainsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		pts := randVecs(rng, 1+rng.Intn(200), 100)
+		s := EnclosingSphere(pts)
+		for _, p := range pts {
+			if !s.Contains(p) {
+				t.Fatalf("trial %d: sphere %v misses %v", trial, s, p)
+			}
+		}
+	}
+}
+
+func TestEnclosingSphereCenteredAtCentroid(t *testing.T) {
+	pts := []Vec3{{0, 0, 0}, {2, 0, 0}}
+	s := EnclosingSphere(pts)
+	if !vecApproxEq(s.Center, Vec3{1, 0, 0}, 1e-12) {
+		t.Errorf("center = %v", s.Center)
+	}
+	if !approxEq(s.Radius, 1, 1e-12) {
+		t.Errorf("radius = %v", s.Radius)
+	}
+}
+
+func TestEnclosingSphereEmptyAndSingle(t *testing.T) {
+	if s := EnclosingSphere(nil); s.Radius != 0 {
+		t.Errorf("empty sphere radius = %v", s.Radius)
+	}
+	s := EnclosingSphere([]Vec3{{5, 5, 5}})
+	if s.Radius != 0 || s.Center != (Vec3{5, 5, 5}) {
+		t.Errorf("single-point sphere = %v", s)
+	}
+	if !s.Contains(Vec3{5, 5, 5}) {
+		t.Error("degenerate sphere should contain its center")
+	}
+}

@@ -1,0 +1,94 @@
+package geom
+
+import "math"
+
+// Transform is a rigid-body transform (rotation followed by translation).
+// The paper notes that for docking, the ligand's octree can be re-posed by
+// "multiplying with proper transformation matrices" instead of rebuilding;
+// Transform is the matrix that re-poses atoms, q-points and octree node
+// centers alike.
+type Transform struct {
+	// R is the rotation matrix in row-major order.
+	R [3][3]float64
+	// T is the translation applied after rotation.
+	T Vec3
+}
+
+// Identity returns the identity transform.
+func Identity() Transform {
+	return Transform{R: [3][3]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}}
+}
+
+// Translate returns a pure translation by t.
+func Translate(t Vec3) Transform {
+	tr := Identity()
+	tr.T = t
+	return tr
+}
+
+// RotateAxis returns a rotation of angle radians about the given axis
+// (normalized internally) through the origin, via Rodrigues' formula.
+func RotateAxis(axis Vec3, angle float64) Transform {
+	u := axis.Unit()
+	c, s := math.Cos(angle), math.Sin(angle)
+	oc := 1 - c
+	return Transform{R: [3][3]float64{
+		{c + u.X*u.X*oc, u.X*u.Y*oc - u.Z*s, u.X*u.Z*oc + u.Y*s},
+		{u.Y*u.X*oc + u.Z*s, c + u.Y*u.Y*oc, u.Y*u.Z*oc - u.X*s},
+		{u.Z*u.X*oc - u.Y*s, u.Z*u.Y*oc + u.X*s, c + u.Z*u.Z*oc},
+	}}
+}
+
+// Euler returns the rotation Rz(c)·Ry(b)·Rx(a).
+func Euler(a, b, c float64) Transform {
+	return RotateAxis(Vec3{0, 0, 1}, c).
+		Compose(RotateAxis(Vec3{0, 1, 0}, b)).
+		Compose(RotateAxis(Vec3{1, 0, 0}, a))
+}
+
+// Apply transforms the point p.
+func (t Transform) Apply(p Vec3) Vec3 {
+	return Vec3{
+		t.R[0][0]*p.X + t.R[0][1]*p.Y + t.R[0][2]*p.Z + t.T.X,
+		t.R[1][0]*p.X + t.R[1][1]*p.Y + t.R[1][2]*p.Z + t.T.Y,
+		t.R[2][0]*p.X + t.R[2][1]*p.Y + t.R[2][2]*p.Z + t.T.Z,
+	}
+}
+
+// ApplyVector rotates a direction (normals, etc.) without translating.
+func (t Transform) ApplyVector(p Vec3) Vec3 {
+	return Vec3{
+		t.R[0][0]*p.X + t.R[0][1]*p.Y + t.R[0][2]*p.Z,
+		t.R[1][0]*p.X + t.R[1][1]*p.Y + t.R[1][2]*p.Z,
+		t.R[2][0]*p.X + t.R[2][1]*p.Y + t.R[2][2]*p.Z,
+	}
+}
+
+// Compose returns the transform "t then u" as a single transform, i.e.
+// (t.Compose(u)).Apply(p) == u.Apply(t.Apply(p)) is NOT the convention;
+// the convention is standard matrix composition:
+// (t.Compose(u)).Apply(p) == t.Apply(u.Apply(p)).
+func (t Transform) Compose(u Transform) Transform {
+	var r [3][3]float64
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 3; k++ {
+				r[i][j] += t.R[i][k] * u.R[k][j]
+			}
+		}
+	}
+	return Transform{R: r, T: t.ApplyVector(u.T).Add(t.T)}
+}
+
+// Inverse returns the inverse rigid transform (Rᵀ, −Rᵀ·T).
+func (t Transform) Inverse() Transform {
+	var rt [3][3]float64
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			rt[i][j] = t.R[j][i]
+		}
+	}
+	inv := Transform{R: rt}
+	inv.T = inv.ApplyVector(t.T).Scale(-1)
+	return inv
+}

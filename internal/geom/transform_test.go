@@ -1,0 +1,96 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randTransform(rng *rand.Rand) Transform {
+	rot := Euler(rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi)
+	return Translate(Vec3{rng.NormFloat64() * 5, rng.NormFloat64() * 5, rng.NormFloat64() * 5}).Compose(rot)
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity()
+	p := Vec3{1, 2, 3}
+	if id.Apply(p) != p {
+		t.Error("identity moved point")
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	tr := Translate(Vec3{1, 2, 3})
+	if got := tr.Apply(Vec3{10, 20, 30}); got != (Vec3{11, 22, 33}) {
+		t.Errorf("Translate apply = %v", got)
+	}
+	// Directions are unaffected by translation.
+	if got := tr.ApplyVector(Vec3{1, 0, 0}); got != (Vec3{1, 0, 0}) {
+		t.Errorf("ApplyVector = %v", got)
+	}
+}
+
+func TestRotatePreservesDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		tr := randTransform(rng)
+		a := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		b := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		d0 := a.Dist(b)
+		d1 := tr.Apply(a).Dist(tr.Apply(b))
+		if !approxEq(d0, d1, 1e-9*(1+d0)) {
+			t.Fatalf("rigid transform changed distance: %v -> %v", d0, d1)
+		}
+	}
+}
+
+func TestRotateAxisQuarterTurn(t *testing.T) {
+	tr := RotateAxis(Vec3{0, 0, 1}, math.Pi/2)
+	got := tr.Apply(Vec3{1, 0, 0})
+	if !vecApproxEq(got, Vec3{0, 1, 0}, 1e-12) {
+		t.Errorf("quarter turn of x = %v, want y", got)
+	}
+}
+
+func TestComposeOrder(t *testing.T) {
+	// t.Compose(u).Apply(p) must equal t.Apply(u.Apply(p)).
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		a := randTransform(rng)
+		b := randTransform(rng)
+		p := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		want := a.Apply(b.Apply(p))
+		got := a.Compose(b).Apply(p)
+		if !vecApproxEq(got, want, 1e-9) {
+			t.Fatalf("compose mismatch: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		tr := randTransform(rng)
+		inv := tr.Inverse()
+		p := Vec3{rng.NormFloat64() * 10, rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+		got := inv.Apply(tr.Apply(p))
+		if !vecApproxEq(got, p, 1e-8) {
+			t.Fatalf("inverse round trip: %v -> %v", p, got)
+		}
+	}
+}
+
+func TestRotationPreservesNormals(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		tr := randTransform(rng)
+		n := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}.Unit()
+		if n == (Vec3{}) {
+			continue
+		}
+		got := tr.ApplyVector(n).Norm()
+		if !approxEq(got, 1, 1e-9) {
+			t.Fatalf("rotated normal has length %v", got)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecApproxEq(a, b Vec3, tol float64) bool {
+	return approxEq(a.X, b.X, tol) && approxEq(a.Y, b.Y, tol) && approxEq(a.Z, b.Z, tol)
+}
+
+func TestVecAddSub(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	w := Vec3{-4, 5, 0.5}
+	if got := v.Add(w); got != (Vec3{-3, 7, 3.5}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != (Vec3{5, -3, 2.5}) {
+		t.Errorf("Sub = %v", got)
+	}
+}
+
+func TestVecScaleDot(t *testing.T) {
+	v := Vec3{1, -2, 3}
+	if got := v.Scale(2); got != (Vec3{2, -4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Dot(Vec3{4, 5, 6}); got != 4-10+18 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestVecCrossOrthogonal(t *testing.T) {
+	f := func(a, b Vec3) bool {
+		// Restrict to magnitudes where the products stay finite.
+		clamp := func(v Vec3) Vec3 {
+			c := func(x float64) float64 { return math.Mod(x, 1e6) }
+			return Vec3{c(v.X), c(v.Y), c(v.Z)}
+		}
+		a, b = clamp(a), clamp(b)
+		if !a.IsFinite() || !b.IsFinite() {
+			return true
+		}
+		c := a.Cross(b)
+		tol := 1e-6 * (1 + a.Norm2()*b.Norm2())
+		return approxEq(c.Dot(a), 0, tol) && approxEq(c.Dot(b), 0, tol)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecCrossRightHanded(t *testing.T) {
+	got := Vec3{1, 0, 0}.Cross(Vec3{0, 1, 0})
+	if got != (Vec3{0, 0, 1}) {
+		t.Errorf("x cross y = %v, want z", got)
+	}
+}
+
+func TestVecNorm(t *testing.T) {
+	if got := (Vec3{3, 4, 0}).Norm(); !approxEq(got, 5, 1e-12) {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := (Vec3{1, 2, 2}).Norm(); !approxEq(got, 3, 1e-12) {
+		t.Errorf("Norm = %v", got)
+	}
+}
+
+func TestVecUnit(t *testing.T) {
+	f := func(v Vec3) bool {
+		n := v.Norm()
+		// |v|² overflows for components near MaxFloat64; Unit is only
+		// meaningful for vectors whose squared norm is representable.
+		if !v.IsFinite() || n == 0 || math.IsInf(n, 0) {
+			return true
+		}
+		return approxEq(v.Unit().Norm(), 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if (Vec3{}).Unit() != (Vec3{}) {
+		t.Error("Unit of zero vector should be zero")
+	}
+}
+
+func TestVecDistSymmetric(t *testing.T) {
+	f := func(a, b Vec3) bool {
+		return a.Dist(b) == b.Dist(a) && a.Dist2(b) == b.Dist2(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecMinMax(t *testing.T) {
+	a := Vec3{1, 5, -2}
+	b := Vec3{3, -1, 0}
+	if got := a.Min(b); got != (Vec3{1, -1, -2}) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := a.Max(b); got != (Vec3{3, 5, 0}) {
+		t.Errorf("Max = %v", got)
+	}
+}
+
+func TestVecIsFinite(t *testing.T) {
+	if !(Vec3{1, 2, 3}).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	for _, bad := range []Vec3{
+		{math.NaN(), 0, 0},
+		{0, math.Inf(1), 0},
+		{0, 0, math.Inf(-1)},
+	} {
+		if bad.IsFinite() {
+			t.Errorf("%v reported finite", bad)
+		}
+	}
+}
+
+func TestVecLerp(t *testing.T) {
+	a := Vec3{0, 0, 0}
+	b := Vec3{2, 4, 6}
+	if got := a.Lerp(b, 0.5); got != (Vec3{1, 2, 3}) {
+		t.Errorf("Lerp = %v", got)
+	}
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	if got := Centroid(nil); got != (Vec3{}) {
+		t.Errorf("Centroid(nil) = %v", got)
+	}
+	pts := []Vec3{{0, 0, 0}, {2, 0, 0}, {0, 2, 0}, {0, 0, 2}}
+	if got := Centroid(pts); !vecApproxEq(got, Vec3{0.5, 0.5, 0.5}, 1e-12) {
+		t.Errorf("Centroid = %v", got)
+	}
+}
+
+func randVecs(rng *rand.Rand, n int, scale float64) []Vec3 {
+	pts := make([]Vec3, n)
+	for i := range pts {
+		pts[i] = Vec3{
+			(rng.Float64() - 0.5) * scale,
+			(rng.Float64() - 0.5) * scale,
+			(rng.Float64() - 0.5) * scale,
+		}
+	}
+	return pts
+}
+
+func TestCentroidTranslationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randVecs(rng, 100, 10)
+	shift := Vec3{3, -7, 11}
+	shifted := make([]Vec3, len(pts))
+	for i, p := range pts {
+		shifted[i] = p.Add(shift)
+	}
+	c1 := Centroid(pts).Add(shift)
+	c2 := Centroid(shifted)
+	if !vecApproxEq(c1, c2, 1e-9) {
+		t.Errorf("centroid not translation invariant: %v vs %v", c1, c2)
+	}
+}

@@ -1,0 +1,171 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+func TestRSqrtAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		// Spread across many orders of magnitude, like r² values in Å².
+		x := math.Exp(rng.Float64()*40 - 20)
+		got := RSqrt(x)
+		want := 1 / math.Sqrt(x)
+		if relErr(got, want) > 1e-6 {
+			t.Fatalf("RSqrt(%g) = %g want %g (rel %g)", x, got, want, relErr(got, want))
+		}
+	}
+}
+
+func TestSqrtAccuracyAndEdge(t *testing.T) {
+	if Sqrt(0) != 0 {
+		t.Error("Sqrt(0) != 0")
+	}
+	if Sqrt(-1) != 0 {
+		t.Error("Sqrt(-1) != 0")
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		x := math.Exp(rng.Float64()*40 - 20)
+		if relErr(Sqrt(x), math.Sqrt(x)) > 1e-6 {
+			t.Fatalf("Sqrt(%g) rel err too big", x)
+		}
+	}
+}
+
+func TestExpAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		x := rng.Float64()*80 - 60 // the GB kernel only ever exponentiates ≤ 0
+		got := Exp(x)
+		want := math.Exp(x)
+		if relErr(got, want) > 1e-4 {
+			t.Fatalf("Exp(%g) = %g want %g (rel %g)", x, got, want, relErr(got, want))
+		}
+	}
+}
+
+func TestExpExtremes(t *testing.T) {
+	if Exp(-1000) != 0 {
+		t.Error("Exp(-1000) should underflow to 0")
+	}
+	if !math.IsInf(Exp(1000), 1) {
+		t.Error("Exp(1000) should overflow to +Inf")
+	}
+	if relErr(Exp(0), 1) > 1e-12 {
+		t.Errorf("Exp(0) = %g", Exp(0))
+	}
+}
+
+func TestCbrtAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 10000; i++ {
+		x := math.Exp(rng.Float64()*60 - 30)
+		if relErr(Cbrt(x), math.Cbrt(x)) > 1e-9 {
+			t.Fatalf("Cbrt(%g) rel err too big: got %g want %g", x, Cbrt(x), math.Cbrt(x))
+		}
+	}
+	if Cbrt(0) != 0 {
+		t.Error("Cbrt(0) != 0")
+	}
+	if relErr(Cbrt(-8), -2) > 1e-9 {
+		t.Errorf("Cbrt(-8) = %g", Cbrt(-8))
+	}
+	if relErr(Cbrt(27), 3) > 1e-9 {
+		t.Errorf("Cbrt(27) = %g", Cbrt(27))
+	}
+}
+
+func TestInvCbrt(t *testing.T) {
+	if relErr(InvCbrt(8), 0.5) > 1e-9 {
+		t.Errorf("InvCbrt(8) = %g", InvCbrt(8))
+	}
+}
+
+func TestCbrtCubeRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		x = math.Mod(math.Abs(x), 1e10)
+		if x == 0 {
+			return true
+		}
+		y := Cbrt(x)
+		return relErr(y*y*y, x) < 1e-8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKernelsForMode(t *testing.T) {
+	for _, m := range []Mode{Exact, Approximate} {
+		k := ForMode(m)
+		if relErr(k.Sqrt(2), math.Sqrt2) > 1e-6 {
+			t.Errorf("%v Sqrt(2) = %g", m, k.Sqrt(2))
+		}
+		if relErr(k.RSqrt(4), 0.5) > 1e-6 {
+			t.Errorf("%v RSqrt(4) = %g", m, k.RSqrt(4))
+		}
+		if relErr(k.Exp(1), math.E) > 1e-4 {
+			t.Errorf("%v Exp(1) = %g", m, k.Exp(1))
+		}
+		if relErr(k.Cbrt(8), 2) > 1e-6 {
+			t.Errorf("%v Cbrt(8) = %g", m, k.Cbrt(8))
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Exact.String() != "exact" || Approximate.String() != "approximate" {
+		t.Error("Mode.String broken")
+	}
+}
+
+func BenchmarkRSqrtApprox(b *testing.B) {
+	x := 1.7
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += RSqrt(x)
+		x += 0.001
+	}
+	_ = s
+}
+
+func BenchmarkRSqrtExact(b *testing.B) {
+	x := 1.7
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += 1 / math.Sqrt(x)
+		x += 0.001
+	}
+	_ = s
+}
+
+func BenchmarkExpApprox(b *testing.B) {
+	x := -1.7
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += Exp(x)
+		x -= 0.0001
+	}
+	_ = s
+}
+
+func BenchmarkExpExact(b *testing.B) {
+	x := -1.7
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += math.Exp(x)
+		x -= 0.0001
+	}
+	_ = s
+}

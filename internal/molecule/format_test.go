@@ -1,0 +1,137 @@
+package molecule
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func moleculesEqual(a, b *Molecule, tol float64) bool {
+	if len(a.Atoms) != len(b.Atoms) {
+		return false
+	}
+	for i := range a.Atoms {
+		x, y := a.Atoms[i], b.Atoms[i]
+		if x.Pos.Dist(y.Pos) > tol ||
+			math.Abs(x.Charge-y.Charge) > tol ||
+			math.Abs(x.Radius-y.Radius) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPQRRoundTrip(t *testing.T) {
+	m := GenProtein("rt", 123, 9)
+	var buf bytes.Buffer
+	if err := WritePQR(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPQR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !moleculesEqual(m, got, 1e-3) {
+		t.Error("PQR round trip lost data")
+	}
+}
+
+func TestXYZQRRoundTrip(t *testing.T) {
+	m := GenLigand("rt", 40, 10)
+	var buf bytes.Buffer
+	if err := WriteXYZQR(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadXYZQR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !moleculesEqual(m, got, 1e-5) {
+		t.Error("XYZQR round trip lost data")
+	}
+}
+
+func TestReadPQRRealWorldShape(t *testing.T) {
+	// Column-aligned PQR with residue names, chain IDs, etc.
+	src := `REMARK   produced by pdb2pqr
+ATOM      1  N   MET A   1      27.340  24.430   2.614  0.1592  1.8240
+ATOM      2  CA  MET A   1      26.266  25.413   2.842  0.0221  1.9080
+HETATM    3  O   HOH A 201      10.000  10.000  10.000 -0.8340  1.6612
+TER
+END
+`
+	m, err := ReadPQR(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Atoms) != 3 {
+		t.Fatalf("got %d atoms", len(m.Atoms))
+	}
+	if m.Atoms[0].Charge != 0.1592 || m.Atoms[0].Radius != 1.8240 {
+		t.Errorf("atom 0 = %+v", m.Atoms[0])
+	}
+	if m.Atoms[2].Pos.X != 10 || m.Atoms[2].Charge != -0.834 {
+		t.Errorf("HETATM = %+v", m.Atoms[2])
+	}
+}
+
+func TestReadPQRErrors(t *testing.T) {
+	if _, err := ReadPQR(strings.NewReader("REMARK empty\nEND\n")); err == nil {
+		t.Error("empty PQR should error")
+	}
+	if _, err := ReadPQR(strings.NewReader("ATOM 1 N MET A 1 x y z q r\n")); err == nil {
+		t.Error("non-numeric fields should error")
+	}
+	if _, err := ReadPQR(strings.NewReader("ATOM 1 2\n")); err == nil {
+		t.Error("short record should error")
+	}
+}
+
+func TestReadXYZQRHeaderAndComments(t *testing.T) {
+	src := "2\n# two atoms\n0 0 0 1.0 1.5\n# inline comment line\n1 1 1 -1.0 1.7\n"
+	m, err := ReadXYZQR(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Atoms) != 2 {
+		t.Fatalf("got %d atoms", len(m.Atoms))
+	}
+	if m.Atoms[1].Charge != -1 {
+		t.Errorf("atom 1 charge = %v", m.Atoms[1].Charge)
+	}
+}
+
+func TestReadXYZQRErrors(t *testing.T) {
+	if _, err := ReadXYZQR(strings.NewReader("")); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ReadXYZQR(strings.NewReader("1 2 3\n")); err == nil {
+		t.Error("short line should error")
+	}
+	if _, err := ReadXYZQR(strings.NewReader("1 2 3 4 bad\n")); err == nil {
+		t.Error("non-numeric field should error")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	m := GenProtein("file", 60, 12)
+	for _, name := range []string{"m.pqr", "m.xyzqr"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, m); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !moleculesEqual(m, got, 1e-3) {
+			t.Errorf("%s: round trip lost data", name)
+		}
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.pqr")); err == nil {
+		t.Error("missing file should error")
+	}
+}

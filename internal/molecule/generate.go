@@ -1,0 +1,251 @@
+package molecule
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"gbpolar/internal/geom"
+)
+
+// Protein-like atom composition: element frequencies, vdW radii and the
+// partial-charge spread used by the synthetic generators. Frequencies are
+// typical of an all-atom protein model (H≈50%, C≈32%, N≈8.5%, O≈9%,
+// S≈0.5%).
+var elementTable = []struct {
+	frac   float64 // cumulative fraction
+	radius float64 // van der Waals radius, Å
+	sigma  float64 // partial-charge standard deviation, e
+}{
+	{0.50, 1.20, 0.10},  // H
+	{0.82, 1.70, 0.15},  // C
+	{0.905, 1.55, 0.35}, // N
+	{0.995, 1.52, 0.40}, // O
+	{1.00, 1.80, 0.20},  // S
+}
+
+// latticeSpacing gives a packed-protein number density of ≈0.094 atoms/Å³
+// (experimental protein interiors are ≈0.1 atoms/Å³ including hydrogens).
+const latticeSpacing = 2.2
+
+// GenProtein deterministically generates a globular protein-like molecule
+// with n atoms: a jittered cubic lattice filled from the center outward
+// (packed like a folded protein), protein-like vdW radii and partial
+// charges. A handful of atoms receive formal ±1e charges, mimicking
+// charged side chains; the remainder get small partial charges.
+//
+// The same (n, seed) pair always yields the identical molecule.
+func GenProtein(name string, n int, seed int64) *Molecule {
+	if n <= 0 {
+		return &Molecule{Name: name}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &Molecule{Name: name, Atoms: make([]Atom, 0, n)}
+
+	// Radius of the ball that holds n lattice sites.
+	r := latticeSpacing * math.Cbrt(3*float64(n)/(4*math.Pi)) * 1.02
+	span := int(math.Ceil(r / latticeSpacing))
+
+	type site struct {
+		p  geom.Vec3
+		d2 float64
+	}
+	sites := make([]site, 0, (2*span+1)*(2*span+1)*(2*span+1))
+	for x := -span; x <= span; x++ {
+		for y := -span; y <= span; y++ {
+			for z := -span; z <= span; z++ {
+				p := geom.Vec3{
+					X: float64(x) * latticeSpacing,
+					Y: float64(y) * latticeSpacing,
+					Z: float64(z) * latticeSpacing,
+				}
+				sites = append(sites, site{p, p.Norm2()})
+			}
+		}
+	}
+	// Fill from the center outward so the molecule is compact for any n.
+	sort.Slice(sites, func(i, j int) bool { return sites[i].d2 < sites[j].d2 })
+
+	for i := 0; i < n; i++ {
+		s := sites[i%len(sites)]
+		// If n exceeds the lattice capacity (possible only for tiny radii
+		// due to the 1.02 safety factor being insufficient), re-use sites
+		// with a larger jitter; in practice len(sites) >= n.
+		jit := 0.45
+		p := s.p.Add(geom.Vec3{
+			X: (rng.Float64()*2 - 1) * jit,
+			Y: (rng.Float64()*2 - 1) * jit,
+			Z: (rng.Float64()*2 - 1) * jit,
+		})
+		m.Atoms = append(m.Atoms, Atom{Pos: p, Radius: 1.7})
+	}
+	assignElements(m, rng)
+	return m
+}
+
+// assignElements assigns radii and charges according to elementTable and
+// sprinkles formal charges over ~5% of heavy atoms, then removes any net
+// drift beyond physical bounds by spreading the excess over all atoms
+// (proteins carry small integer net charges).
+func assignElements(m *Molecule, rng *rand.Rand) {
+	for i := range m.Atoms {
+		u := rng.Float64()
+		for _, e := range elementTable {
+			if u <= e.frac {
+				m.Atoms[i].Radius = e.radius
+				q := rng.NormFloat64() * e.sigma
+				if q > 0.8 {
+					q = 0.8
+				}
+				if q < -0.8 {
+					q = -0.8
+				}
+				m.Atoms[i].Charge = q
+				break
+			}
+		}
+		// Occasionally a formal charge (charged side chain, ~2%).
+		if rng.Float64() < 0.02 {
+			if rng.Float64() < 0.5 {
+				m.Atoms[i].Charge = 1
+			} else {
+				m.Atoms[i].Charge = -1
+			}
+		}
+	}
+}
+
+// GenLigand generates a small drug-like molecule with n atoms (default
+// size class 20–60 atoms), a compact random coil placed at the origin.
+func GenLigand(name string, n int, seed int64) *Molecule {
+	rng := rand.New(rand.NewSource(seed))
+	m := &Molecule{Name: name, Atoms: make([]Atom, 0, n)}
+	p := geom.Vec3{}
+	for i := 0; i < n; i++ {
+		m.Atoms = append(m.Atoms, Atom{Pos: p, Radius: 1.7})
+		// Bond step ~1.5 Å with a bias back toward the centroid to stay
+		// compact.
+		dir := geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Unit()
+		pull := p.Scale(-0.15)
+		p = p.Add(dir.Scale(1.5)).Add(pull)
+	}
+	assignElements(m, rng)
+	return m
+}
+
+// GenCapsid generates a virus-capsid-like hollow shell: atoms jittered on
+// concentric spherical layers between innerR and outerR (Å), placed by a
+// Fibonacci lattice so coverage is uniform. It reproduces the adaptive-
+// refinement regime of the paper's CMV (509,640 atoms, radius ≈140 Å) and
+// BTV (6M atoms) inputs: a thin shell, so the octree is deep near the
+// surface and empty inside.
+func GenCapsid(name string, n int, innerR, outerR float64, seed int64) *Molecule {
+	if n <= 0 {
+		return &Molecule{Name: name}
+	}
+	if outerR < innerR {
+		innerR, outerR = outerR, innerR
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &Molecule{Name: name, Atoms: make([]Atom, 0, n)}
+
+	// Number of layers so intra-layer and inter-layer spacing match.
+	thickness := outerR - innerR
+	layers := int(thickness/latticeSpacing) + 1
+	// Distribute atoms over layers proportionally to layer area.
+	var totalArea float64
+	layerR := make([]float64, layers)
+	for l := 0; l < layers; l++ {
+		r := innerR
+		if layers > 1 {
+			r += thickness * float64(l) / float64(layers-1)
+		}
+		layerR[l] = r
+		totalArea += r * r
+	}
+	golden := math.Pi * (3 - math.Sqrt(5))
+	for l := 0; l < layers && len(m.Atoms) < n; l++ {
+		r := layerR[l]
+		count := int(math.Round(float64(n) * r * r / totalArea))
+		if l == layers-1 {
+			count = n - len(m.Atoms)
+		}
+		if count > n-len(m.Atoms) {
+			count = n - len(m.Atoms)
+		}
+		for i := 0; i < count; i++ {
+			// Fibonacci sphere point i of count.
+			z := 1 - 2*(float64(i)+0.5)/float64(count)
+			ring := math.Sqrt(1 - z*z)
+			th := golden * float64(i)
+			p := geom.Vec3{X: math.Cos(th) * ring, Y: math.Sin(th) * ring, Z: z}.Scale(r)
+			p = p.Add(geom.Vec3{
+				X: (rng.Float64()*2 - 1) * 0.4,
+				Y: (rng.Float64()*2 - 1) * 0.4,
+				Z: (rng.Float64()*2 - 1) * 0.4,
+			})
+			m.Atoms = append(m.Atoms, Atom{Pos: p, Radius: 1.7})
+		}
+	}
+	assignElements(m, rng)
+	return m
+}
+
+// CMVAnalogue generates the Cucumber-Mosaic-Virus-analogue shell at the
+// given scale factor. scale=1 reproduces the paper's 509,640 atoms on a
+// 120–145 Å shell; smaller scales shrink atom count (and radius with the
+// cube-root, preserving density).
+func CMVAnalogue(scale float64, seed int64) *Molecule {
+	n := int(509640 * scale)
+	if n < 100 {
+		n = 100
+	}
+	f := math.Cbrt(scale)
+	return GenCapsid(fmt.Sprintf("CMV-analogue-%dk", n/1000), n, 120*f, 145*f, seed)
+}
+
+// BTVAnalogue generates the Blue-Tongue-Virus-analogue shell (paper: 6M
+// atoms) at the given scale factor.
+func BTVAnalogue(scale float64, seed int64) *Molecule {
+	n := int(6_000_000 * scale)
+	if n < 100 {
+		n = 100
+	}
+	f := math.Cbrt(scale)
+	return GenCapsid(fmt.Sprintf("BTV-analogue-%dk", n/1000), n, 250*f, 290*f, seed)
+}
+
+// SuiteEntry describes one molecule of the ZDock-like benchmark suite.
+type SuiteEntry struct {
+	Name  string
+	Atoms int
+}
+
+// ZDockLikeSizes returns the 84 atom counts of the synthetic benchmark
+// suite, spread log-uniformly over the paper's range (≈400 to ≈16,000
+// atoms per protein, with the largest at 16,301 — the size the paper's
+// Figure 8(b) quotes for the 11× Amber speedup).
+func ZDockLikeSizes() []SuiteEntry {
+	const count = 84
+	entries := make([]SuiteEntry, count)
+	lo, hi := math.Log(400.0), math.Log(16301.0)
+	for i := 0; i < count; i++ {
+		t := float64(i) / float64(count-1)
+		n := int(math.Round(math.Exp(lo + (hi-lo)*t)))
+		entries[i] = SuiteEntry{Name: fmt.Sprintf("zd%02d", i+1), Atoms: n}
+	}
+	entries[count-1].Atoms = 16301
+	return entries
+}
+
+// GenZDockLikeSuite generates the full 84-protein synthetic suite. Each
+// protein is deterministic in (seed, index).
+func GenZDockLikeSuite(seed int64) []*Molecule {
+	sizes := ZDockLikeSizes()
+	out := make([]*Molecule, len(sizes))
+	for i, e := range sizes {
+		out[i] = GenProtein(e.Name, e.Atoms, seed+int64(i)*7919)
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package nblist
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"gbpolar/internal/geom"
+	"gbpolar/internal/molecule"
+)
+
+func randPts(rng *rand.Rand, n int, scale float64) []geom.Vec3 {
+	pts := make([]geom.Vec3, n)
+	for i := range pts {
+		pts[i] = geom.V(rng.Float64()*scale, rng.Float64()*scale, rng.Float64()*scale)
+	}
+	return pts
+}
+
+// bruteForcePairs counts pairs within cutoff the quadratic way.
+func bruteForcePairs(pts []geom.Vec3, cutoff float64) map[[2]int32]bool {
+	out := make(map[[2]int32]bool)
+	c2 := cutoff * cutoff
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].Dist2(pts[j]) <= c2 {
+				out[[2]int32{int32(i), int32(j)}] = true
+			}
+		}
+	}
+	return out
+}
+
+func TestBuildMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 10; trial++ {
+		pts := randPts(rng, 200+rng.Intn(300), 30)
+		cutoff := 2 + rng.Float64()*8
+		l, err := Build(pts, cutoff, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForcePairs(pts, cutoff)
+		got := make(map[[2]int32]bool)
+		l.ForEachPair(func(i, j int32) {
+			if i >= j {
+				t.Fatalf("pair (%d,%d) not half-ordered", i, j)
+			}
+			if got[[2]int32{i, j}] {
+				t.Fatalf("pair (%d,%d) duplicated", i, j)
+			}
+			got[[2]int32{i, j}] = true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d pairs, want %d", trial, len(got), len(want))
+		}
+		for p := range want {
+			if !got[p] {
+				t.Fatalf("missing pair %v", p)
+			}
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, 5, Options{}); err == nil {
+		t.Error("empty input should error")
+	}
+	pts := randPts(rand.New(rand.NewSource(1)), 10, 5)
+	if _, err := Build(pts, 0, Options{}); err == nil {
+		t.Error("zero cutoff should error")
+	}
+	if _, err := Build(pts, -3, Options{}); err == nil {
+		t.Error("negative cutoff should error")
+	}
+}
+
+func TestMemoryBudgetOOM(t *testing.T) {
+	m := molecule.GenProtein("oom", 2000, 52)
+	pts := m.Positions()
+	// Unbounded: fine.
+	l, err := Build(pts, 12, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A budget of half the real usage must trip ErrOutOfMemory.
+	_, err = Build(pts, 12, Options{MemoryBudgetBytes: l.MemoryBytes() / 2})
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("want ErrOutOfMemory, got %v", err)
+	}
+}
+
+func TestPairCountGrowsCubicallyWithCutoff(t *testing.T) {
+	// The paper: nblist size grows cubically with the cutoff. For a bulk
+	// molecule the pair count at cutoff 2c should be ≈8× the count at c.
+	m := molecule.GenProtein("cubic", 6000, 53)
+	pts := m.Positions()
+	small, err := Build(pts, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Build(pts, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(big.NumPairs) / float64(small.NumPairs)
+	if ratio < 4.5 || ratio > 9 {
+		t.Errorf("pair ratio for 2x cutoff = %.2f, expected ≈8 (surface effects allow ≥4.5)", ratio)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	l, err := Build([]geom.Vec3{geom.V(0, 0, 0)}, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumPairs != 0 {
+		t.Errorf("single point has %d pairs", l.NumPairs)
+	}
+}
+
+func TestCoincidentPoints(t *testing.T) {
+	pts := make([]geom.Vec3, 20)
+	l, err := Build(pts, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(20 * 19 / 2); l.NumPairs != want {
+		t.Errorf("coincident pairs = %d, want %d", l.NumPairs, want)
+	}
+}
+
+func BenchmarkBuild5k(b *testing.B) {
+	m := molecule.GenProtein("bench", 5000, 54)
+	pts := m.Positions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(pts, 10, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

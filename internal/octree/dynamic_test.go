@@ -1,0 +1,210 @@
+package octree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gbpolar/internal/geom"
+	"gbpolar/internal/molecule"
+)
+
+// jiggle displaces every point by a uniform offset in [-d, d]³.
+func jiggle(rng *rand.Rand, pts []geom.Vec3, d float64) []geom.Vec3 {
+	out := make([]geom.Vec3, len(pts))
+	for i, p := range pts {
+		out[i] = p.Add(geom.V(
+			(rng.Float64()*2-1)*d,
+			(rng.Float64()*2-1)*d,
+			(rng.Float64()*2-1)*d,
+		))
+	}
+	return out
+}
+
+func TestUpdateSmallJiggleKeepsStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	pts := randPts(rng, 2000, 80)
+	tr, err := Build(pts, Options{LeafCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodesBefore := tr.NumNodes()
+	// Tiny displacements: a fraction of the leaf cell size.
+	moved, err := tr.Update(jiggle(rng, pts, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if moved > len(pts)/20 {
+		t.Errorf("%d/%d points escaped on a tiny jiggle", moved, len(pts))
+	}
+	if tr.NumNodes() > nodesBefore+nodesBefore/10 {
+		t.Errorf("node array grew from %d to %d on a tiny jiggle", nodesBefore, tr.NumNodes())
+	}
+}
+
+func TestUpdateMatchesFreshBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	pts := randPts(rng, 1500, 60)
+	tr, err := Build(pts, Options{LeafCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		pts = jiggle(rng, pts, 3.0) // large enough to force migrations
+		if _, err := tr.Update(pts); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		// Every original point must be present exactly once with its new
+		// position.
+		seen := make([]bool, len(pts))
+		for slot, orig := range tr.Index {
+			if seen[orig] {
+				t.Fatalf("round %d: point %d duplicated", round, orig)
+			}
+			seen[orig] = true
+			if tr.Pts[slot] != pts[orig] {
+				t.Fatalf("round %d: point %d has stale position", round, orig)
+			}
+		}
+		// Leaves cover all slots exactly once, in order.
+		at := int32(0)
+		for _, li := range tr.Leaves() {
+			n := tr.Nodes[li]
+			if n.Start != at {
+				t.Fatalf("round %d: leaf ranges not contiguous", round)
+			}
+			at = n.End
+		}
+		if at != int32(len(pts)) {
+			t.Fatalf("round %d: leaves end at %d", round, at)
+		}
+	}
+}
+
+func TestUpdateOutOfDomainRebuilds(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	pts := randPts(rng, 500, 40)
+	tr, err := Build(pts, Options{LeafCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shift everything far outside the root cube.
+	shifted := make([]geom.Vec3, len(pts))
+	for i, p := range pts {
+		shifted[i] = p.Add(geom.V(1000, 0, 0))
+	}
+	moved, err := tr.Update(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != len(pts) {
+		t.Errorf("full rebuild should report all %d points moved, got %d", len(pts), moved)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(204))
+	pts := randPts(rng, 100, 10)
+	tr, err := Build(pts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Update(pts[:50]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	bad := append([]geom.Vec3(nil), pts...)
+	bad[3].X = math.Inf(1)
+	if _, err := tr.Update(bad); err == nil {
+		t.Error("non-finite point accepted")
+	}
+}
+
+func TestCompactNodesReclaimsOrphans(t *testing.T) {
+	rng := rand.New(rand.NewSource(205))
+	pts := randPts(rng, 1000, 50)
+	tr, err := Build(pts, Options{LeafCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 10; round++ {
+		pts = jiggle(rng, pts, 4.0)
+		if _, err := tr.Update(pts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reachable := tr.NumReachableNodes()
+	if tr.NumNodes() <= reachable {
+		t.Skip("no orphans created (updates were all local)")
+	}
+	tr.CompactNodes()
+	if tr.NumNodes() != reachable {
+		t.Errorf("after compaction %d nodes, want %d", tr.NumNodes(), reachable)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateCheaperThanRebuildForSmallMoves(t *testing.T) {
+	// The reference-[8] claim: updates after small motion touch far less
+	// structure than a rebuild. Measure structural work by node-array
+	// growth: a small jiggle must not rebuild subtrees wholesale.
+	m := molecule.GenProtein("dyn", 4000, 206)
+	pts := m.Positions()
+	tr, err := Build(pts, Options{LeafCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tr.NumNodes()
+	rng := rand.New(rand.NewSource(207))
+	moved, err := tr.Update(jiggle(rng, pts, 0.05)) // typical MD step ≈ 0.05 Å
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A few boundary-straddling points relocate; structure churn must
+	// stay marginal (points entering previously-empty octants create a
+	// handful of cells).
+	if moved > len(pts)/20 {
+		t.Errorf("%d/%d points relocated on an MD-step jiggle", moved, len(pts))
+	}
+	if grown := tr.NumNodes() - before; grown > before/50 {
+		t.Errorf("MD-step jiggle grew node count %d -> %d", before, tr.NumNodes())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUpdateVsRebuild(b *testing.B) {
+	m := molecule.GenProtein("dynb", 20000, 208)
+	pts := m.Positions()
+	tr, err := Build(pts, Options{LeafCap: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(209))
+	b.Run("Update0.05A", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tr.Update(jiggle(rng, pts, 0.05)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Build(pts, Options{LeafCap: 8}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package sched
+
+// ParallelFor executes fn over [0, n) in parallel chunks of at most
+// grain elements, using recursive range splitting (the shape cilk_for
+// compiles to). fn receives the half-open range and the executing
+// worker's ID, so callers can accumulate into per-worker slots without
+// synchronization.
+func ParallelFor(p *Pool, n, grain int, fn func(lo, hi, worker int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	p.Run(func(w *Worker) {
+		forRange(w, 0, n, grain, fn)
+	})
+}
+
+// ForRange is the in-task variant of ParallelFor: it spawns the split
+// subranges onto the current worker's deque and processes the leading
+// chunk itself. Unlike ParallelFor it returns before the spawned ranges
+// necessarily finish; quiescence is reached when the enclosing Run
+// drains.
+func ForRange(w *Worker, lo, hi, grain int, fn func(lo, hi, worker int)) {
+	if grain <= 0 {
+		grain = 1
+	}
+	forRange(w, lo, hi, grain, fn)
+}
+
+func forRange(w *Worker, lo, hi, grain int, fn func(lo, hi, worker int)) {
+	for hi-lo > grain {
+		mid := lo + (hi-lo)/2
+		right := hi
+		w.Spawn(func(w2 *Worker) { forRange(w2, mid, right, grain, fn) })
+		hi = mid
+	}
+	if hi > lo {
+		fn(lo, hi, w.ID())
+	}
+}
+
+// Accumulators is a padded per-worker float64 array for race-free
+// reduction: each worker adds into its own cache line and Sum combines
+// them after quiescence.
+type Accumulators struct {
+	slots []paddedFloat
+}
+
+type paddedFloat struct {
+	v float64
+	_ [7]float64 // pad to a 64-byte cache line to avoid false sharing
+}
+
+// NewAccumulators returns accumulators for a pool of n workers.
+func NewAccumulators(n int) *Accumulators {
+	return &Accumulators{slots: make([]paddedFloat, n)}
+}
+
+// Add adds x into worker slot w.
+func (a *Accumulators) Add(w int, x float64) { a.slots[w].v += x }
+
+// Sum returns the total across workers.
+func (a *Accumulators) Sum() float64 {
+	var s float64
+	for i := range a.slots {
+		s += a.slots[i].v
+	}
+	return s
+}
+
+// Reset zeroes all slots.
+func (a *Accumulators) Reset() {
+	for i := range a.slots {
+		a.slots[i].v = 0
+	}
+}

@@ -1,0 +1,281 @@
+package sched
+
+import (
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunSingleTask(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	ran := int32(0)
+	p.Run(func(w *Worker) { atomic.AddInt32(&ran, 1) })
+	if ran != 1 {
+		t.Fatalf("root ran %d times", ran)
+	}
+}
+
+func TestSpawnFanOut(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	const n = 10000
+	var count int32
+	p.Run(func(w *Worker) {
+		for i := 0; i < n; i++ {
+			w.Spawn(func(w2 *Worker) { atomic.AddInt32(&count, 1) })
+		}
+	})
+	if count != n {
+		t.Fatalf("ran %d of %d spawned tasks", count, n)
+	}
+}
+
+func TestRecursiveSpawnTree(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	var count int64
+	var grow func(depth int) Task
+	grow = func(depth int) Task {
+		return func(w *Worker) {
+			atomic.AddInt64(&count, 1)
+			if depth > 0 {
+				w.Spawn(grow(depth - 1))
+				w.Spawn(grow(depth - 1))
+			}
+		}
+	}
+	p.Run(grow(12)) // 2^13 - 1 tasks
+	if want := int64(1<<13 - 1); count != want {
+		t.Fatalf("count = %d want %d", count, want)
+	}
+}
+
+func TestRunReusable(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for round := 0; round < 5; round++ {
+		var count int32
+		p.Run(func(w *Worker) {
+			for i := 0; i < 100; i++ {
+				w.Spawn(func(*Worker) { atomic.AddInt32(&count, 1) })
+			}
+		})
+		if count != 100 {
+			t.Fatalf("round %d: count = %d", round, count)
+		}
+	}
+}
+
+func TestParallelForCoversExactlyOnce(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	const n = 100000
+	hits := make([]int32, n)
+	ParallelFor(p, n, 64, func(lo, hi, worker int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestParallelForEdgeCases(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	ParallelFor(p, 0, 10, func(lo, hi, w int) { t.Error("called for n=0") })
+	ran := int32(0)
+	ParallelFor(p, 1, 0, func(lo, hi, w int) { atomic.AddInt32(&ran, 1) }) // grain<=0 normalized
+	if ran != 1 {
+		t.Errorf("n=1 ran %d times", ran)
+	}
+}
+
+func TestParallelForUsesMultipleWorkers(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("single CPU")
+	}
+	p := NewPool(4)
+	defer p.Close()
+	var used [4]int32
+	ParallelFor(p, 4000, 1, func(lo, hi, worker int) {
+		atomic.AddInt32(&used[worker], 1)
+		time.Sleep(10 * time.Microsecond)
+	})
+	distinct := 0
+	for _, u := range used {
+		if u > 0 {
+			distinct++
+		}
+	}
+	if distinct < 2 {
+		t.Errorf("only %d workers participated", distinct)
+	}
+	if p.Steals() == 0 {
+		t.Error("no steals recorded despite fine-grained imbalance")
+	}
+}
+
+func TestAccumulators(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	acc := NewAccumulators(p.NumWorkers())
+	const n = 50000
+	ParallelFor(p, n, 128, func(lo, hi, worker int) {
+		for i := lo; i < hi; i++ {
+			acc.Add(worker, float64(i))
+		}
+	})
+	want := float64(n) * float64(n-1) / 2
+	if got := acc.Sum(); got != want {
+		t.Fatalf("Sum = %v want %v", got, want)
+	}
+	acc.Reset()
+	if acc.Sum() != 0 {
+		t.Error("Reset did not zero")
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	p.Run(func(w *Worker) {
+		for i := 0; i < 10; i++ {
+			w.Spawn(func(*Worker) {})
+		}
+		panic("boom")
+	})
+}
+
+func TestPoolSurvivesPanic(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	func() {
+		defer func() { recover() }()
+		p.Run(func(w *Worker) { panic("first") })
+	}()
+	// The pool must still work.
+	ran := int32(0)
+	p.Run(func(w *Worker) { atomic.AddInt32(&ran, 1) })
+	if ran != 1 {
+		t.Fatal("pool broken after panic")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close()
+}
+
+func TestSingleWorkerPool(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	var order []int
+	p.Run(func(w *Worker) {
+		for i := 0; i < 5; i++ {
+			i := i
+			w.Spawn(func(*Worker) { order = append(order, i) })
+		}
+	})
+	if len(order) != 5 {
+		t.Fatalf("ran %d tasks", len(order))
+	}
+	// Single worker pops LIFO, so spawned tasks run in reverse order.
+	for i, v := range order {
+		if v != 4-i {
+			t.Fatalf("order = %v, want LIFO", order)
+		}
+	}
+}
+
+func TestStressRandomTrees(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 10; round++ {
+		var count int64
+		expected := int64(1)
+		var build func(fanout, depth int) Task
+		build = func(fanout, depth int) Task {
+			return func(w *Worker) {
+				atomic.AddInt64(&count, 1)
+				if depth == 0 {
+					return
+				}
+				for i := 0; i < fanout; i++ {
+					w.Spawn(build(fanout, depth-1))
+				}
+			}
+		}
+		fanout := 1 + rng.Intn(4)
+		depth := 1 + rng.Intn(6)
+		expected = 0
+		pow := int64(1)
+		for d := 0; d <= depth; d++ {
+			expected += pow
+			pow *= int64(fanout)
+		}
+		p.Run(build(fanout, depth))
+		if count != expected {
+			t.Fatalf("round %d: count=%d want %d (fanout=%d depth=%d)",
+				round, count, expected, fanout, depth)
+		}
+	}
+}
+
+func TestNewPoolDefaultSize(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.NumWorkers() != runtime.GOMAXPROCS(0) {
+		t.Errorf("default pool size %d", p.NumWorkers())
+	}
+}
+
+func BenchmarkParallelForSum(b *testing.B) {
+	p := NewPool(0)
+	defer p.Close()
+	acc := NewAccumulators(p.NumWorkers())
+	data := make([]float64, 1<<20)
+	for i := range data {
+		data[i] = float64(i % 97)
+	}
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		acc.Reset()
+		ParallelFor(p, len(data), 4096, func(lo, hi, w int) {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += data[i]
+			}
+			acc.Add(w, s)
+		})
+	}
+}
+
+func BenchmarkSpawnOverhead(b *testing.B) {
+	p := NewPool(0)
+	defer p.Close()
+	b.ResetTimer()
+	p.Run(func(w *Worker) {
+		for i := 0; i < b.N; i++ {
+			w.Spawn(func(*Worker) {})
+		}
+	})
+}

@@ -1,0 +1,139 @@
+// Package stats provides the small statistics helpers the benchmark
+// harness needs: running summaries (the paper reports min/max over 20 runs
+// for Figure 6 and avg ± std for Figure 10), percentage-error helpers and
+// simple timing accumulation.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary accumulates a stream of float64 observations.
+// The zero value is ready to use.
+type Summary struct {
+	n          int
+	mean, m2   float64 // Welford running mean and sum of squared deviations
+	min, max   float64
+	sum        float64
+	hasExtrema bool
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	s.sum += x
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	if !s.hasExtrema {
+		s.min, s.max = x, x
+		s.hasExtrema = true
+		return
+	}
+	if x < s.min {
+		s.min = x
+	}
+	if x > s.max {
+		s.max = x
+	}
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Sum returns the sum of all observations.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean (0 for no observations).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the population variance.
+func (s *Summary) Var() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// Std returns the population standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 for none).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 for none).
+func (s *Summary) Max() float64 { return s.max }
+
+// String implements fmt.Stringer.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g std=%.3g min=%.6g max=%.6g",
+		s.n, s.Mean(), s.Std(), s.min, s.max)
+}
+
+// Summarize builds a Summary from a slice.
+func Summarize(xs []float64) *Summary {
+	var s Summary
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return &s
+}
+
+// Median returns the median of xs (0 for empty input). xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// PercentError returns 100·(got−want)/want, the paper's "% of difference
+// with Naïve". It returns 0 when want is 0 and got is 0, and ±Inf when
+// only want is 0.
+func PercentError(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(sign(got))
+	}
+	return 100 * (got - want) / want
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// Speedup returns base/t — how many times faster t is than base.
+// It returns +Inf for t == 0.
+func Speedup(base, t time.Duration) float64 {
+	if t == 0 {
+		return math.Inf(1)
+	}
+	return float64(base) / float64(t)
+}
+
+// Repeat runs fn `runs` times and returns a Summary of the wall-clock
+// seconds per run. The paper runs each configuration 20 times and plots
+// min and max (Figure 6), or averages 10 runs (Figure 8).
+func Repeat(runs int, fn func()) *Summary {
+	var s Summary
+	for i := 0; i < runs; i++ {
+		t0 := time.Now()
+		fn()
+		s.Add(time.Since(t0).Seconds())
+	}
+	return &s
+}

@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N() != 4 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 2.5 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 4 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Sum() != 10 {
+		t.Errorf("Sum = %v", s.Sum())
+	}
+	wantVar := (1.5*1.5 + 0.5*0.5 + 0.5*0.5 + 1.5*1.5) / 4
+	if math.Abs(s.Var()-wantVar) > 1e-12 {
+		t.Errorf("Var = %v want %v", s.Var(), wantVar)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("zero Summary not all-zero")
+	}
+}
+
+func TestSummaryMatchesDirectComputation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 1000)
+	var sum float64
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 7
+		sum += xs[i]
+	}
+	mean := sum / float64(len(xs))
+	var m2 float64
+	mn, mx := xs[0], xs[0]
+	for _, x := range xs {
+		m2 += (x - mean) * (x - mean)
+		mn = math.Min(mn, x)
+		mx = math.Max(mx, x)
+	}
+	s := Summarize(xs)
+	if math.Abs(s.Mean()-mean) > 1e-9 {
+		t.Errorf("mean %v vs %v", s.Mean(), mean)
+	}
+	if math.Abs(s.Var()-m2/float64(len(xs))) > 1e-9 {
+		t.Errorf("var %v vs %v", s.Var(), m2/float64(len(xs)))
+	}
+	if s.Min() != mn || s.Max() != mx {
+		t.Errorf("extrema %v/%v vs %v/%v", s.Min(), s.Max(), mn, mx)
+	}
+}
+
+func TestSummaryMinLEMeanLEMax(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min() <= s.Mean()+1e-9*math.Abs(s.Mean()) &&
+			s.Mean() <= s.Max()+1e-9*math.Abs(s.Max())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Error("Median(nil) != 0")
+	}
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("Median odd = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("Median even = %v", got)
+	}
+	// Median must not modify its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Median reordered input slice")
+	}
+}
+
+func TestPercentError(t *testing.T) {
+	if got := PercentError(-1.47, -1.47); got != 0 {
+		t.Errorf("PercentError equal = %v", got)
+	}
+	if got := PercentError(110, 100); math.Abs(got-10) > 1e-12 {
+		t.Errorf("PercentError = %v", got)
+	}
+	if got := PercentError(0, 0); got != 0 {
+		t.Errorf("PercentError(0,0) = %v", got)
+	}
+	if !math.IsInf(PercentError(1, 0), 1) {
+		t.Error("PercentError(1,0) should be +Inf")
+	}
+	if !math.IsInf(PercentError(-1, 0), -1) {
+		t.Error("PercentError(-1,0) should be -Inf")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(40*time.Second, 10*time.Second); got != 4 {
+		t.Errorf("Speedup = %v", got)
+	}
+	if !math.IsInf(Speedup(time.Second, 0), 1) {
+		t.Error("Speedup with zero time should be +Inf")
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	calls := 0
+	s := Repeat(5, func() { calls++ })
+	if calls != 5 || s.N() != 5 {
+		t.Errorf("Repeat ran %d times, summary n=%d", calls, s.N())
+	}
+	if s.Min() < 0 {
+		t.Error("negative duration")
+	}
+}

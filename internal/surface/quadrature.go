@@ -1,0 +1,60 @@
+package surface
+
+// Dunavant symmetric Gaussian quadrature rules on the triangle
+// (D. Dunavant, "High degree efficient symmetrical Gaussian quadrature
+// rules for the triangle", IJNME 21(6), 1985 — reference [11] of the
+// paper). Each rule lists barycentric points with weights that sum to 1;
+// multiplying by the triangle area yields the surface weights w_k of
+// Eq. 4. The paper uses "a constant number of quadrature points per
+// triangle".
+type baryPoint struct {
+	l1, l2, l3 float64 // barycentric coordinates
+	w          float64 // weight, normalized so the rule sums to 1
+}
+
+// quadRules[d] is the Dunavant rule of degree d.
+var quadRules = map[int][]baryPoint{
+	// Degree 1: centroid rule, exact for linear functions.
+	1: {
+		{1.0 / 3, 1.0 / 3, 1.0 / 3, 1.0},
+	},
+	// Degree 2: 3 points, exact for quadratics.
+	2: {
+		{2.0 / 3, 1.0 / 6, 1.0 / 6, 1.0 / 3},
+		{1.0 / 6, 2.0 / 3, 1.0 / 6, 1.0 / 3},
+		{1.0 / 6, 1.0 / 6, 2.0 / 3, 1.0 / 3},
+	},
+	// Degree 3: 4 points (one negative weight, the classical rule).
+	3: {
+		{1.0 / 3, 1.0 / 3, 1.0 / 3, -0.5625},
+		{0.6, 0.2, 0.2, 0.5208333333333333},
+		{0.2, 0.6, 0.2, 0.5208333333333333},
+		{0.2, 0.2, 0.6, 0.5208333333333333},
+	},
+	// Degree 4: 6 points, all weights positive.
+	4: {
+		{0.108103018168070, 0.445948490915965, 0.445948490915965, 0.223381589678011},
+		{0.445948490915965, 0.108103018168070, 0.445948490915965, 0.223381589678011},
+		{0.445948490915965, 0.445948490915965, 0.108103018168070, 0.223381589678011},
+		{0.816847572980459, 0.091576213509771, 0.091576213509771, 0.109951743655322},
+		{0.091576213509771, 0.816847572980459, 0.091576213509771, 0.109951743655322},
+		{0.091576213509771, 0.091576213509771, 0.816847572980459, 0.109951743655322},
+	},
+	// Degree 5: 7 points.
+	5: {
+		{1.0 / 3, 1.0 / 3, 1.0 / 3, 0.225},
+		{0.059715871789770, 0.470142064105115, 0.470142064105115, 0.132394152788506},
+		{0.470142064105115, 0.059715871789770, 0.470142064105115, 0.132394152788506},
+		{0.470142064105115, 0.470142064105115, 0.059715871789770, 0.132394152788506},
+		{0.797426985353087, 0.101286507323456, 0.101286507323456, 0.125939180544827},
+		{0.101286507323456, 0.797426985353087, 0.101286507323456, 0.125939180544827},
+		{0.101286507323456, 0.101286507323456, 0.797426985353087, 0.125939180544827},
+	},
+}
+
+// QuadratureDegrees returns the available rule degrees in ascending order.
+func QuadratureDegrees() []int { return []int{1, 2, 3, 4, 5} }
+
+// PointsPerTriangle returns how many q-points the rule of the given
+// degree places on each triangle (0 for an unknown degree).
+func PointsPerTriangle(degree int) int { return len(quadRules[degree]) }

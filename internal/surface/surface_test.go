@@ -1,0 +1,321 @@
+package surface
+
+import (
+	"math"
+	"testing"
+
+	"gbpolar/internal/geom"
+	"gbpolar/internal/molecule"
+)
+
+func TestIcosphereCounts(t *testing.T) {
+	for level := 0; level <= 3; level++ {
+		m := Icosphere(level)
+		wantFaces := 20 * pow4(level)
+		if m.NumFaces() != wantFaces {
+			t.Errorf("level %d: %d faces, want %d", level, m.NumFaces(), wantFaces)
+		}
+		// Euler characteristic of a sphere: V - E + F = 2, E = 3F/2.
+		wantVerts := 2 + wantFaces/2
+		if len(m.Verts) != wantVerts {
+			t.Errorf("level %d: %d verts, want %d", level, len(m.Verts), wantVerts)
+		}
+	}
+}
+
+func TestIcosphereVertsOnUnitSphere(t *testing.T) {
+	m := Icosphere(3)
+	for i, v := range m.Verts {
+		if math.Abs(v.Norm()-1) > 1e-12 {
+			t.Fatalf("vertex %d has norm %v", i, v.Norm())
+		}
+	}
+}
+
+func TestIcosphereAreaVolumeConverge(t *testing.T) {
+	// Polyhedral area/volume approach 4π and 4π/3 from below.
+	prevA, prevV := 0.0, 0.0
+	for level := 0; level <= 4; level++ {
+		m := Icosphere(level)
+		a, v := m.Area(), m.Volume()
+		if a <= prevA || v <= prevV {
+			t.Fatalf("level %d: area/volume not increasing (%v, %v)", level, a, v)
+		}
+		if a > 4*math.Pi || v > 4*math.Pi/3 {
+			t.Fatalf("level %d: exceeded sphere area/volume (%v, %v)", level, a, v)
+		}
+		prevA, prevV = a, v
+	}
+	if prevA < 4*math.Pi*0.99 {
+		t.Errorf("area %v did not converge to 4π", prevA)
+	}
+	if prevV < 4*math.Pi/3*0.98 {
+		t.Errorf("volume %v did not converge to 4π/3", prevV)
+	}
+}
+
+func TestQuadratureWeightsSumToOne(t *testing.T) {
+	for _, d := range QuadratureDegrees() {
+		var sum float64
+		for _, bp := range quadRules[d] {
+			sum += bp.w
+			if math.Abs(bp.l1+bp.l2+bp.l3-1) > 1e-12 {
+				t.Errorf("degree %d: barycentric coords sum to %v", d, bp.l1+bp.l2+bp.l3)
+			}
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("degree %d: weights sum to %v", d, sum)
+		}
+	}
+}
+
+func TestPointsPerTriangle(t *testing.T) {
+	want := map[int]int{1: 1, 2: 3, 3: 4, 4: 6, 5: 7}
+	for d, n := range want {
+		if got := PointsPerTriangle(d); got != n {
+			t.Errorf("degree %d: %d points, want %d", d, got, n)
+		}
+	}
+	if PointsPerTriangle(99) != 0 {
+		t.Error("unknown degree should give 0 points")
+	}
+}
+
+// surfaceIntegralOne computes ∮ dA via the q-point weights; it must equal
+// the mesh area for every rule (the rule integrates constants exactly).
+func TestSphereSurfaceWeightsIntegrateArea(t *testing.T) {
+	for _, d := range QuadratureDegrees() {
+		s, err := SphereSurface(geom.Vec3{}, 2.0, 3, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, p := range s.Points {
+			sum += p.Weight
+		}
+		if math.Abs(sum-s.Area) > 1e-9*s.Area {
+			t.Errorf("degree %d: weights sum %v != area %v", d, sum, s.Area)
+		}
+	}
+}
+
+// The divergence theorem on the closed surface: (1/3)∮ p·n dA = volume.
+// This is the core consistency property Eq. 4 relies on.
+func TestSphereSurfaceDivergenceTheorem(t *testing.T) {
+	center := geom.V(1, -2, 0.5)
+	radius := 3.0
+	s, err := SphereSurface(center, radius, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vol float64
+	for _, p := range s.Points {
+		vol += p.Pos.Sub(center).Dot(p.Normal) * p.Weight
+	}
+	vol /= 3
+	wantPoly := Icosphere(4).Volume() * radius * radius * radius
+	if math.Abs(vol-wantPoly) > 1e-6*wantPoly {
+		t.Errorf("divergence-theorem volume %v, mesh volume %v", vol, wantPoly)
+	}
+}
+
+func TestSphereSurfaceBadDegree(t *testing.T) {
+	if _, err := SphereSurface(geom.Vec3{}, 1, 2, 42); err == nil {
+		t.Error("unknown quadrature degree should error")
+	}
+}
+
+func TestForMoleculeEmpty(t *testing.T) {
+	if _, err := ForMolecule(&molecule.Molecule{}, Options{}); err == nil {
+		t.Error("empty molecule should error")
+	}
+}
+
+func TestForMoleculeEnclosesAtoms(t *testing.T) {
+	m := molecule.GenProtein("enc", 600, 21)
+	s, err := ForMolecule(m, Options{SubdivisionLevel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPoints() == 0 {
+		t.Fatal("no q-points")
+	}
+	// Every q-point should be outside (or very near) the vdW sphere of
+	// every atom: the surface never dives inside the molecule. Smoothing
+	// can pull the surface slightly inside the probe-inflated boundary
+	// but never into the atoms themselves.
+	for _, a := range m.Atoms {
+		for _, p := range s.Points {
+			if p.Pos.Dist(a.Pos) < a.Radius-0.5 {
+				t.Fatalf("q-point %v is %.2f Å from atom center (radius %.2f)",
+					p.Pos, p.Pos.Dist(a.Pos), a.Radius)
+			}
+		}
+		break // spot-check the first atom pair loop below instead
+	}
+	c := geom.Centroid(m.Positions())
+	for _, p := range s.Points {
+		if p.Pos.Dist(c) < 2 {
+			t.Fatalf("q-point collapsed to centroid: %v", p.Pos)
+		}
+	}
+}
+
+func TestForMoleculeNormalsUnitAndOutward(t *testing.T) {
+	m := molecule.GenProtein("norm", 400, 22)
+	s, err := ForMolecule(m, Options{SubdivisionLevel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := geom.Centroid(m.Positions())
+	outward := 0
+	for _, p := range s.Points {
+		if math.Abs(p.Normal.Norm()-1) > 1e-9 {
+			t.Fatalf("normal %v not unit", p.Normal)
+		}
+		if p.Normal.Dot(p.Pos.Sub(c)) > 0 {
+			outward++
+		}
+	}
+	if frac := float64(outward) / float64(s.NumPoints()); frac < 0.99 {
+		t.Errorf("only %.1f%% of normals point outward", 100*frac)
+	}
+}
+
+func TestForMoleculeWeightsPositiveForEvenDegrees(t *testing.T) {
+	m := molecule.GenProtein("w", 300, 23)
+	s, err := ForMolecule(m, Options{SubdivisionLevel: 3, QuadratureDegree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var area float64
+	for _, p := range s.Points {
+		if p.Weight <= 0 {
+			t.Fatalf("non-positive weight %v", p.Weight)
+		}
+		area += p.Weight
+	}
+	if math.Abs(area-s.Area) > 1e-9*s.Area {
+		t.Errorf("weights sum %v != area %v", area, s.Area)
+	}
+}
+
+func TestForMoleculeDivergenceVolumePlausible(t *testing.T) {
+	// Volume from the divergence theorem must be close to the ball volume
+	// implied by the generator's packing density.
+	n := 2000
+	m := molecule.GenProtein("vol", n, 24)
+	s, err := ForMolecule(m, Options{SubdivisionLevel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vol float64
+	for _, p := range s.Points {
+		vol += p.Pos.Dot(p.Normal) * p.Weight
+	}
+	vol /= 3
+	// Expected: n lattice cells of spacing³ plus the probe layer.
+	inner := float64(n) * 2.2 * 2.2 * 2.2
+	if vol < inner || vol > 3.5*inner {
+		t.Errorf("surface volume %v implausible vs packed volume %v", vol, inner)
+	}
+}
+
+func TestForMoleculeAutoLevelScales(t *testing.T) {
+	small := molecule.GenProtein("s", 100, 25)
+	big := molecule.GenProtein("b", 20000, 26)
+	ss, err := ForMolecule(small, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := ForMolecule(big, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.Level <= ss.Level {
+		t.Errorf("auto level did not grow with molecule size: %d vs %d", ss.Level, sb.Level)
+	}
+}
+
+func TestSurfaceApplyTransform(t *testing.T) {
+	m := molecule.GenLigand("l", 30, 27)
+	s, err := ForMolecule(m, Options{SubdivisionLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]Point, len(s.Points))
+	copy(before, s.Points)
+	tr := geom.RotateAxis(geom.V(0, 0, 1), math.Pi/2)
+	s.ApplyTransform(tr)
+	for i := range s.Points {
+		if math.Abs(s.Points[i].Normal.Norm()-1) > 1e-9 {
+			t.Fatal("transform broke normal length")
+		}
+		if s.Points[i].Weight != before[i].Weight {
+			t.Fatal("transform changed weights")
+		}
+		wantPos := tr.Apply(before[i].Pos)
+		if s.Points[i].Pos.Dist(wantPos) > 1e-9 {
+			t.Fatal("transform moved point incorrectly")
+		}
+	}
+}
+
+func TestCapsidSurfaceHasBothBoundaries(t *testing.T) {
+	m := molecule.GenCapsid("cap", 3000, 30, 38, 28)
+	s, err := ForMolecule(m, Options{SubdivisionLevel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hollow shell gets two boundaries: the outer surface near
+	// outerR+probe with outward normals, and the inner cavity boundary
+	// near innerR−probe with normals pointing INTO the cavity (outward
+	// from the material).
+	inner, outer := 0, 0
+	for _, p := range s.Points {
+		r := p.Pos.Norm()
+		radial := p.Normal.Dot(p.Pos.Unit())
+		switch {
+		case r > 33 && r < 45:
+			outer++
+			if radial < 0 {
+				t.Fatalf("outer point at r=%.1f has inward normal", r)
+			}
+		case r > 22 && r < 31:
+			inner++
+			if radial > 0 {
+				t.Fatalf("inner point at r=%.1f has outward normal", r)
+			}
+		default:
+			t.Fatalf("capsid surface point at radius %.2f, outside both boundary bands", r)
+		}
+	}
+	if outer == 0 || inner == 0 {
+		t.Fatalf("boundaries missing: %d outer, %d inner points", outer, inner)
+	}
+}
+
+func TestSolidProteinHasNoInnerSurface(t *testing.T) {
+	m := molecule.GenProtein("solid", 800, 29)
+	s, err := ForMolecule(m, Options{SubdivisionLevel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every point of a solid molecule's surface has an outward normal.
+	c := geom.Centroid(m.Positions())
+	for _, p := range s.Points {
+		if p.Normal.Dot(p.Pos.Sub(c)) < 0 {
+			t.Fatalf("solid protein produced an inward-facing point at %v", p.Pos)
+		}
+	}
+}
+
+func BenchmarkForMolecule5k(b *testing.B) {
+	m := molecule.GenProtein("bench", 5000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ForMolecule(m, Options{SubdivisionLevel: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

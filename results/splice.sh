@@ -1,0 +1,28 @@
+#!/bin/sh
+# Regenerate only the named experiments and splice them into
+# paper_replication.txt (used after changes that affect a subset of the
+# figures; a full `gbbench -exp all` regeneration is equivalent).
+set -e
+cd "$(dirname "$0")/.."
+for exp in "$@"; do
+	go run ./cmd/gbbench -exp "$exp" >"results/.$exp.txt"
+done
+python3 - "$@" <<'EOF'
+import re, sys
+path = "results/paper_replication.txt"
+text = open(path).read()
+# Split into sections keyed by the table IDs they contain.
+for exp in sys.argv[1:]:
+    new = open(f"results/.{exp}.txt").read()
+    ids = re.findall(r"^== ([\w-]+):", new, re.M)
+    for i, tid in enumerate(ids):
+        pat = re.compile(rf"^== {re.escape(tid)}:.*?(?=^== |\Z)", re.M | re.S)
+        seg = re.compile(rf"^== {re.escape(tid)}:.*?(?=^== |\Z)", re.M | re.S).search(new).group(0)
+        if pat.search(text):
+            text = pat.sub(lambda m: seg, text, count=1)
+        else:
+            text += "\n" + seg
+open(path, "w").write(text)
+EOF
+rm -f results/.*.txt
+echo "spliced: $*"
