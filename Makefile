@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check build test vet race bench-warm
+
+## check: the tier-1 gate — vet, build, full test suite.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+## race: the concurrency-heavy packages under the race detector.
+race:
+	$(GO) test -race ./internal/core/ ./internal/sched/ ./internal/cluster/
+
+## bench-warm: the warm-engine pose-scan pair (EXPERIMENTS.md extD).
+bench-warm:
+	$(GO) test -run '^$$' -bench 'BenchmarkComputeWarm' -benchtime 3x -count 2 .

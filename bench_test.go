@@ -6,11 +6,13 @@
 package gbpolar
 
 import (
+	"runtime"
 	"testing"
 
 	"gbpolar/internal/bench"
 	"gbpolar/internal/cluster"
 	"gbpolar/internal/core"
+	"gbpolar/internal/geom"
 	"gbpolar/internal/mathx"
 	"gbpolar/internal/molecule"
 	"gbpolar/internal/nblist"
@@ -207,6 +209,37 @@ func BenchmarkAblationBornDualTree(b *testing.B) {
 		b.ReportMetric(ops, "kernel-ops")
 	}
 }
+
+// Warm-engine repeated evaluation — the docking pose-scan workload. The
+// compiled variant reuses the interaction lists built on the first call
+// (rigid motion preserves the near/far classification); the recursive
+// variant re-runs the reference traversal from the root every pose. The
+// pool is sized to the machine: oversubscribing workers on a small host
+// adds scheduler churn to both variants and drowns the signal.
+// EXPERIMENTS.md records the measured gap.
+func benchComputeWarm(b *testing.B, recursive bool) {
+	b.Helper()
+	sys := benchSystem(b, 40000, core.DefaultParams())
+	pool := sched.NewPool(runtime.GOMAXPROCS(0))
+	defer pool.Close()
+	opts := core.SharedOptions{Pool: pool, Recursive: recursive}
+	if _, err := core.RunShared(sys, opts); err != nil { // warm-up: compile lists
+		b.Fatal(err)
+	}
+	step := geom.Translate(geom.V(1.5, -0.7, 0.9)).Compose(geom.RotateAxis(geom.V(0, 0, 1), 0.05))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.ApplyRigidTransform(step)
+		res, err := core.RunShared(sys, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Ops, "kernel-ops")
+	}
+}
+
+func BenchmarkComputeWarmCompiled(b *testing.B)  { benchComputeWarm(b, false) }
+func BenchmarkComputeWarmRecursive(b *testing.B) { benchComputeWarm(b, true) }
 
 // End-to-end engine benchmarks at growing sizes (scaling sanity).
 func benchEngine(b *testing.B, atoms int) {

@@ -90,4 +90,41 @@ func main() {
 	for _, r := range results[:5] {
 		fmt.Printf("  pose %2d: ΔE_pol = %+8.3f kcal/mol\n", r.pose, r.dE)
 	}
+
+	// Warm-engine rescan (DESIGN.md §6). The first Compute on an engine
+	// records each traversal's near/far decomposition as interaction
+	// lists; Repose moves the whole system rigidly, which preserves the
+	// decomposition, so every later Compute replays the recorded lists
+	// with batched kernels instead of re-traversing from the octree
+	// roots. For a pose scan, keep ONE engine alive and Repose it —
+	// don't rebuild an engine per pose.
+	best := results[0]
+	angle := 2 * math.Pi * float64(best.pose) / poses
+	posed := ligand.Clone()
+	posed.ApplyTransform(geom.Translate(geom.V(
+		(surfaceR+3)*math.Cos(angle),
+		(surfaceR+3)*math.Sin(angle),
+		0,
+	)).Compose(geom.RotateAxis(geom.V(0, 0, 1), angle)))
+	complexMol := gbpolar.MergeMolecules("complex", receptor, posed)
+	eng, err := gbpolar.NewEngine(complexMol, gbpolar.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cold := time.Now()
+	if _, err := eng.Compute(); err != nil { // compiles the lists
+		log.Fatal(err)
+	}
+	coldT := time.Since(cold)
+	step := geom.RotateAxis(geom.V(0, 1, 0), 2*math.Pi/16)
+	warm := time.Now()
+	for i := 0; i < 16; i++ {
+		eng.Repose(step) // rigid: lists stay valid
+		if _, err := eng.Compute(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	warmT := time.Since(warm) / 16
+	fmt.Printf("best complex: cold evaluation %v, warm evaluations %v/pose\n",
+		coldT.Round(time.Millisecond), warmT.Round(time.Millisecond))
 }

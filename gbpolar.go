@@ -241,19 +241,14 @@ func (e *Engine) ComputeGradient() *Gradient {
 // Repose rigidly moves the molecule, surface and both octrees without
 // rebuilding anything — the paper's docking workload (Section IV.C,
 // Step 1: "we can move the same octree to different positions or rotate
-// it ... by multiplying with proper transformation matrices").
+// it ... by multiplying with proper transformation matrices"). Rigid
+// motion preserves the near/far classification, so the engine's compiled
+// interaction lists stay warm across poses: a pose scan pays the
+// traversal cost once, then every Compute* is a pure list sweep.
 func (e *Engine) Repose(t Transform) {
 	e.mol.ApplyTransform(t)
 	e.surf.ApplyTransform(t)
-	e.sys.Atoms.ApplyTransform(t)
-	e.sys.QPts.ApplyTransform(t)
-	// Rotate the aggregated surface normals too.
-	for i := range e.sys.WN {
-		e.sys.WN[i] = t.ApplyVector(e.sys.WN[i])
-	}
-	for i := range e.sys.QNodeWN {
-		e.sys.QNodeWN[i] = t.ApplyVector(e.sys.QNodeWN[i])
-	}
+	e.sys.ApplyRigidTransform(t)
 }
 
 // GenerateProtein deterministically generates a packed protein-like test

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"gbpolar/internal/geom"
 	"gbpolar/internal/octree"
 )
 
@@ -56,6 +57,21 @@ func (s *System) bornMAC() float64 {
 	return looseMACFactor(s.Params.EpsBorn)
 }
 
+// farSeparated is THE far-field opening test, shared by every recursive
+// traversal (ApproxIntegrals, DualTreeIntegrals, ApproxEpol, expandPairs)
+// and by the interaction-list compiler (ilist.go), so the compiled lists
+// cannot drift from the recursive reference paths. Two clusters with
+// centers ca/cb and enclosing radii ra/rb are far enough to interact
+// through their aggregates when dist(ca,cb) > (ra+rb)·mac. The center
+// offset cb−ca and its squared norm are returned because the far-field
+// kernels reuse both. Sqrt-free, like the traversals.
+func farSeparated(ca, cb geom.Vec3, ra, rb, mac float64) (d geom.Vec3, d2 float64, far bool) {
+	d = cb.Sub(ca)
+	d2 = d.Norm2()
+	s := (ra + rb) * mac
+	return d, d2, d2 > s*s
+}
+
 // bornDenom returns the kernel denominator |r|⁶ or |r|⁴ from |r|².
 func bornDenom(r2 float64, k BornKernel) float64 {
 	if k == R4 {
@@ -67,6 +83,12 @@ func bornDenom(r2 float64, k BornKernel) float64 {
 // bornAccum is one worker's private set of s-fields: s_A per atoms-octree
 // node and s_a per atom slot (Figure 2). Workers accumulate privately and
 // the runner merges, so the parallel traversal needs no atomics.
+//
+// The struct is kept at exactly 64 bytes (two slice headers + two
+// floats) so that each heap-allocated accumulator lands in the 64-byte
+// size class and occupies a cache line alone: the hot ops/maxTask
+// updates of adjacent workers then never false-share
+// (TestAccumulatorsCacheLineSized pins the size).
 type bornAccum struct {
 	node []float64
 	atom []float64
@@ -108,12 +130,11 @@ func (b *bornAccum) add(o *bornAccum) {
 func ApproxIntegrals(sys *System, acc *bornAccum, aNode, qLeaf int32, mac float64) {
 	a := &sys.Atoms.Nodes[aNode]
 	q := &sys.QPts.Nodes[qLeaf]
-	d := q.Center.Sub(a.Center)
-	d2 := d.Norm2()
+	d, d2, far := farSeparated(a.Center, q.Center, a.Radius, q.Radius, mac)
 	acc.ops++ // node-pair visit
 
 	kern := sys.Params.Kernel
-	if s := (a.Radius + q.Radius) * mac; d2 > s*s {
+	if far {
 		// Far enough: treat Q as a single pseudo-q-point at its center.
 		acc.node[aNode] += sys.QNodeWN[qLeaf].Dot(d) / bornDenom(d2, kern)
 		return
@@ -154,7 +175,11 @@ func ApproxIntegrals(sys *System, acc *bornAccum, aNode, qLeaf int32, mac float6
 func PushIntegralsToAtoms(sys *System, acc *bornAccum, loSlot, hiSlot int, out []float64) float64 {
 	t := sys.Atoms
 	k := sys.kern()
-	inherit := make([]float64, t.NumNodes())
+	// The downward-inheritance vector is pure scratch: borrow it from the
+	// System pool instead of allocating NumNodes floats on every call
+	// (once per rank per run, and once per pose in warm-engine scans).
+	inherit := sys.grabNodeScratch()
+	defer sys.releaseNodeScratch(inherit)
 	for i := range t.Nodes {
 		n := &t.Nodes[i]
 		if n.IsLeaf {

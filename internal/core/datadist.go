@@ -166,8 +166,7 @@ func collectLET(sys *System, ctx *EpolContext, uNode, vLeaf int32, owned, ghost,
 		}
 		return
 	}
-	d2 := u.Center.Dist2(v.Center)
-	if s := (u.Radius + v.Radius) * ctx.farFactor; d2 > s*s {
+	if _, _, far := farSeparated(v.Center, u.Center, v.Radius, u.Radius, ctx.farFactor); far {
 		aggs[uNode] = true
 		return
 	}

@@ -21,12 +21,11 @@ import (
 func DualTreeIntegrals(sys *System, acc *bornAccum, aNode, qNode int32, mac float64) {
 	a := &sys.Atoms.Nodes[aNode]
 	q := &sys.QPts.Nodes[qNode]
-	d := q.Center.Sub(a.Center)
-	d2 := d.Norm2()
+	d, d2, far := farSeparated(a.Center, q.Center, a.Radius, q.Radius, mac)
 	acc.ops++
 
 	kern := sys.Params.Kernel
-	if s := (a.Radius + q.Radius) * mac; d2 > s*s {
+	if far {
 		acc.node[aNode] += sys.QNodeWN[qNode].Dot(d) / bornDenom(d2, kern)
 		return
 	}
@@ -79,9 +78,8 @@ func expandPairs(sys *System, mac float64, minPairs int) []treePair {
 		for _, pr := range frontier {
 			a := &sys.Atoms.Nodes[pr.a]
 			q := &sys.QPts.Nodes[pr.q]
-			d2 := q.Center.Dist2(a.Center)
-			s := (a.Radius + q.Radius) * mac
-			if d2 > s*s || (a.IsLeaf && q.IsLeaf) {
+			_, _, far := farSeparated(a.Center, q.Center, a.Radius, q.Radius, mac)
+			if far || (a.IsLeaf && q.IsLeaf) {
 				next = append(next, pr) // terminal: keep as one unit
 				continue
 			}

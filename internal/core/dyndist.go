@@ -90,20 +90,23 @@ func RunDistributedDynamic(sys *System, cfg cluster.Config) (*Result, *DynStats,
 func bornPhase(sys *System, c *Comm, pool *sched.Pool, out *rankOut) ([]float64, error) {
 	P, rank := c.Size(), c.Rank()
 	p := pool.NumWorkers()
-	mac := sys.bornMAC()
 	qLeaves := sys.QPts.Leaves()
 	nNodes := sys.Atoms.NumNodes()
 	nAtoms := sys.Mol.NumAtoms()
 
+	// Ranks share the System's compiled lists (first caller compiles,
+	// the rest reuse); Born row i is qLeaves[i], so this rank's segment
+	// maps directly onto rows [lo,hi).
+	il := sys.Lists(pool).Born
 	lo, hi := segment(len(qLeaves), P, rank)
 	accs := make([]*bornAccum, p)
 	for i := range accs {
 		accs[i] = newBornAccum(sys)
 	}
-	sched.ParallelFor(pool, hi-lo, 1, func(l, h, w int) {
+	sched.ParallelFor(pool, hi-lo, rowGrain(hi-lo, p), func(l, h, w int) {
 		for i := l; i < h; i++ {
 			before := accs[w].ops
-			ApproxIntegrals(sys, accs[w], sys.Atoms.Root(), qLeaves[lo+i], mac)
+			bornRow(sys, il, lo+i, accs[w])
 			if d := accs[w].ops - before; d > accs[w].maxTask {
 				accs[w].maxTask = d
 			}
@@ -151,6 +154,8 @@ type dynEpol struct {
 	c     *Comm
 	pool  *sched.Pool
 	ctx   *EpolContext
+	il    *InteractionLists // compiled E_pol lists; row i is leaves[i]
+	conv  [][]float64       // per-worker far-field convolution scratch
 	st    *DynStats
 	out   *rankOut
 	eaccs []epolAccum
@@ -180,9 +185,11 @@ func dynRank(sys *System, c *Comm, out *rankOut, st *DynStats) error {
 	d := &dynEpol{
 		sys: sys, c: c, pool: pool, st: st, out: out,
 		ctx:    NewEpolContext(sys, slotRadii),
+		il:     sys.Lists(pool).Epol,
 		eaccs:  make([]epolAccum, pool.NumWorkers()),
 		leaves: sys.Atoms.Leaves(),
 	}
+	d.conv = newConvScratch(d.ctx, pool.NumWorkers())
 	d.front, d.back = segment(len(d.leaves), P, rank)
 	d.batch = (d.back - d.front) / 64
 	if d.batch < 1 {
@@ -220,7 +227,7 @@ func dynRank(sys *System, c *Comm, out *rankOut, st *DynStats) error {
 func (d *dynEpol) processRange(l, h int) {
 	sched.ParallelFor(d.pool, h-l, 1, func(pl, ph, w int) {
 		for i := pl; i < ph; i++ {
-			ApproxEpol(d.ctx, d.sys.Atoms.Root(), d.leaves[l+i], &d.eaccs[w])
+			epolRow(d.ctx, d.il, l+i, d.conv[w], &d.eaccs[w])
 		}
 	})
 	var tot float64

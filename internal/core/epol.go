@@ -22,13 +22,36 @@ type EpolContext struct {
 	RMin, RMax float64
 	// hist[n] is q_U[·] for node n.
 	hist [][]float64
+	// nzOff/nzBin/nzQ are the histograms compacted to their nonzero bins
+	// (CSR over nodes): node n's populated bins are nzBin[nzOff[n]:
+	// nzOff[n+1]] with charges nzQ[...]. The compiled far-field kernel
+	// (kernels.go) sweeps these instead of testing every bin for zero.
+	nzOff []int32
+	nzBin []int32
+	nzQ   []float64
 	// rr[k] = R_min²·(1+ε)^k for k < 2·MEps: the R_u·R_v surrogate of
 	// the far-field kernel, indexed by i+j.
 	rr []float64
+	// invRadii[i] = 1/Radii[i] and inv4rr[k] = 1/(4·rr[k]): reciprocal
+	// tables that let the exact-mode compiled kernels (kernels.go) form
+	// the f_GB exponent by multiplication instead of a per-pair divide.
+	invRadii []float64
+	inv4rr   []float64
 	// farFactor is (1 + 2/ε); nodes are far when dist > (r_U+r_V)·farFactor.
 	farFactor float64
 	lnBase    float64
 	tau       float64
+}
+
+// epolFarFactor is the E_pol opening multiplier (1 + 2/ε) of Figure 3's
+// far-field test; ε = 0 disables the far field entirely. Shared by
+// NewEpolContext and the interaction-list compiler so both classify
+// identically.
+func epolFarFactor(eps float64) float64 {
+	if eps <= 0 {
+		return math.Inf(1)
+	}
+	return 1 + 2/eps
 }
 
 // binOf returns the histogram bin of a Born radius.
@@ -65,11 +88,11 @@ func NewEpolContext(sys *System, slotRadii []float64) *EpolContext {
 			ctx.RMax = r
 		}
 	}
+	ctx.farFactor = epolFarFactor(eps)
 	if eps <= 0 {
 		// ε = 0 disables the far field entirely (see macFactor); a single
 		// bin keeps the structures well-formed.
 		ctx.MEps = 1
-		ctx.farFactor = math.Inf(1)
 	} else {
 		ctx.MEps = int(math.Ceil(math.Log(ctx.RMax/ctx.RMin)/math.Log(1+eps))) + 1
 		if ctx.MEps < 1 {
@@ -82,7 +105,6 @@ func NewEpolContext(sys *System, slotRadii []float64) *EpolContext {
 		if ctx.MEps > 256 {
 			ctx.MEps = 256
 		}
-		ctx.farFactor = 1 + 2/eps
 	}
 
 	ctx.lnBase = math.Log(1 + eps)
@@ -112,18 +134,57 @@ func NewEpolContext(sys *System, slotRadii []float64) *EpolContext {
 		}
 	}
 
+	// Compact the histograms to their nonzero bins: proteins bin charges
+	// into a handful of the M_ε bins per node, so the far-field double
+	// loop over (i, j) wastes most iterations on the zero test. The CSR
+	// form lets the compiled kernel touch populated bins only.
+	ctx.nzOff = make([]int32, t.NumNodes()+1)
+	nnz := 0
+	for _, h := range ctx.hist {
+		for _, q := range h {
+			if q != 0 {
+				nnz++
+			}
+		}
+	}
+	ctx.nzBin = make([]int32, nnz)
+	ctx.nzQ = make([]float64, nnz)
+	at := int32(0)
+	for n, h := range ctx.hist {
+		ctx.nzOff[n] = at
+		for k, q := range h {
+			if q != 0 {
+				ctx.nzBin[at] = int32(k)
+				ctx.nzQ[at] = q
+				at++
+			}
+		}
+	}
+	ctx.nzOff[t.NumNodes()] = at
+
 	ctx.rr = make([]float64, 2*ctx.MEps-1)
+	ctx.inv4rr = make([]float64, len(ctx.rr))
 	for k := range ctx.rr {
 		ctx.rr[k] = ctx.RMin * ctx.RMin * math.Pow(1+eps, float64(k))
+		ctx.inv4rr[k] = 1 / (4 * ctx.rr[k])
+	}
+	ctx.invRadii = make([]float64, len(slotRadii))
+	for i, r := range slotRadii {
+		ctx.invRadii[i] = 1 / r
 	}
 	return ctx
 }
 
-// epolAccum is one worker's energy accumulator.
+// epolAccum is one worker's energy accumulator. The runners hold them in
+// a contiguous `[]epolAccum`, with adjacent workers hammering energy/ops
+// on every kernel evaluation — pad each accumulator to a full 64-byte
+// cache line so neighbours never false-share
+// (TestAccumulatorsCacheLineSized pins the size).
 type epolAccum struct {
 	energy  float64 // Σ q_u·q_v/f_GB over ordered pairs (prefactor applied later)
 	ops     float64
 	maxTask float64 // largest single-leaf op count (span term, see modelPhaseOps)
+	_       [5]float64
 }
 
 // ApproxEpol runs Figure 3's APPROX-EPOL for the atoms-octree leaf V
@@ -158,8 +219,8 @@ func ApproxEpol(ctx *EpolContext, uNode, vLeaf int32, acc *epolAccum) {
 		return
 	}
 
-	d2 := u.Center.Dist2(v.Center)
-	if s := (u.Radius + v.Radius) * ctx.farFactor; d2 > s*s {
+	_, d2, far := farSeparated(v.Center, u.Center, v.Radius, u.Radius, ctx.farFactor)
+	if far {
 		// Far enough: interact the charge histograms bin-by-bin, using
 		// R_min²(1+ε)^{i+j} as the R_u·R_v surrogate.
 		hu, hv := ctx.hist[uNode], ctx.hist[vLeaf]

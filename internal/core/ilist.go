@@ -1,0 +1,309 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+
+	"gbpolar/internal/geom"
+	"gbpolar/internal/octree"
+	"gbpolar/internal/sched"
+)
+
+// This file implements the interaction-list compilation layer: a one-time
+// traversal that records, per leaf, exactly which far-field aggregates
+// and which near-field leaf pairs the recursive algorithms of Figures 2
+// and 3 would evaluate. Production FMM codes (DASHMM, arXiv:1710.06316;
+// Multibody Multipole Methods, arXiv:1105.2769) separate list
+// construction from kernel evaluation for the same reason this repo does:
+// the near–far decomposition depends only on geometry and the opening
+// criterion, so it can be built once and swept repeatedly by flat,
+// cache-friendly batch kernels (kernels.go) — with zero recursion,
+// pointer chasing or opening tests in the steady state.
+//
+// The lists survive rigid motion: Engine.Repose applies one rigid
+// transform to every point and node center, which preserves all pairwise
+// distances while node radii are invariant, so every farSeparated verdict
+// is unchanged. Docking pose scans therefore pay the traversal cost once
+// per complex, not once per pose. Non-rigid changes (UpdateAtoms) and
+// parameter changes invalidate the cache (System.InvalidateLists and the
+// signature check in Lists).
+
+// InteractionLists is a compiled traversal over the atoms octree for one
+// phase, in CSR form. Row i describes the leaf Rows[i] (in tree Leaves()
+// order): Far[FarOff[i]:FarOff[i+1]] holds the atoms-octree nodes whose
+// far-field aggregate the leaf interacts with, and
+// Near[NearOff[i]:NearOff[i+1]] the atom leaves needing exact pairwise
+// evaluation.
+type InteractionLists struct {
+	Rows    []int32
+	FarOff  []int32
+	Far     []int32
+	NearOff []int32
+	Near    []int32
+	// Sym holds MUTUAL near leaf pairs, stored once on the lower-indexed
+	// row and evaluated with double weight: the per-pair GB terms are
+	// bitwise symmetric (r², R_u·R_v and f_GB are commutative in u,v), so
+	// one swept block stands for both ordered blocks of the recursion.
+	// This halves the dominant near-field work. Pairs the classification
+	// reaches in only one direction (the epol ordering can be asymmetric:
+	// a leaf U is always exact for row V, while row U may see V's
+	// ancestors as far) stay in Near with single weight, as does the
+	// diagonal U == V, whose ordered double-count is inherent in the
+	// block sweep. Born lists never populate Sym (q-leaf rows against the
+	// atoms tree have no transpose).
+	SymOff []int32
+	Sym    []int32
+}
+
+// NumFar returns the total far-field entry count.
+func (il *InteractionLists) NumFar() int { return len(il.Far) }
+
+// NumNear returns the total near leaf-pair count.
+func (il *InteractionLists) NumNear() int { return len(il.Near) }
+
+// MemoryBytes reports the list footprint.
+func (il *InteractionLists) MemoryBytes() int64 {
+	return int64(len(il.Rows)+len(il.FarOff)+len(il.Far)+
+		len(il.NearOff)+len(il.Near)+len(il.SymOff)+len(il.Sym)) * 4
+}
+
+// CompiledLists bundles the per-phase lists with the opening-criterion
+// signature they were compiled under, so parameter changes trigger a
+// recompile instead of silently evaluating stale classifications.
+type CompiledLists struct {
+	// bornMAC and epolFar are the opening multipliers at compile time.
+	bornMAC, epolFar float64
+	// Born rows are q-point leaves (Figure 2); Epol rows are atom leaves
+	// (Figure 3).
+	Born, Epol *InteractionLists
+}
+
+// matches reports whether the cached lists were compiled under the
+// system's current opening criteria.
+func (cl *CompiledLists) matches(sys *System) bool {
+	return cl != nil && cl.bornMAC == sys.bornMAC() && cl.epolFar == epolFarFactor(sys.Params.EpsEpol)
+}
+
+// MemoryBytes reports the total compiled-list footprint.
+func (cl *CompiledLists) MemoryBytes() int64 {
+	return cl.Born.MemoryBytes() + cl.Epol.MemoryBytes()
+}
+
+// rowLists is one row's lists during compilation.
+type rowLists struct {
+	far, near, sym []int32
+}
+
+// classify descends the atoms octree from node n against a row cluster
+// (center, radius), splitting the subtree into far nodes and near
+// leaves. It mirrors the recursive kernels exactly — including their one
+// structural difference: APPROX-EPOL tests u.IsLeaf BEFORE the opening
+// test (a leaf U is always evaluated exactly), while APPROX-INTEGRALS
+// tests openness first (a far leaf uses the pseudo-q-point shortcut).
+// leafFirst selects between the two orderings.
+func classify(t *octree.Tree, n int32, center geom.Vec3, radius, mac float64, leafFirst bool, out *rowLists) {
+	node := &t.Nodes[n]
+	if leafFirst && node.IsLeaf {
+		out.near = append(out.near, n)
+		return
+	}
+	if _, _, far := farSeparated(node.Center, center, node.Radius, radius, mac); far {
+		out.far = append(out.far, n)
+		return
+	}
+	if node.IsLeaf {
+		out.near = append(out.near, n)
+		return
+	}
+	for _, child := range node.Children {
+		if child != octree.NoChild {
+			classify(t, child, center, radius, mac, leafFirst, out)
+		}
+	}
+}
+
+// compileLists builds the CSR lists for all rows in parallel (serially
+// when pool is nil). Rows are rowTree's leaves in Leaves() order, each
+// classified against the atoms octree. symmetrize moves mutual near leaf
+// pairs into the Sym list of the lower-indexed row (valid only when
+// rowTree == atoms, i.e. the E_pol phase).
+func compileLists(atoms *octree.Tree, rowTree *octree.Tree, mac float64, leafFirst bool, symmetrize bool, pool *sched.Pool) *InteractionLists {
+	rows := rowTree.Leaves()
+	per := make([]rowLists, len(rows))
+	compileRow := func(i int) {
+		rn := &rowTree.Nodes[rows[i]]
+		classify(atoms, atoms.Root(), rn.Center, rn.Radius, mac, leafFirst, &per[i])
+	}
+	if pool == nil {
+		for i := range rows {
+			compileRow(i)
+		}
+	} else {
+		grain := len(rows)/(8*pool.NumWorkers()) + 1
+		sched.ParallelFor(pool, len(rows), grain, func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				compileRow(i)
+			}
+		})
+	}
+	if symmetrize {
+		symmetrizeNear(rowTree, rows, per)
+	}
+
+	il := &InteractionLists{
+		Rows:    rows,
+		FarOff:  make([]int32, len(rows)+1),
+		NearOff: make([]int32, len(rows)+1),
+		SymOff:  make([]int32, len(rows)+1),
+	}
+	var nf, nn, ns int32
+	for i := range per {
+		il.FarOff[i], il.NearOff[i], il.SymOff[i] = nf, nn, ns
+		nf += int32(len(per[i].far))
+		nn += int32(len(per[i].near))
+		ns += int32(len(per[i].sym))
+	}
+	il.FarOff[len(rows)], il.NearOff[len(rows)], il.SymOff[len(rows)] = nf, nn, ns
+	il.Far = make([]int32, 0, nf)
+	il.Near = make([]int32, 0, nn)
+	il.Sym = make([]int32, 0, ns)
+	for i := range per {
+		il.Far = append(il.Far, per[i].far...)
+		il.Near = append(il.Near, per[i].near...)
+		il.Sym = append(il.Sym, per[i].sym...)
+	}
+	return il
+}
+
+// symmetrizeNear splits each row's near list into mutual pairs (moved to
+// the lower row's sym list, swept once with double weight) and
+// one-directional entries (kept in near). Mutuality must be checked
+// against the ORIGINAL near sets: the leaf-first ordering of APPROX-EPOL
+// can classify U near V while row U resolves V's subtree through an
+// ancestor's far aggregate, and such one-way blocks must keep their
+// single-direction exact evaluation to match the recursion.
+func symmetrizeNear(t *octree.Tree, rows []int32, per []rowLists) {
+	rowOf := make([]int32, len(t.Nodes))
+	for i := range rowOf {
+		rowOf[i] = -1
+	}
+	for i, r := range rows {
+		rowOf[r] = int32(i)
+	}
+	sorted := make([][]int32, len(per))
+	for i := range per {
+		c := append([]int32(nil), per[i].near...)
+		slices.Sort(c)
+		sorted[i] = c
+	}
+	for i := range per {
+		kept := per[i].near[:0]
+		for _, u := range per[i].near {
+			j := int(rowOf[u])
+			switch {
+			case j == i:
+				kept = append(kept, u)
+			case j > i:
+				if _, ok := slices.BinarySearch(sorted[j], rows[i]); ok {
+					per[i].sym = append(per[i].sym, u)
+				} else {
+					kept = append(kept, u)
+				}
+			default:
+				// Row j already claimed the mutual pair; keep only if it
+				// was one-directional.
+				if _, ok := slices.BinarySearch(sorted[j], rows[i]); !ok {
+					kept = append(kept, u)
+				}
+			}
+		}
+		per[i].near = kept
+	}
+}
+
+// compile builds both phases' lists from the system's current geometry
+// and parameters.
+func (s *System) compile(pool *sched.Pool) *CompiledLists {
+	cl := &CompiledLists{
+		bornMAC: s.bornMAC(),
+		epolFar: epolFarFactor(s.Params.EpsEpol),
+	}
+	cl.Born = compileLists(s.Atoms, s.QPts, cl.bornMAC, false, false, pool)
+	cl.Epol = compileLists(s.Atoms, s.Atoms, cl.epolFar, true, true, pool)
+	return cl
+}
+
+// Lists returns the system's compiled interaction lists, building them on
+// first use (or after invalidation / parameter change) with the given
+// pool (nil compiles serially). Safe for concurrent use: distributed
+// ranks sharing the System compile once and reuse.
+func (s *System) Lists(pool *sched.Pool) *CompiledLists {
+	s.listsMu.Lock()
+	defer s.listsMu.Unlock()
+	if !s.lists.matches(s) {
+		s.lists = s.compile(pool)
+	}
+	return s.lists
+}
+
+// RecheckLists recompiles the interaction lists from the current geometry
+// and verifies the cached ones are identical — the debug recheck backing
+// the rigid-transform reuse invariant. With no cached lists it is a
+// no-op. It returns a descriptive error on the first divergence.
+func (s *System) RecheckLists(pool *sched.Pool) error {
+	s.listsMu.Lock()
+	cached := s.lists
+	s.listsMu.Unlock()
+	if cached == nil {
+		return nil
+	}
+	if !cached.matches(s) {
+		return fmt.Errorf("core: cached lists compiled under bornMAC=%g epolFar=%g, system now wants %g/%g",
+			cached.bornMAC, cached.epolFar, s.bornMAC(), epolFarFactor(s.Params.EpsEpol))
+	}
+	fresh := s.compile(pool)
+	if err := diffLists("born", cached.Born, fresh.Born); err != nil {
+		return err
+	}
+	return diffLists("epol", cached.Epol, fresh.Epol)
+}
+
+// diffLists reports the first divergence between two compiled lists.
+func diffLists(phase string, a, b *InteractionLists) error {
+	if len(a.Rows) != len(b.Rows) {
+		return fmt.Errorf("core: %s lists row count drifted: %d -> %d", phase, len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			return fmt.Errorf("core: %s list row %d leaf drifted: %d -> %d", phase, i, a.Rows[i], b.Rows[i])
+		}
+		af, bf := a.Far[a.FarOff[i]:a.FarOff[i+1]], b.Far[b.FarOff[i]:b.FarOff[i+1]]
+		an, bn := a.Near[a.NearOff[i]:a.NearOff[i+1]], b.Near[b.NearOff[i]:b.NearOff[i+1]]
+		as, bs := a.Sym[a.SymOff[i]:a.SymOff[i+1]], b.Sym[b.SymOff[i]:b.SymOff[i+1]]
+		if !equalInt32(af, bf) {
+			return fmt.Errorf("core: %s list row %d (leaf %d) far set drifted: %d -> %d entries",
+				phase, i, a.Rows[i], len(af), len(bf))
+		}
+		if !equalInt32(an, bn) {
+			return fmt.Errorf("core: %s list row %d (leaf %d) near set drifted: %d -> %d entries",
+				phase, i, a.Rows[i], len(an), len(bn))
+		}
+		if !equalInt32(as, bs) {
+			return fmt.Errorf("core: %s list row %d (leaf %d) sym set drifted: %d -> %d entries",
+				phase, i, a.Rows[i], len(as), len(bs))
+		}
+	}
+	return nil
+}
+
+func equalInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -49,6 +49,12 @@ type SharedOptions struct {
 	// Pool optionally reuses an existing pool (must have Threads
 	// workers); the runner then does not close it.
 	Pool *sched.Pool
+	// Recursive forces the reference recursive traversals instead of the
+	// compiled interaction lists + SoA batch kernels (ilist.go,
+	// kernels.go). The recursive path re-runs the near–far decomposition
+	// from the root on every call; it is kept as the cross-check
+	// reference and for the ablation benchmarks.
+	Recursive bool
 }
 
 // RunShared computes Born radii and E_pol with pure shared-memory
@@ -65,25 +71,49 @@ func RunShared(sys *System, opts SharedOptions) (*Result, error) {
 		rate = CalibratedOpsPerSecond()
 	}
 	p := pool.NumWorkers()
+	var lists *CompiledLists
+	if !opts.Recursive {
+		lists = sys.Lists(pool)
+		if sys.Params.DebugCheckLists {
+			if err := sys.RecheckLists(pool); err != nil {
+				return nil, err
+			}
+		}
+	}
 	start := time.Now()
 
 	// Phase 1 (Figure 4 step 2): APPROX-INTEGRALS over all q-point
-	// leaves, per-worker private accumulators.
+	// leaves, per-worker private accumulators. The compiled path sweeps
+	// the precomputed lists with the SoA batch kernel; the reference path
+	// re-runs the recursive traversal.
 	accs := make([]*bornAccum, p)
 	for i := range accs {
 		accs[i] = newBornAccum(sys)
 	}
 	mac := sys.bornMAC()
 	qLeaves := sys.QPts.Leaves()
-	sched.ParallelFor(pool, len(qLeaves), 1, func(lo, hi, w int) {
-		for i := lo; i < hi; i++ {
-			before := accs[w].ops
-			ApproxIntegrals(sys, accs[w], sys.Atoms.Root(), qLeaves[i], mac)
-			if d := accs[w].ops - before; d > accs[w].maxTask {
-				accs[w].maxTask = d
+	if lists != nil {
+		il := lists.Born
+		sched.ParallelFor(pool, len(il.Rows), rowGrain(len(il.Rows), p), func(lo, hi, w int) {
+			for i := lo; i < hi; i++ {
+				before := accs[w].ops
+				bornRow(sys, il, i, accs[w])
+				if d := accs[w].ops - before; d > accs[w].maxTask {
+					accs[w].maxTask = d
+				}
 			}
-		}
-	})
+		})
+	} else {
+		sched.ParallelFor(pool, len(qLeaves), 1, func(lo, hi, w int) {
+			for i := lo; i < hi; i++ {
+				before := accs[w].ops
+				ApproxIntegrals(sys, accs[w], sys.Atoms.Root(), qLeaves[i], mac)
+				if d := accs[w].ops - before; d > accs[w].maxTask {
+					accs[w].maxTask = d
+				}
+			}
+		})
+	}
 	merged := accs[0]
 	for _, a := range accs[1:] {
 		merged.add(a)
@@ -99,15 +129,29 @@ func RunShared(sys *System, opts SharedOptions) (*Result, error) {
 	ctx := NewEpolContext(sys, slotRadii)
 	eaccs := make([]epolAccum, p)
 	aLeaves := sys.Atoms.Leaves()
-	sched.ParallelFor(pool, len(aLeaves), 1, func(lo, hi, w int) {
-		for i := lo; i < hi; i++ {
-			before := eaccs[w].ops
-			ApproxEpol(ctx, sys.Atoms.Root(), aLeaves[i], &eaccs[w])
-			if d := eaccs[w].ops - before; d > eaccs[w].maxTask {
-				eaccs[w].maxTask = d
+	if lists != nil {
+		il := lists.Epol
+		conv := newConvScratch(ctx, p)
+		sched.ParallelFor(pool, len(il.Rows), rowGrain(len(il.Rows), p), func(lo, hi, w int) {
+			for i := lo; i < hi; i++ {
+				before := eaccs[w].ops
+				epolRow(ctx, il, i, conv[w], &eaccs[w])
+				if d := eaccs[w].ops - before; d > eaccs[w].maxTask {
+					eaccs[w].maxTask = d
+				}
 			}
-		}
-	})
+		})
+	} else {
+		sched.ParallelFor(pool, len(aLeaves), 1, func(lo, hi, w int) {
+			for i := lo; i < hi; i++ {
+				before := eaccs[w].ops
+				ApproxEpol(ctx, sys.Atoms.Root(), aLeaves[i], &eaccs[w])
+				if d := eaccs[w].ops - before; d > eaccs[w].maxTask {
+					eaccs[w].maxTask = d
+				}
+			}
+		})
+	}
 	var raw, maxE, maxTask, totalOps float64
 	for i := range eaccs {
 		raw += eaccs[i].energy
@@ -129,6 +173,27 @@ func RunShared(sys *System, opts SharedOptions) (*Result, error) {
 		ModelSeconds: model,
 		Ops:          totalOps,
 	}, nil
+}
+
+// newConvScratch allocates each worker's far-field convolution buffer
+// (see farField): one flat backing array, len(ctx.rr) per worker.
+func newConvScratch(ctx *EpolContext, p int) [][]float64 {
+	n := len(ctx.rr)
+	flat := make([]float64, n*p)
+	conv := make([][]float64, p)
+	for w := range conv {
+		conv[w] = flat[w*n : (w+1)*n]
+	}
+	return conv
+}
+
+// rowGrain chunks compiled-list rows for ParallelFor: post-compilation
+// rows are cheap, so scheduling them one-by-one (the grain the recursive
+// traversal needs for its skewed per-leaf costs) would spend more time
+// spawning tasks than evaluating kernels. ~16 chunks per worker keeps
+// stealing effective while bounding scheduler overhead and allocations.
+func rowGrain(rows, p int) int {
+	return rows/(16*p) + 1
 }
 
 func maxOps(accs []*bornAccum) float64 {
@@ -235,15 +300,18 @@ func distRank(sys *System, c *Comm, out *rankOut) error {
 	}
 
 	// Step 6: APPROX-EPOL for this rank's segment of atom leaves
-	// (node-node work division).
+	// (node-node work division). Ranks share the System's compiled lists
+	// (the first rank compiles, the rest reuse): row i is aLeaves[i].
 	ctx := NewEpolContext(sys, slotRadii)
+	il := sys.Lists(pool).Epol
 	aLeaves := sys.Atoms.Leaves()
 	eLo, eHi := segment(len(aLeaves), P, rank)
 	eaccs := make([]epolAccum, p)
-	sched.ParallelFor(pool, eHi-eLo, 1, func(l, h, w int) {
+	conv := newConvScratch(ctx, p)
+	sched.ParallelFor(pool, eHi-eLo, rowGrain(eHi-eLo, p), func(l, h, w int) {
 		for i := l; i < h; i++ {
 			before := eaccs[w].ops
-			ApproxEpol(ctx, sys.Atoms.Root(), aLeaves[eLo+i], &eaccs[w])
+			epolRow(ctx, il, eLo+i, conv[w], &eaccs[w])
 			if d := eaccs[w].ops - before; d > eaccs[w].maxTask {
 				eaccs[w].maxTask = d
 			}

@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"gbpolar/internal/geom"
 	"gbpolar/internal/mathx"
@@ -61,6 +62,11 @@ type Params struct {
 	StrictBornMAC bool
 	// LeafCap is the octree leaf capacity (default 8).
 	LeafCap int
+	// DebugCheckLists makes every compiled-list evaluation recompile the
+	// interaction lists from the current geometry and assert they match
+	// the cached ones — the paranoid mode backing the rigid-transform
+	// reuse invariant (DESIGN.md §6). Expensive; for tests and debugging.
+	DebugCheckLists bool
 }
 
 // DefaultParams returns the configuration of the paper's headline runs:
@@ -119,7 +125,28 @@ type System struct {
 	// ñ_Q aggregate of the paper's APPROX-INTEGRALS.
 	QNodeWN []geom.Vec3
 
+	// SoA mirrors for the batched kernels (kernels.go), all in tree-slot
+	// order: atom positions, q-point positions, the weight-premultiplied
+	// surface normals, and the atoms-octree node centers. The flat
+	// component arrays let the inner loops run without Vec3 struct loads
+	// or Node pointer chasing; they are refreshed whenever the underlying
+	// geometry moves (UpdateAtoms, ApplyRigidTransform).
+	AtomX, AtomY, AtomZ    []float64
+	QX, QY, QZ             []float64
+	WNX, WNY, WNZ          []float64
+	ANodeX, ANodeY, ANodeZ []float64
+
 	Params Params
+
+	// lists caches the compiled interaction lists (ilist.go), reused
+	// across Compute* calls and rigid re-poses; listsMu guards lazy
+	// compilation when distributed ranks share the System.
+	listsMu sync.Mutex
+	lists   *CompiledLists
+
+	// nodeScratch pools NumNodes-sized float64 buffers (the downward
+	// inheritance vector of PushIntegralsToAtoms) across calls and ranks.
+	nodeScratch sync.Pool
 }
 
 // NewSystem builds the octrees and aggregates for a molecule/surface
@@ -169,7 +196,97 @@ func NewSystem(mol *molecule.Molecule, surf *surface.Surface, params Params) (*S
 		s.WN[slot] = p.Normal.Scale(p.Weight)
 	}
 	s.QNodeWN = qNodeAggregates(tq, s.WN)
+	s.refreshAtomSoA()
+	s.refreshQPointSoA()
 	return s, nil
+}
+
+// refreshAtomSoA rebuilds the flat atom-position and node-center arrays
+// from the atoms octree (after construction, update or rigid motion).
+func (s *System) refreshAtomSoA() {
+	s.AtomX, s.AtomY, s.AtomZ = splitVecs(s.Atoms.Pts, s.AtomX, s.AtomY, s.AtomZ)
+	n := s.Atoms.NumNodes()
+	if cap(s.ANodeX) < n {
+		s.ANodeX = make([]float64, n)
+		s.ANodeY = make([]float64, n)
+		s.ANodeZ = make([]float64, n)
+	}
+	s.ANodeX, s.ANodeY, s.ANodeZ = s.ANodeX[:n], s.ANodeY[:n], s.ANodeZ[:n]
+	for i := range s.Atoms.Nodes {
+		c := s.Atoms.Nodes[i].Center
+		s.ANodeX[i], s.ANodeY[i], s.ANodeZ[i] = c.X, c.Y, c.Z
+	}
+}
+
+// refreshQPointSoA rebuilds the flat q-point position and weighted-normal
+// arrays from the q-points octree and WN.
+func (s *System) refreshQPointSoA() {
+	s.QX, s.QY, s.QZ = splitVecs(s.QPts.Pts, s.QX, s.QY, s.QZ)
+	s.WNX, s.WNY, s.WNZ = splitVecs(s.WN, s.WNX, s.WNY, s.WNZ)
+}
+
+// splitVecs scatters an AoS Vec3 slice into three component arrays,
+// reusing the destination capacity when possible.
+func splitVecs(src []geom.Vec3, x, y, z []float64) (ox, oy, oz []float64) {
+	if cap(x) < len(src) {
+		x = make([]float64, len(src))
+		y = make([]float64, len(src))
+		z = make([]float64, len(src))
+	}
+	x, y, z = x[:len(src)], y[:len(src)], z[:len(src)]
+	for i, v := range src {
+		x[i], y[i], z[i] = v.X, v.Y, v.Z
+	}
+	return x, y, z
+}
+
+// ApplyRigidTransform rigidly moves the whole system — both octrees, the
+// weighted normals and the SoA mirrors — without rebuilding anything.
+// Rigid motion preserves every pairwise distance and every node radius,
+// so the near/far classification of the compiled interaction lists stays
+// valid and the lists are deliberately NOT invalidated (the reuse
+// invariant of DESIGN.md §6; Params.DebugCheckLists re-verifies it at
+// every evaluation).
+func (s *System) ApplyRigidTransform(t geom.Transform) {
+	s.Atoms.ApplyTransform(t)
+	s.QPts.ApplyTransform(t)
+	for i := range s.WN {
+		s.WN[i] = t.ApplyVector(s.WN[i])
+	}
+	for i := range s.QNodeWN {
+		s.QNodeWN[i] = t.ApplyVector(s.QNodeWN[i])
+	}
+	s.refreshAtomSoA()
+	s.refreshQPointSoA()
+}
+
+// InvalidateLists drops the cached interaction lists; the next Compute*
+// recompiles them. Called whenever a non-rigid geometry change (or a
+// parameter change) breaks the near/far classification.
+func (s *System) InvalidateLists() {
+	s.listsMu.Lock()
+	s.lists = nil
+	s.listsMu.Unlock()
+}
+
+// grabNodeScratch returns a zeroed NumNodes-sized scratch buffer from
+// the pool (concurrent ranks each get their own).
+func (s *System) grabNodeScratch() []float64 {
+	n := s.Atoms.NumNodes()
+	if v := s.nodeScratch.Get(); v != nil {
+		if buf := *v.(*[]float64); cap(buf) >= n {
+			buf = buf[:n]
+			for i := range buf {
+				buf[i] = 0
+			}
+			return buf
+		}
+	}
+	return make([]float64, n)
+}
+
+func (s *System) releaseNodeScratch(buf []float64) {
+	s.nodeScratch.Put(&buf)
 }
 
 // qNodeAggregates computes Σ w·n per node from a prefix sum over the
@@ -223,6 +340,10 @@ func (s *System) UpdateAtoms(newPositions []geom.Vec3) (moved int, err error) {
 		s.Charge[slot] = s.Mol.Atoms[orig].Charge
 		s.Radius[slot] = s.Mol.Atoms[orig].Radius
 	}
+	// Non-rigid motion: the SoA mirrors and the compiled near/far
+	// classification are both stale.
+	s.refreshAtomSoA()
+	s.InvalidateLists()
 	return moved, nil
 }
 

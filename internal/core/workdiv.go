@@ -53,13 +53,12 @@ func ApproxIntegralsAtomRange(sys *System, acc *bornAccum, aNode, qLeaf int32, m
 		return
 	}
 	q := &sys.QPts.Nodes[qLeaf]
-	d := q.Center.Sub(a.Center)
-	d2 := d.Norm2()
+	d, d2, far := farSeparated(a.Center, q.Center, a.Radius, q.Radius, mac)
 	acc.ops++
 
 	kern := sys.Params.Kernel
 	owned := a.Start >= lo && a.End <= hi
-	if s := (a.Radius + q.Radius) * mac; owned && d2 > s*s {
+	if owned && far {
 		acc.node[aNode] += sys.QNodeWN[qLeaf].Dot(d) / bornDenom(d2, kern)
 		return
 	}
@@ -141,8 +140,8 @@ func (ctx *EpolContext) epolAtomRange(uNode, vLeaf, vlo, vhi int32, acc *epolAcc
 		return
 	}
 
-	d2 := u.Center.Dist2(v.Center)
-	if s := (u.Radius + v.Radius) * ctx.farFactor; d2 > s*s {
+	_, d2, far := farSeparated(v.Center, u.Center, v.Radius, u.Radius, ctx.farFactor)
+	if far {
 		// Histogram of the owned V sub-range, built on the fly.
 		hv := make([]float64, ctx.MEps)
 		for vi := vlo; vi < vhi; vi++ {
