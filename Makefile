@@ -1,12 +1,15 @@
 GO ?= go
 
-.PHONY: check build test vet race bench-warm
+.PHONY: check build test vet race faults bench-warm
 
-## check: the tier-1 gate — vet, build, full test suite.
+## check: the tier-1 gate — vet, build, full test suite, race detector,
+## and the fault-injection matrix.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
+	$(MAKE) race
+	$(MAKE) faults
 
 build:
 	$(GO) build ./...
@@ -20,6 +23,12 @@ test:
 ## race: the concurrency-heavy packages under the race detector.
 race:
 	$(GO) test -race ./internal/core/ ./internal/sched/ ./internal/cluster/
+
+## faults: the fault matrix — {crash, drop, delay} x {Born, E_pol,
+## collective boundary} — plus the full injection/recovery suite.
+faults:
+	$(GO) test -run 'TestFaultMatrix|TestCrashAtEveryPhaseBoundary|TestChaosDeterministic' ./internal/core/
+	$(GO) test -run 'TestCrash|TestDrop|TestDelay|TestRecv|TestSend|TestBcastAndReduceDeadRoot|TestTypedSentinels|TestCollective' ./internal/cluster/
 
 ## bench-warm: the warm-engine pose-scan pair (EXPERIMENTS.md extD).
 bench-warm:

@@ -6,8 +6,10 @@
 //	gbpol -in molecule.pqr                        # shared memory, all cores
 //	gbpol -gen 5000 -runner mpi -procs 12         # generated molecule, OCT_MPI
 //	gbpol -gen 50000 -runner hybrid -procs 4 -threads 6 -naive
+//	gbpol -gen 5000 -runner resilient -procs 4 -crash-rank 1 -crash-collective 2
 //
 // Runners: shared (OCT_CILK), mpi (OCT_MPI), hybrid (OCT_MPI+CILK),
+// resilient (OCT_MPI with fault injection + self-healing recovery),
 // naive (exact quadratic reference).
 package main
 
@@ -39,6 +41,19 @@ func main() {
 		naive    = flag.Bool("naive", false, "also run the exact reference and report the error")
 		modeled  = flag.Bool("modeled", true, "distributed runners: virtual-clock accounting")
 		radiiOut = flag.String("radii-out", "", "write Born radii (one per line) to this file")
+
+		// Fault injection (resilient runner): deterministic crashes, drops
+		// and delays with self-healing recovery.
+		crashRank  = flag.Int("crash-rank", -1, "resilient: rank to crash (-1 = none)")
+		crashClock = flag.Float64("crash-clock", -1, "resilient: crash the rank at this virtual time (s)")
+		crashColl  = flag.Int("crash-collective", 0, "resilient: crash the rank entering its Nth collective (1-based)")
+		dropRank   = flag.Int("drop-rank", -1, "resilient: rank whose next sends are dropped (-1 = none)")
+		dropCount  = flag.Int("drop-count", 1, "resilient: how many sends to drop")
+		delayRank  = flag.Int("delay-rank", -1, "resilient: rank whose next send is delayed (-1 = none)")
+		delayBy    = flag.Duration("delay-by", time.Millisecond, "resilient: added virtual flight time")
+		chaosSeed  = flag.Int64("chaos-seed", 0, "resilient: random fault schedule seed (0 = none)")
+		chaosN     = flag.Int("chaos-faults", 2, "resilient: number of random faults for -chaos-seed")
+		chaosHzn   = flag.Float64("chaos-horizon", 0.01, "resilient: virtual-time horizon (s) for random crash/delay scheduling")
 	)
 	flag.Parse()
 
@@ -81,12 +96,22 @@ func main() {
 		res, err = eng.ComputeDistributed(gbpolar.Cluster{
 			Procs: *procs, ThreadsPerProc: th, RanksPerNode: max(1, 12/th), Modeled: *modeled,
 		})
+	case "resilient":
+		th := *threads
+		if th == 0 {
+			th = 1
+		}
+		plan := buildFaultPlan(*crashRank, *crashClock, *crashColl,
+			*dropRank, *dropCount, *delayRank, *delayBy, *chaosSeed, *chaosN, *chaosHzn, *procs)
+		res, err = eng.ComputeDistributedResilient(gbpolar.Cluster{
+			Procs: *procs, ThreadsPerProc: th, RanksPerNode: min(*procs, 12), Modeled: true,
+		}, plan)
 	case "naive":
 		start := time.Now()
 		e, radii := eng.ComputeNaive()
 		res = &gbpolar.Result{Epol: e, BornRadii: radii, WallSeconds: time.Since(start).Seconds()}
 	default:
-		log.Fatalf("unknown runner %q (want shared|mpi|hybrid|naive)", *runner)
+		log.Fatalf("unknown runner %q (want shared|mpi|hybrid|resilient|naive)", *runner)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -103,6 +128,9 @@ func main() {
 	fmt.Println()
 	if res.Report != nil {
 		fmt.Println(res.Report)
+		if res.Report.Faults != nil {
+			fmt.Println(res.Report.Faults)
+		}
 	}
 
 	if *naive && *runner != "naive" {
@@ -124,6 +152,39 @@ func main() {
 		}
 		fmt.Printf("Born radii written to %s\n", *radiiOut)
 	}
+}
+
+// buildFaultPlan assembles the flag-specified fault schedule; nil when
+// no fault flags are set (fault-free resilient run).
+func buildFaultPlan(crashRank int, crashClock float64, crashColl,
+	dropRank, dropCount, delayRank int, delayBy time.Duration,
+	chaosSeed int64, chaosN int, chaosHzn float64, procs int) *gbpolar.FaultPlan {
+	if chaosSeed != 0 {
+		return gbpolar.RandomFaultPlan(chaosSeed, procs, chaosN, chaosHzn)
+	}
+	plan := &gbpolar.FaultPlan{}
+	if crashRank >= 0 {
+		switch {
+		case crashColl > 0:
+			plan.Faults = append(plan.Faults, gbpolar.Fault{
+				Kind: gbpolar.CrashAtCollective, Rank: crashRank, Nth: crashColl})
+		case crashClock >= 0:
+			plan.Faults = append(plan.Faults, gbpolar.Fault{
+				Kind: gbpolar.CrashAtClock, Rank: crashRank, Clock: crashClock})
+		}
+	}
+	if dropRank >= 0 {
+		plan.Faults = append(plan.Faults, gbpolar.Fault{
+			Kind: gbpolar.DropMessages, Rank: dropRank, Peer: -1, Tag: -1, Count: dropCount})
+	}
+	if delayRank >= 0 {
+		plan.Faults = append(plan.Faults, gbpolar.Fault{
+			Kind: gbpolar.DelayMessages, Rank: delayRank, Peer: -1, Tag: -1, Count: 1, Delay: delayBy})
+	}
+	if len(plan.Faults) == 0 {
+		return nil
+	}
+	return plan
 }
 
 func loadOrGen(path string, n int, seed int64) (*gbpolar.Molecule, error) {

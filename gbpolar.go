@@ -191,6 +191,60 @@ func (e *Engine) ComputeDistributed(cl Cluster) (*Result, error) {
 	})
 }
 
+// FaultPlan re-exports the cluster substrate's deterministic fault
+// schedule (rank crashes, message drops and delays).
+type FaultPlan = cluster.FaultPlan
+
+// Fault re-exports one injected fault.
+type Fault = cluster.Fault
+
+// FaultReport re-exports the fault layer's accounting (injections,
+// detections, retries, recomputed work, recovery time).
+type FaultReport = cluster.FaultReport
+
+// Fault kinds, re-exported for building FaultPlans.
+const (
+	CrashAtClock      = cluster.CrashAtClock
+	CrashAtCollective = cluster.CrashAtCollective
+	DropMessages      = cluster.DropMessages
+	DelayMessages     = cluster.DelayMessages
+)
+
+// RandomFaultPlan re-exports the deterministic chaos-schedule generator.
+func RandomFaultPlan(seed int64, procs, n int, horizon float64) *FaultPlan {
+	return cluster.RandomFaultPlan(seed, procs, n, horizon)
+}
+
+// ComputeDistributedResilient runs the distributed algorithm under the
+// given fault plan with self-healing recovery: surviving ranks detect
+// crashed peers, deterministically re-divide their work and redo only
+// the lost part — completing with the same E_pol (to 1e-12 relative) as a
+// fault-free run, or degrading to the shared-memory runner when fewer
+// than two ranks survive. The result's Report.Faults records what was
+// injected, detected and recovered. A nil plan runs fault-free.
+func (e *Engine) ComputeDistributedResilient(cl Cluster, plan *FaultPlan) (*Result, error) {
+	if cl.Procs <= 0 {
+		return nil, fmt.Errorf("gbpolar: Cluster.Procs must be positive")
+	}
+	if cl.ThreadsPerProc <= 0 {
+		cl.ThreadsPerProc = 1
+	}
+	if cl.RanksPerNode <= 0 {
+		cl.RanksPerNode = cl.Procs
+	}
+	if cl.Nodes <= 0 {
+		cl.Nodes = (cl.Procs + cl.RanksPerNode - 1) / cl.RanksPerNode
+	}
+	return core.RunDistributedResilient(e.sys, cluster.Config{
+		Procs:          cl.Procs,
+		ThreadsPerProc: cl.ThreadsPerProc,
+		RanksPerNode:   cl.RanksPerNode,
+		Topology:       cluster.Lonestar4(cl.Nodes),
+		Mode:           cluster.Modeled,
+		Faults:         plan,
+	})
+}
+
 // DynStats re-exports the inter-rank stealing statistics.
 type DynStats = core.DynStats
 

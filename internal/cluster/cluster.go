@@ -15,7 +15,6 @@
 package cluster
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -138,6 +137,15 @@ type Config struct {
 	// PaceWindow is the allowed virtual-clock lead while paced (seconds;
 	// 0 = strict ordering).
 	PaceWindow float64
+	// Faults optionally injects deterministic rank crashes, message
+	// drops and delays (see faults.go). nil injects nothing.
+	Faults *FaultPlan
+	// StallTimeout is the real-time backstop on blocking communication:
+	// a Recv or collective that makes no progress for this long returns
+	// ErrTimeout instead of hanging. 0 disables it unless Faults is set,
+	// in which case it defaults to 2 minutes — with faults active,
+	// nothing may block forever.
+	StallTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -155,6 +163,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.OpsPerSecond <= 0 {
 		c.OpsPerSecond = 100e6
+	}
+	if c.Faults != nil && c.StallTimeout <= 0 {
+		c.StallTimeout = 2 * time.Minute
 	}
 	return c
 }
@@ -174,12 +185,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: %d ranks × %d threads oversubscribe a %d-core node",
 			cc.RanksPerNode, cc.ThreadsPerProc, cc.Topology.CoresPerNode())
 	}
+	if err := c.Faults.Validate(c.Procs); err != nil {
+		return err
+	}
 	return nil
 }
-
-// ErrAborted is returned from communication calls on surviving ranks
-// after another rank failed.
-var ErrAborted = errors.New("cluster: run aborted by another rank's failure")
 
 // world is the shared state of one Run.
 type world struct {
@@ -197,9 +207,19 @@ type world struct {
 	arrived      int
 	kind         string
 	contribs     [][]float64
+	present      []bool
+	depEpoch     []uint64
 	curMaxClock  float64
 	result       []float64
 	doneMaxClock float64
+
+	// fault-layer state (guarded by mu): the ordered dead list, the
+	// epoch counter bumped per death, and the aggregated fault report.
+	plan      *FaultPlan
+	dead      []bool
+	deadOrder []int
+	deadEpoch uint64
+	fstats    FaultReport
 
 	tier  LinkCost // tier spanning the whole communicator
 	pacer *pacer
@@ -217,6 +237,12 @@ type Comm struct {
 	bytesSent   int64
 	memoryBytes int64
 	jitter      *rand.Rand
+
+	// fault-layer state: compiled injection triggers (own goroutine
+	// only) and the death epoch this rank has observed (guarded by w.mu).
+	flt        *rankFaults
+	seenEpoch  uint64
+	seenDeaths int
 
 	inbox struct {
 		mu   sync.Mutex
@@ -298,6 +324,9 @@ func (c *Comm) ChargeCompute(seconds float64) {
 	}
 	c.clock += seconds
 	c.computeSecs += seconds
+	// A CrashAtClock trigger fires at the first charge that crosses it —
+	// the modeled machine died mid-compute; we notice at the boundary.
+	c.checkClockCrash()
 }
 
 // ChargeOps charges ops kernel evaluations at the configured calibrated
@@ -314,16 +343,20 @@ func (c *Comm) TrackMemory(bytes int64) {
 
 // Run executes fn on every rank concurrently and gathers the report.
 // The first error (by rank order) is returned; panics in rank functions
-// are converted to errors.
+// are converted to errors. Ranks crashed by the fault plan are NOT
+// errors: the run completes on the survivors and the report's Faults
+// section records the deaths. On error the report is still returned
+// (best effort) so fault accounting survives failed runs.
 func Run(cfg Config, fn func(c *Comm) error) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	w := &world{cfg: cfg}
+	w := &world{cfg: cfg, plan: cfg.Faults.withDefaults()}
 	w.cond = sync.NewCond(&w.mu)
 	w.pacer = newPacer(cfg.Procs, cfg.Paced)
 	w.ranks = make([]*Comm, cfg.Procs)
+	w.dead = make([]bool, cfg.Procs)
 	for r := range w.ranks {
 		c := &Comm{w: w, rank: r, jitter: rand.New(rand.NewSource(cfg.Seed + int64(r)*1000003 + 17))}
 		c.inbox.cond = sync.NewCond(&c.inbox.mu)
@@ -332,6 +365,9 @@ func Run(cfg Config, fn func(c *Comm) error) (*Report, error) {
 		c.slowdown = 1
 		if cfg.HeteroSigma > 0 {
 			c.slowdown = 1 + math.Abs(c.jitter.NormFloat64())*cfg.HeteroSigma
+		}
+		if cfg.Faults != nil {
+			c.flt = compileFaults(w.plan, r)
 		}
 		w.ranks[r] = c
 	}
@@ -350,6 +386,11 @@ func Run(cfg Config, fn func(c *Comm) error) (*Report, error) {
 			defer w.pacer.block(r, math.Inf(1))
 			defer func() {
 				if rec := recover(); rec != nil {
+					if _, killed := rec.(rankKilled); killed {
+						// Injected death: already recorded by die();
+						// survivors carry on.
+						return
+					}
 					errs[r] = fmt.Errorf("cluster: rank %d panicked: %v", r, rec)
 					w.abort()
 				}
@@ -365,7 +406,7 @@ func Run(cfg Config, fn func(c *Comm) error) (*Report, error) {
 
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return w.report(wall), err
 		}
 	}
 	return w.report(wall), nil

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // Op is a reduction operator.
@@ -38,14 +39,25 @@ func (o Op) apply(dst, src []float64) {
 	}
 }
 
-// rendezvous runs one collective round: every rank deposits its
-// contribution, the last arrival combines them (in rank order, so
-// floating-point results are deterministic), the completion time
-// max(entry clocks)+cost is applied to every rank, and the combined
-// result is handed back.
+// rendezvous runs one collective round: every live rank deposits its
+// contribution, the arrival that completes the round combines them (in
+// rank order, so floating-point results are deterministic), the
+// completion time max(entry clocks)+cost is applied to every rank, and
+// the combined result is handed back.
+//
+// Liveness: a round completes only when every LIVE rank has deposited
+// AND no death happened after any deposit (the stale-deposit guard). A
+// death therefore fails the in-progress round for everyone: waiting
+// depositors withdraw and return *RankDeadError, late arrivals observe
+// the death before depositing — so a successful collective doubles as a
+// consensus on the dead set, which the recovery protocol relies on. With
+// Config.StallTimeout set, a rank that waits longer than that in real
+// time withdraws with ErrTimeout instead of hanging.
 func (c *Comm) rendezvous(kind string, contrib []float64,
-	combine func(contribs [][]float64) []float64, costFn func(result []float64) float64) ([]float64, error) {
+	combine func(contribs [][]float64, present []bool) []float64,
+	costFn func(result []float64) float64) ([]float64, error) {
 	w := c.w
+	c.enterCollective()
 	entry := c.clock
 
 	w.mu.Lock()
@@ -53,9 +65,14 @@ func (c *Comm) rendezvous(kind string, contrib []float64,
 	if w.aborted {
 		return nil, ErrAborted
 	}
+	if err := c.observeDeathsLocked(len(contrib)); err != nil {
+		return nil, err
+	}
 	if w.arrived == 0 {
 		w.kind = kind
 		w.contribs = make([][]float64, len(w.ranks))
+		w.present = make([]bool, len(w.ranks))
+		w.depEpoch = make([]uint64, len(w.ranks))
 		w.curMaxClock = entry
 	} else if w.kind != kind {
 		err := fmt.Errorf("cluster: collective mismatch: rank %d called %s while round is %s",
@@ -68,26 +85,48 @@ func (c *Comm) rendezvous(kind string, contrib []float64,
 		w.curMaxClock = entry
 	}
 	w.contribs[c.rank] = contrib
+	w.present[c.rank] = true
+	w.depEpoch[c.rank] = w.deadEpoch
 	w.arrived++
 	myGen := w.gen
 
-	if w.arrived == len(w.ranks) {
+	if w.roundCompleteLocked() {
 		// Publish the completed round: a fast rank may immediately start
 		// the next round and reset the in-progress fields, so slow ranks
 		// read only the done* snapshot.
-		w.result = combine(w.contribs)
+		w.result = combine(w.contribs, w.present)
 		w.doneMaxClock = w.curMaxClock
 		w.arrived = 0
 		w.gen++
 		w.cond.Broadcast()
 	} else {
+		stall := w.cfg.StallTimeout
+		var deadline time.Time
+		var timer *time.Timer
+		if stall > 0 {
+			deadline = time.Now().Add(stall)
+			timer = armStall(w.cond, stall)
+			defer stopStall(timer)
+		}
 		w.pacer.block(c.rank, c.clock)
-		for w.gen == myGen && !w.aborted {
+		for w.gen == myGen && !w.aborted && c.seenEpoch == w.deadEpoch {
+			if stall > 0 && time.Now().After(deadline) {
+				w.withdrawLocked(c.rank)
+				w.pacer.resume(c.rank, c.clock)
+				return nil, fmt.Errorf("cluster: rank %d: %s stalled %v: %w", c.rank, kind, stall, ErrTimeout)
+			}
 			w.cond.Wait()
 		}
 		w.pacer.resume(c.rank, c.clock)
-		if w.aborted {
-			return nil, ErrAborted
+		if w.gen == myGen {
+			// The round did not complete: we left the wait because of an
+			// abort or a death. Withdraw so the retry round reassembles
+			// from scratch.
+			if w.aborted {
+				return nil, ErrAborted
+			}
+			w.withdrawLocked(c.rank)
+			return nil, c.observeDeathsLocked(len(contrib))
 		}
 	}
 	done := w.doneMaxClock + costFn(w.result)
@@ -95,6 +134,31 @@ func (c *Comm) rendezvous(kind string, contrib []float64,
 	c.clock = done
 	c.bytesSent += int64(len(contrib)) * 8
 	return w.result, nil
+}
+
+// roundCompleteLocked reports whether the assembling round can complete:
+// every live rank has a deposit and no deposit predates the newest
+// death. w.mu must be held.
+func (w *world) roundCompleteLocked() bool {
+	if w.arrived != w.liveCountLocked() {
+		return false
+	}
+	for r := range w.present {
+		if w.present[r] && w.depEpoch[r] != w.deadEpoch {
+			return false
+		}
+	}
+	return true
+}
+
+// withdrawLocked removes rank r's deposit from the assembling round.
+// w.mu must be held.
+func (w *world) withdrawLocked(r int) {
+	if w.present[r] {
+		w.present[r] = false
+		w.contribs[r] = nil
+		w.arrived--
+	}
 }
 
 func log2ceil(p int) float64 {
@@ -120,22 +184,32 @@ func (w *world) gatherCost(wordsPerRank int) float64 {
 	return log2ceil(p)*t.Latency.Seconds() + t.SecPerWord*float64(wordsPerRank)*float64(p-1)
 }
 
-// Barrier blocks until every rank arrives.
+// Barrier blocks until every live rank arrives.
 func (c *Comm) Barrier() error {
 	_, err := c.rendezvous("barrier", nil,
-		func([][]float64) []float64 { return nil },
+		func([][]float64, []bool) []float64 { return nil },
 		func([]float64) float64 { return c.w.treeCost(0) })
 	return err
 }
 
 // Allreduce combines data element-wise across ranks with op and returns
-// the combined vector to every rank. All ranks must pass equal lengths.
+// the combined vector to every rank. All live ranks must pass equal
+// lengths; dead ranks simply contribute nothing.
 func (c *Comm) Allreduce(data []float64, op Op) ([]float64, error) {
-	res, err := c.rendezvous("allreduce", data, func(contribs [][]float64) []float64 {
-		out := append([]float64(nil), contribs[0]...)
-		for r := 1; r < len(contribs); r++ {
+	res, err := c.rendezvous("allreduce", data, func(contribs [][]float64, present []bool) []float64 {
+		var out []float64
+		first := true
+		for r := range contribs {
+			if !present[r] {
+				continue
+			}
+			if first {
+				out = append([]float64(nil), contribs[r]...)
+				first = false
+				continue
+			}
 			if len(contribs[r]) != len(out) {
-				panic(fmt.Sprintf("cluster: allreduce length mismatch: rank 0 has %d, rank %d has %d",
+				panic(fmt.Sprintf("cluster: allreduce length mismatch: %d vs rank %d's %d",
 					len(out), r, len(contribs[r])))
 			}
 			op.apply(out, contribs[r])
@@ -150,14 +224,26 @@ func (c *Comm) Allreduce(data []float64, op Op) ([]float64, error) {
 }
 
 // Reduce combines data across ranks with op; only root receives the
-// result (others get nil).
+// result (others get nil). A dead root yields ErrRankDead.
 func (c *Comm) Reduce(root int, data []float64, op Op) ([]float64, error) {
 	if root < 0 || root >= c.Size() {
-		return nil, fmt.Errorf("cluster: reduce root %d out of range", root)
+		return nil, fmt.Errorf("cluster: reduce root %d: %w", root, ErrInvalidRank)
 	}
-	res, err := c.rendezvous("reduce", data, func(contribs [][]float64) []float64 {
-		out := append([]float64(nil), contribs[0]...)
-		for r := 1; r < len(contribs); r++ {
+	if err := c.requireAlive(root); err != nil {
+		return nil, err
+	}
+	res, err := c.rendezvous("reduce", data, func(contribs [][]float64, present []bool) []float64 {
+		var out []float64
+		first := true
+		for r := range contribs {
+			if !present[r] {
+				continue
+			}
+			if first {
+				out = append([]float64(nil), contribs[r]...)
+				first = false
+				continue
+			}
 			op.apply(out, contribs[r])
 		}
 		return out
@@ -172,16 +258,19 @@ func (c *Comm) Reduce(root int, data []float64, op Op) ([]float64, error) {
 }
 
 // Bcast distributes root's data to every rank (returned; the argument is
-// only read on root).
+// only read on root). A dead root yields ErrRankDead.
 func (c *Comm) Bcast(root int, data []float64) ([]float64, error) {
 	if root < 0 || root >= c.Size() {
-		return nil, fmt.Errorf("cluster: bcast root %d out of range", root)
+		return nil, fmt.Errorf("cluster: bcast root %d: %w", root, ErrInvalidRank)
+	}
+	if err := c.requireAlive(root); err != nil {
+		return nil, err
 	}
 	var contrib []float64
 	if c.rank == root {
 		contrib = data
 	}
-	res, err := c.rendezvous("bcast", contrib, func(contribs [][]float64) []float64 {
+	res, err := c.rendezvous("bcast", contrib, func(contribs [][]float64, present []bool) []float64 {
 		return contribs[root]
 	}, func(res []float64) float64 { return c.w.treeCost(len(res)) })
 	if err != nil {
@@ -192,7 +281,9 @@ func (c *Comm) Bcast(root int, data []float64) ([]float64, error) {
 
 // Allgatherv concatenates every rank's contribution in rank order and
 // returns the whole vector to every rank. counts[r] must equal the
-// length rank r contributes.
+// length rank r contributes; a dead rank with a nonzero count yields
+// ErrRankDead (its segment cannot be gathered — re-divide and use
+// Allreduce-style recovery instead).
 func (c *Comm) Allgatherv(contrib []float64, counts []int) ([]float64, error) {
 	if len(counts) != c.Size() {
 		return nil, fmt.Errorf("cluster: allgatherv needs %d counts, got %d", c.Size(), len(counts))
@@ -201,15 +292,25 @@ func (c *Comm) Allgatherv(contrib []float64, counts []int) ([]float64, error) {
 		return nil, fmt.Errorf("cluster: rank %d contributes %d values, counts says %d",
 			c.rank, len(contrib), counts[c.rank])
 	}
+	for r, n := range counts {
+		if n > 0 {
+			if err := c.requireAlive(r); err != nil {
+				return nil, err
+			}
+		}
+	}
 	maxCount := 0
 	for _, n := range counts {
 		if n > maxCount {
 			maxCount = n
 		}
 	}
-	res, err := c.rendezvous("allgatherv", contrib, func(contribs [][]float64) []float64 {
+	res, err := c.rendezvous("allgatherv", contrib, func(contribs [][]float64, present []bool) []float64 {
 		var out []float64
 		for r, part := range contribs {
+			if !present[r] {
+				continue
+			}
 			if len(part) != counts[r] {
 				panic(fmt.Sprintf("cluster: allgatherv count mismatch at rank %d", r))
 			}
@@ -221,4 +322,17 @@ func (c *Comm) Allgatherv(contrib []float64, counts []int) ([]float64, error) {
 		return nil, err
 	}
 	return append([]float64(nil), res...), nil
+}
+
+// requireAlive returns a *RankDeadError when rank r is dead. Unlike the
+// epoch observation this does not consume the death notification — it
+// guards collectives that structurally cannot proceed without r.
+func (c *Comm) requireAlive(r int) error {
+	w := c.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead[r] {
+		return &RankDeadError{Dead: append([]int(nil), w.deadOrder...)}
+	}
+	return nil
 }

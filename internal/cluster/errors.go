@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors of the communication substrate. Every error returned
+// from a Comm method wraps exactly one of these, so callers can branch
+// with errors.Is regardless of the formatted detail around it.
+var (
+	// ErrAborted is returned from communication calls on surviving ranks
+	// after another rank failed with a real (non-injected) error.
+	ErrAborted = errors.New("cluster: run aborted by another rank's failure")
+
+	// ErrSelfSend is returned by Send when source and destination rank
+	// coincide (the substrate has no self-delivery loopback).
+	ErrSelfSend = errors.New("cluster: send to self")
+
+	// ErrInvalidRank is returned when a rank argument is outside
+	// [0, Size).
+	ErrInvalidRank = errors.New("cluster: invalid rank")
+
+	// ErrRankDead is the detection signal of the fault layer: a
+	// communication call observed that one or more peer ranks died (were
+	// crashed by the fault plan). The concrete error is a *RankDeadError
+	// carrying the ordered dead list; errors.Is(err, ErrRankDead) is true
+	// for it.
+	ErrRankDead = errors.New("cluster: peer rank dead")
+
+	// ErrTimeout is returned when a blocking communication call exceeds
+	// its deadline: either the modeled retry budget of a lossy link was
+	// exhausted, or the real-time stall backstop (Config.StallTimeout)
+	// fired. Nothing blocks forever once a fault plan is active.
+	ErrTimeout = errors.New("cluster: communication timed out")
+)
+
+// RankDeadError reports dead ranks to a communication caller. Dead is
+// the ordered death list (globally serialized; every rank observes the
+// same order), truncated to the deaths known when the call observed the
+// failure — the recovery protocol processes it sequentially so all
+// survivors re-divide work identically.
+type RankDeadError struct {
+	// Dead holds rank indices in death order.
+	Dead []int
+}
+
+// Error implements error.
+func (e *RankDeadError) Error() string {
+	return fmt.Sprintf("cluster: ranks %v dead", e.Dead)
+}
+
+// Is makes errors.Is(err, ErrRankDead) true.
+func (e *RankDeadError) Is(target error) bool { return target == ErrRankDead }
+
+// AsRankDead unwraps err into its *RankDeadError if it carries one.
+func AsRankDead(err error) (*RankDeadError, bool) {
+	var rd *RankDeadError
+	if errors.As(err, &rd) {
+		return rd, true
+	}
+	return nil, false
+}

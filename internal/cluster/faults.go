@@ -1,0 +1,469 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// This file is the substrate's fault layer: deterministic, seeded
+// injection of rank crashes, message drops and message delays, wired
+// through Send/Recv and every collective, plus the liveness bookkeeping
+// survivors use to detect and recover from them.
+//
+// Faults are INJECTED at the transport, DETECTED by the communication
+// calls (never by the science kernels), and REPORTED on the run's
+// Report.Faults. A crash kills the victim's rank goroutine at its next
+// communication or compute-charge boundary; survivors observe the death
+// as a *RankDeadError from their next blocking call — the in-process
+// analogue of a heartbeat timeout, charged to the virtual clock with the
+// cost-model-derived detection latency (timeout = collective estimate ×
+// TimeoutSlack, see detectCharge).
+
+// FaultKind enumerates the injectable fault classes.
+type FaultKind int
+
+const (
+	// CrashAtClock kills the victim rank at the first fault check after
+	// its virtual clock reaches Fault.Clock.
+	CrashAtClock FaultKind = iota
+	// CrashAtCollective kills the victim rank as it enters its Nth
+	// collective call (1-based) — a phase-boundary crash.
+	CrashAtCollective
+	// DropMessages makes the victim's next Count matching sends vanish
+	// in transit. The modeled reliable transport detects each loss and
+	// retransmits with exponential backoff, so a drop costs time, not
+	// correctness — unless the retry budget is exhausted (ErrTimeout).
+	DropMessages
+	// DelayMessages adds Delay to the virtual flight time of the
+	// victim's next Count matching sends.
+	DelayMessages
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case CrashAtClock:
+		return "crash@clock"
+	case CrashAtCollective:
+		return "crash@collective"
+	case DropMessages:
+		return "drop"
+	case DelayMessages:
+		return "delay"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// Fault describes one injected fault. Rank is always the victim (the
+// crashing rank, or the sender of dropped/delayed messages).
+type Fault struct {
+	Kind FaultKind
+	Rank int
+	// Clock is the virtual-clock trigger time for CrashAtClock.
+	Clock float64
+	// Nth is the 1-based collective index for CrashAtCollective.
+	Nth int
+	// Count is how many matching sends are dropped/delayed (default 1).
+	Count int
+	// Peer filters dropped/delayed sends by destination (-1 = any).
+	Peer int
+	// Tag filters dropped/delayed sends by tag (AnyTag = any).
+	Tag int
+	// Delay is the added flight time for DelayMessages.
+	Delay time.Duration
+}
+
+// FaultPlan is a deterministic schedule of faults for one run. The zero
+// value (or a nil plan) injects nothing.
+type FaultPlan struct {
+	// Faults is the injection schedule.
+	Faults []Fault
+	// MaxRetries bounds the modeled retransmissions of a dropped
+	// message before Send gives up with ErrTimeout (default 8).
+	MaxRetries int
+	// TimeoutSlack scales the cost-model estimate into the detection
+	// latency charged when a survivor observes a death (default 3).
+	TimeoutSlack float64
+}
+
+func (p *FaultPlan) withDefaults() *FaultPlan {
+	out := &FaultPlan{MaxRetries: 8, TimeoutSlack: 3}
+	if p == nil {
+		return out
+	}
+	out.Faults = p.Faults
+	if p.MaxRetries > 0 {
+		out.MaxRetries = p.MaxRetries
+	}
+	if p.TimeoutSlack > 0 {
+		out.TimeoutSlack = p.TimeoutSlack
+	}
+	return out
+}
+
+// Validate reports malformed faults (victim out of range, nonpositive
+// triggers).
+func (p *FaultPlan) Validate(procs int) error {
+	if p == nil {
+		return nil
+	}
+	for i, f := range p.Faults {
+		if f.Rank < 0 || f.Rank >= procs {
+			return fmt.Errorf("cluster: fault %d: %w %d", i, ErrInvalidRank, f.Rank)
+		}
+		switch f.Kind {
+		case CrashAtClock:
+			if f.Clock < 0 || math.IsNaN(f.Clock) {
+				return fmt.Errorf("cluster: fault %d: bad crash clock %v", i, f.Clock)
+			}
+		case CrashAtCollective:
+			if f.Nth <= 0 {
+				return fmt.Errorf("cluster: fault %d: collective index must be ≥1, got %d", i, f.Nth)
+			}
+		case DropMessages, DelayMessages:
+			if f.Peer < -1 || f.Peer >= procs {
+				return fmt.Errorf("cluster: fault %d: %w peer %d", i, ErrInvalidRank, f.Peer)
+			}
+		default:
+			return fmt.Errorf("cluster: fault %d: unknown kind %d", i, int(f.Kind))
+		}
+	}
+	return nil
+}
+
+// RandomFaultPlan draws a deterministic fault schedule: n faults over P
+// ranks, crash triggers uniform over (0, horizon] virtual seconds or the
+// first few collective boundaries, drops and delays on random senders.
+// Identical (seed, P, n, horizon) always yield the identical plan — the
+// chaos tests rely on this.
+func RandomFaultPlan(seed int64, procs, n int, horizon float64) *FaultPlan {
+	rng := rand.New(rand.NewSource(seed))
+	plan := &FaultPlan{}
+	for i := 0; i < n; i++ {
+		f := Fault{Rank: rng.Intn(procs), Peer: -1, Tag: AnyTag, Count: 1 + rng.Intn(3)}
+		switch rng.Intn(4) {
+		case 0:
+			f.Kind = CrashAtClock
+			f.Clock = rng.Float64() * horizon
+		case 1:
+			f.Kind = CrashAtCollective
+			f.Nth = 1 + rng.Intn(6)
+		case 2:
+			f.Kind = DropMessages
+		default:
+			f.Kind = DelayMessages
+			f.Delay = time.Duration(rng.Float64() * horizon * float64(time.Second) / 4)
+		}
+		plan.Faults = append(plan.Faults, f)
+	}
+	return plan
+}
+
+// FaultEvent records one fault firing, stamped with the victim's
+// virtual clock.
+type FaultEvent struct {
+	Kind  FaultKind
+	Rank  int
+	Clock float64
+}
+
+// Detection records one survivor observing one death.
+type Detection struct {
+	// DeadRank is the observed victim; ByRank the observer.
+	DeadRank, ByRank int
+	// Clock is the observer's virtual clock after charging Latency.
+	Clock float64
+	// Latency is the charged detection time (cost estimate × slack).
+	Latency float64
+}
+
+// FaultReport aggregates what the fault layer injected, what the
+// survivors detected, and what recovery cost.
+type FaultReport struct {
+	// Injected lists fired faults in firing order (crashes once;
+	// drops/delays once per affected message).
+	Injected []FaultEvent
+	// Crashes/Drops/Delays/Retries are summary counters. Retries counts
+	// modeled retransmissions of dropped messages.
+	Crashes, Drops, Delays, Retries int
+	// Detections lists every (victim, observer) death observation.
+	Detections []Detection
+	// RecomputedRows counts interaction-list rows survivors re-evaluated
+	// to cover dead ranks' work.
+	RecomputedRows int
+	// RecoverySeconds is the virtual time charged to detection latency
+	// plus recomputation across all survivors.
+	RecoverySeconds float64
+	// Degraded reports a fallback to the single-rank shared runner;
+	// DegradedReason says why.
+	Degraded       bool
+	DegradedReason string
+}
+
+// String implements fmt.Stringer.
+func (r *FaultReport) String() string {
+	s := fmt.Sprintf("faults: %d crashes, %d drops (%d retries), %d delays; %d detections, %d rows recomputed, recovery %.3gs",
+		r.Crashes, r.Drops, r.Retries, r.Delays, len(r.Detections), r.RecomputedRows, r.RecoverySeconds)
+	if r.Degraded {
+		s += "; DEGRADED: " + r.DegradedReason
+	}
+	return s
+}
+
+// msgRule is a compiled drop/delay trigger for one sender.
+type msgRule struct {
+	peer, tag, count int
+	delay            float64 // 0 for drops
+}
+
+func (r *msgRule) matches(dst, tag int) bool {
+	return r.count > 0 && (r.peer == -1 || r.peer == dst) && (r.tag == AnyTag || r.tag == tag)
+}
+
+// rankFaults is one rank's compiled trigger state. It is touched only by
+// the owning rank's goroutine.
+type rankFaults struct {
+	crashClock float64 // earliest CrashAtClock trigger; +Inf = none
+	crashColl  int     // earliest CrashAtCollective index; 0 = none
+	collCount  int     // collectives entered so far
+	drops      []msgRule
+	delays     []msgRule
+}
+
+func compileFaults(plan *FaultPlan, rank int) *rankFaults {
+	rf := &rankFaults{crashClock: math.Inf(1)}
+	if plan == nil {
+		return rf
+	}
+	for _, f := range plan.Faults {
+		if f.Rank != rank {
+			continue
+		}
+		count := f.Count
+		if count <= 0 {
+			count = 1
+		}
+		switch f.Kind {
+		case CrashAtClock:
+			if f.Clock < rf.crashClock {
+				rf.crashClock = f.Clock
+			}
+		case CrashAtCollective:
+			if rf.crashColl == 0 || f.Nth < rf.crashColl {
+				rf.crashColl = f.Nth
+			}
+		case DropMessages:
+			rf.drops = append(rf.drops, msgRule{peer: f.Peer, tag: f.Tag, count: count})
+		case DelayMessages:
+			rf.delays = append(rf.delays, msgRule{peer: f.Peer, tag: f.Tag, count: count, delay: f.Delay.Seconds()})
+		}
+	}
+	return rf
+}
+
+// takeDrop consumes one drop token matching (dst, tag), if any.
+func (rf *rankFaults) takeDrop(dst, tag int) bool {
+	for i := range rf.drops {
+		if rf.drops[i].matches(dst, tag) {
+			rf.drops[i].count--
+			return true
+		}
+	}
+	return false
+}
+
+// takeDelay consumes one delay token matching (dst, tag) and returns the
+// added flight time.
+func (rf *rankFaults) takeDelay(dst, tag int) float64 {
+	for i := range rf.delays {
+		if rf.delays[i].matches(dst, tag) {
+			rf.delays[i].count--
+			return rf.delays[i].delay
+		}
+	}
+	return 0
+}
+
+// rankKilled is the panic sentinel that unwinds a crashed rank's
+// goroutine. Run's recover treats it as an injected death, not an error.
+type rankKilled struct{ rank int }
+
+// die fires the rank's crash: records the death, wakes everyone blocked
+// on it, and unwinds the goroutine.
+func (c *Comm) die(kind FaultKind) {
+	c.w.markDead(c.rank, c.clock, kind)
+	panic(rankKilled{c.rank})
+}
+
+// checkClockCrash kills the rank when its virtual clock has crossed its
+// crash trigger. Called from every compute charge and communication
+// entry, so a crash "at virtual time t" fires at the first boundary
+// after t — like a machine check noticed at the next syscall.
+func (c *Comm) checkClockCrash() {
+	if c.flt != nil && c.clock >= c.flt.crashClock {
+		c.die(CrashAtClock)
+	}
+}
+
+// enterCollective counts collective entries and fires phase-boundary
+// crashes.
+func (c *Comm) enterCollective() {
+	if c.flt == nil {
+		return
+	}
+	c.checkClockCrash()
+	c.flt.collCount++
+	if c.flt.crashColl != 0 && c.flt.collCount == c.flt.crashColl {
+		c.die(CrashAtCollective)
+	}
+}
+
+// markDead serializes a death into the world's ordered dead list and
+// wakes every blocked rank so waiters can re-check liveness. Survivors
+// observe the new epoch at their next blocking call.
+func (w *world) markDead(rank int, clock float64, kind FaultKind) {
+	w.mu.Lock()
+	if !w.dead[rank] {
+		w.dead[rank] = true
+		w.deadOrder = append(w.deadOrder, rank)
+		w.deadEpoch++
+		w.noteEventLocked(FaultEvent{Kind: kind, Rank: rank, Clock: clock})
+		w.fstats.Crashes++
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	for _, peer := range w.ranks {
+		peer.inbox.mu.Lock()
+		peer.inbox.cond.Broadcast()
+		peer.inbox.mu.Unlock()
+	}
+	// A dead rank must not hold the pacer's minimum.
+	w.pacer.block(rank, math.Inf(1))
+}
+
+// noteEventLocked appends to the fault log; w.mu must be held.
+func (w *world) noteEventLocked(ev FaultEvent) {
+	w.fstats.Injected = append(w.fstats.Injected, ev)
+}
+
+// noteDrop records one dropped message from rank at the given clock.
+func (w *world) noteDrop(rank int, clock float64) {
+	w.mu.Lock()
+	w.fstats.Drops++
+	w.noteEventLocked(FaultEvent{Kind: DropMessages, Rank: rank, Clock: clock})
+	w.mu.Unlock()
+}
+
+// noteRetry records one modeled retransmission.
+func (w *world) noteRetry() {
+	w.mu.Lock()
+	w.fstats.Retries++
+	w.mu.Unlock()
+}
+
+// noteDelay records one delayed message from rank at the given clock.
+func (w *world) noteDelay(rank int, clock float64) {
+	w.mu.Lock()
+	w.fstats.Delays++
+	w.noteEventLocked(FaultEvent{Kind: DelayMessages, Rank: rank, Clock: clock})
+	w.mu.Unlock()
+}
+
+// liveCount returns len(ranks) − deaths; w.mu must be held.
+func (w *world) liveCountLocked() int {
+	return len(w.ranks) - len(w.deadOrder)
+}
+
+// observeDeathsLocked checks whether rank c has unobserved deaths and,
+// if so, syncs its epoch, charges the detection latency and returns the
+// RankDeadError. w.mu must be held. words sizes the cost estimate of the
+// communication being attempted.
+func (c *Comm) observeDeathsLocked(words int) error {
+	w := c.w
+	if c.seenEpoch == w.deadEpoch {
+		return nil
+	}
+	charge := w.detectCharge(words)
+	newly := w.deadOrder[c.seenDeaths:]
+	c.seenEpoch = w.deadEpoch
+	c.seenDeaths = len(w.deadOrder)
+	c.clock += charge
+	c.commSecs += charge
+	for _, d := range newly {
+		w.fstats.Detections = append(w.fstats.Detections, Detection{
+			DeadRank: d, ByRank: c.rank, Clock: c.clock, Latency: charge,
+		})
+	}
+	w.fstats.RecoverySeconds += charge
+	return &RankDeadError{Dead: append([]int(nil), w.deadOrder...)}
+}
+
+// detectCharge is the modeled detection latency: the cost-model estimate
+// of the communication being waited on, scaled by the plan's slack
+// factor — timeout = (t_s·⌈log₂P⌉ + t_w·m)·slack, floored at one
+// latency. See DESIGN.md §7.
+func (w *world) detectCharge(words int) float64 {
+	est := w.treeCost(words)
+	if min := w.tier.Latency.Seconds(); est < min {
+		est = min
+	}
+	return est * w.plan.TimeoutSlack
+}
+
+// NoteRecovery records rows of re-divided work a survivor recomputed and
+// the virtual seconds it charged doing so.
+func (c *Comm) NoteRecovery(rows int, seconds float64) {
+	w := c.w
+	w.mu.Lock()
+	w.fstats.RecomputedRows += rows
+	w.fstats.RecoverySeconds += seconds
+	w.mu.Unlock()
+}
+
+// DeadRanks returns the ordered death list observed so far (a copy).
+func (c *Comm) DeadRanks() []int {
+	w := c.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]int(nil), w.deadOrder...)
+}
+
+// LiveRanks returns the sorted indices of ranks not (yet) dead.
+func (c *Comm) LiveRanks() []int {
+	w := c.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]int, 0, w.liveCountLocked())
+	for r := range w.ranks {
+		if !w.dead[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// armStall starts a timer that broadcasts cond under its lock after d,
+// so a blocking loop holding that lock can bound its wait in real time.
+// Returns nil when the backstop is disabled. Broadcasting under the lock
+// guarantees the wakeup cannot fall between a waiter's deadline check
+// and its cond.Wait.
+func armStall(cond *sync.Cond, d time.Duration) *time.Timer {
+	if d <= 0 {
+		return nil
+	}
+	return time.AfterFunc(d, func() {
+		cond.L.Lock()
+		cond.Broadcast()
+		cond.L.Unlock()
+	})
+}
+
+// stopStall stops a timer from armStall (nil-safe).
+func stopStall(t *time.Timer) {
+	if t != nil {
+		t.Stop()
+	}
+}

@@ -1,6 +1,9 @@
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // AnySource matches any sender in Recv.
 const AnySource = -1
@@ -11,23 +14,57 @@ const AnyTag = -1
 // Send delivers data to rank dst with the given tag. Sends are eager
 // (buffered): the call charges the sender's clock with the startup cost
 // and returns immediately, like an MPI eager-protocol send.
+//
+// Under a fault plan, Send models a RELIABLE transport over a lossy
+// link: each injected drop costs one retransmission with exponential
+// backoff (latency·2^attempt) on the sender's clock; when the retry
+// budget (FaultPlan.MaxRetries) is exhausted the link is declared down
+// and Send fails with ErrTimeout. Sending to a dead rank fails fast
+// with ErrRankDead.
 func (c *Comm) Send(dst, tag int, data []float64) error {
+	c.checkClockCrash()
 	if dst < 0 || dst >= c.Size() {
-		return fmt.Errorf("cluster: send to invalid rank %d", dst)
+		return fmt.Errorf("cluster: send to rank %d: %w", dst, ErrInvalidRank)
 	}
 	if dst == c.rank {
-		return fmt.Errorf("cluster: rank %d sending to itself", c.rank)
+		return fmt.Errorf("cluster: rank %d: %w", c.rank, ErrSelfSend)
+	}
+	if err := c.requireAlive(dst); err != nil {
+		return fmt.Errorf("cluster: send to rank %d: %w", dst, err)
 	}
 	tier := c.w.linkTier(c.rank, dst)
 	c.clock += tier.Latency.Seconds()
 	c.commSecs += tier.Latency.Seconds()
 	c.bytesSent += int64(len(data)) * 8
 
+	if c.flt != nil {
+		attempt := 0
+		for c.flt.takeDrop(dst, tag) {
+			c.w.noteDrop(c.rank, c.clock)
+			attempt++
+			if attempt > c.w.plan.MaxRetries {
+				return fmt.Errorf("cluster: rank %d send to %d: %d retransmissions lost: %w",
+					c.rank, dst, attempt, ErrTimeout)
+			}
+			backoff := tier.Latency.Seconds() * float64(int(1)<<attempt)
+			c.clock += backoff
+			c.commSecs += backoff
+			c.w.noteRetry()
+			c.checkClockCrash()
+		}
+	}
+
 	msg := p2pMsg{
 		src:       c.rank,
 		tag:       tag,
 		data:      append([]float64(nil), data...),
 		sendClock: c.clock,
+	}
+	if c.flt != nil {
+		if d := c.flt.takeDelay(dst, tag); d > 0 {
+			msg.sendClock += d
+			c.w.noteDelay(c.rank, c.clock)
+		}
 	}
 	peer := c.w.ranks[dst]
 	peer.inbox.mu.Lock()
@@ -76,8 +113,13 @@ type Message struct {
 // RecvMsg is Recv returning full message metadata. With block=false it
 // returns (nil, nil) when nothing matches.
 func (c *Comm) RecvMsg(src, tag int, block bool) (*Message, error) {
+	if block {
+		c.checkClockCrash()
+	}
 	c.inbox.mu.Lock()
 	defer c.inbox.mu.Unlock()
+	stall, deadline, timer := c.armRecvStall(block)
+	defer stopStall(timer)
 	for {
 		if c.w.isAborted() {
 			return nil, ErrAborted
@@ -106,6 +148,12 @@ func (c *Comm) RecvMsg(src, tag int, block bool) (*Message, error) {
 		if !block {
 			return nil, nil
 		}
+		if err := c.recvLiveness(src, 0); err != nil {
+			return nil, err
+		}
+		if stall > 0 && time.Now().After(deadline) {
+			return nil, fmt.Errorf("cluster: rank %d recv stalled %v: %w", c.rank, stall, ErrTimeout)
+		}
 		c.w.pacer.block(c.rank, c.clock)
 		c.inbox.cond.Wait()
 		c.w.pacer.resume(c.rank, c.clock)
@@ -124,6 +172,9 @@ func (c *Comm) RecvMsg(src, tag int, block bool) (*Message, error) {
 func (c *Comm) ReplyStamped(req *Message, tag int, data []float64) error {
 	if req == nil {
 		return fmt.Errorf("cluster: ReplyStamped with nil request")
+	}
+	if err := c.requireAlive(req.Src); err != nil {
+		return fmt.Errorf("cluster: reply to rank %d: %w", req.Src, err)
 	}
 	tier := c.w.linkTier(req.Src, c.rank)
 	stamp := req.SentAt + 2*tier.Latency.Seconds()
@@ -148,8 +199,13 @@ func (c *Comm) ReplyStamped(req *Message, tag int, data []float64) error {
 // recv implements the matching loop. When block is false it returns
 // (nil, -1, -1, nil) if nothing matches.
 func (c *Comm) recv(src, tag int, block bool) ([]float64, int, int, error) {
+	if block {
+		c.checkClockCrash()
+	}
 	c.inbox.mu.Lock()
 	defer c.inbox.mu.Unlock()
+	stall, deadline, timer := c.armRecvStall(block)
+	defer stopStall(timer)
 	for {
 		if c.w.isAborted() {
 			return nil, -1, -1, ErrAborted
@@ -175,10 +231,57 @@ func (c *Comm) recv(src, tag int, block bool) ([]float64, int, int, error) {
 		if !block {
 			return nil, -1, -1, nil
 		}
+		if err := c.recvLiveness(src, 0); err != nil {
+			return nil, -1, -1, err
+		}
+		if stall > 0 && time.Now().After(deadline) {
+			return nil, -1, -1, fmt.Errorf("cluster: rank %d recv stalled %v: %w", c.rank, stall, ErrTimeout)
+		}
 		c.w.pacer.block(c.rank, c.clock)
 		c.inbox.cond.Wait()
 		c.w.pacer.resume(c.rank, c.clock)
 	}
+}
+
+// armRecvStall sets up the real-time backstop for a blocking receive.
+// Returns (0, zero, nil) when the backstop is disabled or the call is
+// non-blocking.
+func (c *Comm) armRecvStall(block bool) (stall time.Duration, deadline time.Time, timer *time.Timer) {
+	if !block {
+		return 0, time.Time{}, nil
+	}
+	stall = c.w.cfg.StallTimeout
+	if stall <= 0 {
+		return 0, time.Time{}, nil
+	}
+	return stall, time.Now().Add(stall), armStall(c.inbox.cond, stall)
+}
+
+// recvLiveness decides whether a blocking receive can still be
+// satisfied: an unobserved death surfaces as *RankDeadError (the
+// heartbeat analogue — charged with the detection latency), and waiting
+// on a specific dead source, or on AnySource with no other live rank
+// left, fails likewise. Called with inbox.mu held (lock order
+// inbox.mu → w.mu is safe: nothing acquires them in reverse).
+func (c *Comm) recvLiveness(src, words int) error {
+	w := c.w
+	if w.cfg.Faults == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := c.observeDeathsLocked(words); err != nil {
+		return err
+	}
+	if src != AnySource && w.dead[src] {
+		return fmt.Errorf("cluster: recv from rank %d: %w",
+			src, &RankDeadError{Dead: append([]int(nil), w.deadOrder...)})
+	}
+	if src == AnySource && w.liveCountLocked() <= 1 {
+		return fmt.Errorf("cluster: recv: no live peers: %w",
+			&RankDeadError{Dead: append([]int(nil), w.deadOrder...)})
+	}
+	return nil
 }
 
 func (w *world) isAborted() bool {

@@ -11,6 +11,9 @@ type RankStats struct {
 	BytesSent      int64
 	MemoryBytes    int64
 	Node, Socket   int
+	// Died reports that the fault plan crashed this rank; its clock
+	// stops at the death time.
+	Died bool
 }
 
 // Report summarizes a Run.
@@ -31,6 +34,9 @@ type Report struct {
 	MaxNodeMemoryBytes int64
 	// Mode records which clock is authoritative.
 	Mode Mode
+	// Faults carries the fault layer's accounting; nil when the run had
+	// no fault plan.
+	Faults *FaultReport
 }
 
 // Seconds returns the authoritative runtime for the report's mode.
@@ -50,6 +56,10 @@ func (r *Report) String() string {
 
 func (w *world) report(wallSeconds float64) *Report {
 	rep := &Report{WallSeconds: wallSeconds, Mode: w.cfg.Mode}
+	if w.cfg.Faults != nil {
+		f := w.fstats
+		rep.Faults = &f
+	}
 	nodeMem := map[int]int64{}
 	for _, c := range w.ranks {
 		rep.PerRank = append(rep.PerRank, RankStats{
@@ -61,6 +71,7 @@ func (w *world) report(wallSeconds float64) *Report {
 			MemoryBytes:    c.memoryBytes,
 			Node:           w.node(c.rank),
 			Socket:         w.socket(c.rank),
+			Died:           w.dead[c.rank],
 		})
 		if c.clock > rep.VirtualSeconds {
 			rep.VirtualSeconds = c.clock

@@ -66,7 +66,28 @@ func RunDistributedDynamic(sys *System, cfg cluster.Config) (*Result, *DynStats,
 		return dynRank(sys, c, &outs[c.Rank()], &stats[c.Rank()])
 	})
 	if err != nil {
-		return nil, nil, err
+		// The stealing protocol is not self-healing — a fault-typed
+		// failure (dead peer mid-steal, dead link, stall) degrades to the
+		// shared runner instead of failing the computation.
+		if !degradable(err, rep) {
+			return nil, nil, err
+		}
+		shared, serr := RunShared(sys, SharedOptions{
+			Threads:      cfg.ThreadsPerProc,
+			OpsPerSecond: cfg.OpsPerSecond,
+		})
+		if serr != nil {
+			return nil, nil, serr
+		}
+		if rep != nil {
+			if rep.Faults == nil {
+				rep.Faults = &cluster.FaultReport{}
+			}
+			rep.Faults.Degraded = true
+			rep.Faults.DegradedReason = err.Error()
+			shared.Report = rep
+		}
+		return shared, &DynStats{}, nil
 	}
 	res := &Result{
 		Epol:         outs[0].epol,

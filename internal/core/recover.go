@@ -1,0 +1,362 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gbpolar/internal/cluster"
+	"gbpolar/internal/sched"
+)
+
+// This file is the self-healing distributed runner: RunDistributed's
+// Figure-4 algorithm restructured so that every collective sits in a
+// detect–re-divide–recompute–retry loop. A rank crash surfaces as
+// *cluster.RankDeadError from the next communication call (the substrate
+// guarantees a successful collective is a consensus on the dead set, see
+// cluster.rendezvous); the survivors then deterministically re-divide the
+// dead rank's row spans among themselves, redo ONLY its partial work by
+// re-filtering the compiled interaction lists (no re-traversal), and
+// retry the collective. When fewer than 2 ranks survive, the run degrades
+// to the single-rank shared runner instead.
+
+// ErrDegraded reports that the distributed run could not continue on the
+// surviving ranks and fell back to the shared-memory runner.
+var ErrDegraded = errors.New("core: degraded to shared runner")
+
+// Span is a half-open [Lo, Hi) interval of work rows (interaction-list
+// rows or atom slots).
+type Span struct{ Lo, Hi int }
+
+// Len returns Hi − Lo.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// RedivideSpans computes each rank's owned row spans after the given
+// ordered sequence of deaths. Rank r starts with segment(n, P, r); each
+// death, processed strictly in deadOrder, splits every span of the dead
+// rank evenly among the ranks still live at that point. The result is a
+// pure function of (n, P, deadOrder), so every survivor — having agreed
+// on the ordered dead list through the failed collective — computes the
+// identical partition; spans only ever move from dead ranks to live
+// ones, so a survivor's assignment grows monotonically.
+func RedivideSpans(n, P int, deadOrder []int) [][]Span {
+	asgn := make([][]Span, P)
+	for r := 0; r < P; r++ {
+		lo, hi := segment(n, P, r)
+		if hi > lo {
+			asgn[r] = []Span{{lo, hi}}
+		}
+	}
+	dead := make([]bool, P)
+	for _, d := range deadOrder {
+		if d < 0 || d >= P || dead[d] {
+			continue
+		}
+		dead[d] = true
+		var live []int
+		for r := 0; r < P; r++ {
+			if !dead[r] {
+				live = append(live, r)
+			}
+		}
+		if len(live) == 0 {
+			asgn[d] = nil
+			break
+		}
+		for _, sp := range asgn[d] {
+			for i, r := range live {
+				l, h := segment(sp.Len(), len(live), i)
+				if h > l {
+					asgn[r] = append(asgn[r], Span{sp.Lo + l, sp.Lo + h})
+				}
+			}
+		}
+		asgn[d] = nil
+	}
+	return asgn
+}
+
+// ownedRows expands rank's assignment after deaths into the row indices
+// not yet marked done, marking them done, and counts how many of them
+// are inherited — outside the rank's original fault-free segment, i.e.
+// recovered work from dead ranks. The monotone-growth property of
+// RedivideSpans makes "newly owned = owned minus done" exactly the dead
+// ranks' lost work.
+func ownedRows(n, P, rank int, deadOrder []int, done []bool) (rows []int, inherited int) {
+	origLo, origHi := segment(n, P, rank)
+	for _, sp := range RedivideSpans(n, P, deadOrder)[rank] {
+		for i := sp.Lo; i < sp.Hi; i++ {
+			if !done[i] {
+				rows = append(rows, i)
+				done[i] = true
+				if i < origLo || i >= origHi {
+					inherited++
+				}
+			}
+		}
+	}
+	return rows, inherited
+}
+
+// resilientRank is the per-rank body of the self-healing runner.
+func resilientRank(sys *System, c *Comm, out *rankOut) error {
+	P, rank := c.Size(), c.Rank()
+	p := c.Threads()
+	pool := sched.NewPool(p)
+	defer pool.Close()
+	c.TrackMemory(sys.MemoryBytes())
+
+	lists := sys.Lists(pool)
+	qLeaves := sys.QPts.Leaves()
+	aLeaves := sys.Atoms.Leaves()
+	nNodes := sys.Atoms.NumNodes()
+	nAtoms := sys.Mol.NumAtoms()
+	rate := c.OpsPerSecond()
+
+	// allreduce runs one collective of the retry protocol: build
+	// re-assembles this rank's contribution (it must reflect all work done
+	// so far, since a failed round discards every deposit), and heal
+	// redoes the newly-inherited work after a death. Fewer than 2
+	// survivors aborts the protocol with ErrDegraded.
+	allreduce := func(build func() []float64, heal func(dead []int) error) ([]float64, error) {
+		for {
+			res, err := c.Allreduce(build(), cluster.Sum)
+			if err == nil {
+				return res, nil
+			}
+			if _, ok := cluster.AsRankDead(err); !ok {
+				return nil, err
+			}
+			dead := c.DeadRanks()
+			if P-len(dead) < 2 {
+				return nil, fmt.Errorf("core: %d of %d ranks survive: %w", P-len(dead), P, ErrDegraded)
+			}
+			if rerr := heal(dead); rerr != nil {
+				return nil, rerr
+			}
+		}
+	}
+
+	// Phase 1 (Figure 4 step 2): Born integrals over owned q-point leaf
+	// rows. bornDone records which compiled Born rows this rank has
+	// evaluated into merged.
+	merged := newBornAccum(sys)
+	bornDone := make([]bool, len(qLeaves))
+	computeBorn := func(dead []int) {
+		rows, inherited := ownedRows(len(qLeaves), P, rank, dead, bornDone)
+		if len(rows) == 0 {
+			return
+		}
+		accs := make([]*bornAccum, p)
+		for i := range accs {
+			accs[i] = newBornAccum(sys)
+		}
+		sched.ParallelFor(pool, len(rows), rowGrain(len(rows), p), func(l, h, w int) {
+			for k := l; k < h; k++ {
+				before := accs[w].ops
+				bornRow(sys, lists.Born, rows[k], accs[w])
+				if d := accs[w].ops - before; d > accs[w].maxTask {
+					accs[w].maxTask = d
+				}
+			}
+		})
+		var total float64
+		for _, a := range accs {
+			merged.add(a)
+			total += a.ops
+		}
+		out.ops += total
+		charged := modelPhaseOps(total, maxOps(accs), merged.maxTask, p)
+		c.ChargeOps(charged)
+		if inherited > 0 {
+			// Recovery metering: the share of this pass spent on rows
+			// inherited from dead ranks (row-proportional attribution).
+			c.NoteRecovery(inherited, charged/rate*float64(inherited)/float64(len(rows)))
+		}
+	}
+	computeBorn(c.DeadRanks())
+	sum, err := allreduce(func() []float64 {
+		vec := make([]float64, nNodes+nAtoms)
+		copy(vec, merged.node)
+		copy(vec[nNodes:], merged.atom)
+		return vec
+	}, func(dead []int) error {
+		computeBorn(dead)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	copy(merged.node, sum[:nNodes])
+	copy(merged.atom, sum[nNodes:])
+
+	// Phase 2 (steps 4–5): Born radii for owned atom slots, shared via an
+	// Allreduce of a zero-padded full vector. Each slot is written by
+	// exactly one live rank (RedivideSpans partitions the slots), so the
+	// sum reproduces each value exactly — and, unlike Allgatherv, it
+	// tolerates the non-contiguous ownership recovery creates.
+	slotRadii := make([]float64, nAtoms)
+	slotDone := make([]bool, nAtoms)
+	computePush := func(dead []int) {
+		slots, inherited := ownedRows(nAtoms, P, rank, dead, slotDone)
+		if len(slots) == 0 {
+			return
+		}
+		var ops float64
+		// PushIntegralsToAtoms takes [lo,hi) ranges; sweep maximal runs.
+		for i := 0; i < len(slots); {
+			j := i + 1
+			for j < len(slots) && slots[j] == slots[j-1]+1 {
+				j++
+			}
+			ops += PushIntegralsToAtoms(sys, merged, slots[i], slots[j-1]+1, slotRadii)
+			i = j
+		}
+		out.ops += ops
+		c.ChargeOps(ops / float64(p))
+		if inherited > 0 {
+			c.NoteRecovery(inherited, ops/float64(p)/rate*float64(inherited)/float64(len(slots)))
+		}
+	}
+	computePush(c.DeadRanks())
+	radii, err := allreduce(func() []float64 {
+		vec := make([]float64, nAtoms)
+		for i, done := range slotDone {
+			if done {
+				vec[i] = slotRadii[i]
+			}
+		}
+		return vec
+	}, func(dead []int) error {
+		computePush(dead)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	copy(slotRadii, radii)
+
+	// Phase 3 (step 6): E_pol over owned atom-leaf rows.
+	ctx := NewEpolContext(sys, slotRadii)
+	conv := newConvScratch(ctx, p)
+	epolDone := make([]bool, len(aLeaves))
+	var raw float64
+	computeEpol := func(dead []int) {
+		rows, inherited := ownedRows(len(aLeaves), P, rank, dead, epolDone)
+		if len(rows) == 0 {
+			return
+		}
+		eaccs := make([]epolAccum, p)
+		sched.ParallelFor(pool, len(rows), rowGrain(len(rows), p), func(l, h, w int) {
+			for k := l; k < h; k++ {
+				before := eaccs[w].ops
+				epolRow(ctx, lists.Epol, rows[k], conv[w], &eaccs[w])
+				if d := eaccs[w].ops - before; d > eaccs[w].maxTask {
+					eaccs[w].maxTask = d
+				}
+			}
+		})
+		var total, maxW, maxTask float64
+		for i := range eaccs {
+			raw += eaccs[i].energy
+			total += eaccs[i].ops
+			if eaccs[i].ops > maxW {
+				maxW = eaccs[i].ops
+			}
+			if eaccs[i].maxTask > maxTask {
+				maxTask = eaccs[i].maxTask
+			}
+		}
+		out.ops += total
+		charged := modelPhaseOps(total, maxW, maxTask, p)
+		c.ChargeOps(charged)
+		if inherited > 0 {
+			c.NoteRecovery(inherited, charged/rate*float64(inherited)/float64(len(rows)))
+		}
+	}
+	computeEpol(c.DeadRanks())
+	total, err := allreduce(func() []float64 { return []float64{raw} },
+		func(dead []int) error {
+			computeEpol(dead)
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	out.epol = ctx.Finish(total[0])
+	out.radii = slotRadii
+	out.ok = true
+	return nil
+}
+
+// RunDistributedResilient is RunDistributed hardened against the fault
+// plan in cfg.Faults: any subset of rank crashes leaves the survivors
+// computing the exact same E_pol (to floating-point regrouping, ≤1e-12
+// relative), with the recovery cost metered on the virtual clock and
+// reported in Report.Faults. When the distributed run cannot complete —
+// fewer than 2 survivors, a dead link (ErrTimeout), or a stalled
+// protocol — it degrades to the single-rank shared runner and records
+// the reason in FaultReport.Degraded/DegradedReason.
+func RunDistributedResilient(sys *System, cfg cluster.Config) (*Result, error) {
+	if cfg.OpsPerSecond <= 0 {
+		cfg.OpsPerSecond = CalibratedOpsPerSecond()
+	}
+	outs := make([]rankOut, cfg.Procs)
+	start := time.Now()
+	rep, err := cluster.Run(cfg, func(c *Comm) error {
+		return resilientRank(sys, c, &outs[c.Rank()])
+	})
+	if err == nil {
+		for i := range outs {
+			if outs[i].ok {
+				res := &Result{
+					Epol:         outs[i].epol,
+					BornRadii:    sys.BornRadiiToOriginalOrder(outs[i].radii),
+					WallSeconds:  time.Since(start).Seconds(),
+					ModelSeconds: rep.VirtualSeconds,
+					Report:       rep,
+				}
+				for j := range outs {
+					res.Ops += outs[j].ops
+				}
+				return res, nil
+			}
+		}
+		// No rank produced a result: every rank crashed.
+		err = fmt.Errorf("core: no rank survived: %w", ErrDegraded)
+	}
+	if !degradable(err, rep) {
+		return nil, err
+	}
+	shared, serr := RunShared(sys, SharedOptions{
+		Threads:      cfg.ThreadsPerProc,
+		OpsPerSecond: cfg.OpsPerSecond,
+	})
+	if serr != nil {
+		return nil, serr
+	}
+	if rep != nil {
+		if rep.Faults == nil {
+			rep.Faults = &cluster.FaultReport{}
+		}
+		rep.Faults.Degraded = true
+		rep.Faults.DegradedReason = err.Error()
+		shared.Report = rep
+	}
+	shared.WallSeconds = time.Since(start).Seconds()
+	return shared, nil
+}
+
+// degradable decides whether a failed distributed run may fall back to
+// the shared runner: fault-typed failures (too few survivors, dead
+// links, stalls, unrecovered deaths) degrade; everything else — config
+// errors, programming bugs on a fault-free run — propagates. ErrAborted
+// is fault-typed only when the run actually injected faults, since a
+// faulted peer's abort reaches innocent ranks as ErrAborted.
+func degradable(err error, rep *cluster.Report) bool {
+	if errors.Is(err, ErrDegraded) || errors.Is(err, cluster.ErrRankDead) ||
+		errors.Is(err, cluster.ErrTimeout) {
+		return true
+	}
+	return errors.Is(err, cluster.ErrAborted) && rep != nil && rep.Faults != nil
+}

@@ -273,11 +273,15 @@ func RunDistributed(sys *System, cfg cluster.Config) (*Result, error) {
 	return res, nil
 }
 
-// rankOut carries one rank's results back from the SPMD body.
+// rankOut carries one rank's results back from the SPMD body. ok marks
+// outputs from ranks that finished the whole protocol — the resilient
+// runner takes its result from the first such rank, since a fault plan
+// may have killed rank 0.
 type rankOut struct {
 	epol  float64
 	radii []float64
 	ops   float64
+	ok    bool
 }
 
 // Comm aliases cluster.Comm for the rank function signature.
