@@ -1,15 +1,16 @@
 GO ?= go
 
-.PHONY: check build test vet race faults bench-warm
+.PHONY: check build test vet race faults bench-warm obs
 
 ## check: the tier-1 gate — vet, build, full test suite, race detector,
-## and the fault-injection matrix.
+## the fault-injection matrix, and the observability suite.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
 	$(MAKE) race
 	$(MAKE) faults
+	$(MAKE) obs
 
 build:
 	$(GO) build ./...
@@ -29,6 +30,13 @@ race:
 faults:
 	$(GO) test -run 'TestFaultMatrix|TestCrashAtEveryPhaseBoundary|TestChaosDeterministic' ./internal/core/
 	$(GO) test -run 'TestCrash|TestDrop|TestDelay|TestRecv|TestSend|TestBcastAndReduceDeadRoot|TestTypedSentinels|TestCollective' ./internal/cluster/
+
+## obs: the observability layer — registry under -race, span
+## nesting/ordering, timeline acceptance run, zero-alloc kernels, and
+## the <2% disabled-path overhead guard (DESIGN.md §8).
+obs:
+	$(GO) test -race ./internal/obs/
+	$(GO) test -run 'TestSharedRunTrace|TestResilientTraceTimeline|TestKernelHotLoopZeroAllocs|TestDisabledObsOverhead' -v ./internal/core/
 
 ## bench-warm: the warm-engine pose-scan pair (EXPERIMENTS.md extD).
 bench-warm:

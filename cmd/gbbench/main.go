@@ -15,8 +15,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"gbpolar/internal/bench"
+	"gbpolar/internal/obs"
 )
 
 func main() {
@@ -31,8 +35,23 @@ func main() {
 		seed   = flag.Int64("seed", 1, "generator seed")
 		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		list   = flag.Bool("list", false, "list available experiments and exit")
+
+		outDir     = flag.String("out", "", "also write BENCH_<id>.json tables, cluster reports and a MANIFEST.json to this directory")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *list {
 		for _, e := range bench.Registry() {
@@ -59,6 +78,18 @@ func main() {
 		exps = []bench.Experiment{e}
 	}
 
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		man := obs.NewManifest("gbbench", *seed, map[string]any{
+			"exp": *exp, "scale": *scale, "stride": *stride, "reps": *reps,
+		})
+		if err := man.WriteFile(filepath.Join(*outDir, "MANIFEST.json")); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	for _, e := range exps {
 		tables, err := e.Run(cfg)
 		if err != nil {
@@ -74,6 +105,53 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
+			if *outDir != "" {
+				if err := writeTable(*outDir, t); err != nil {
+					log.Fatal(err)
+				}
+			}
 		}
 	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeTable archives one result table (and, when present, the cluster
+// report behind it) under dir.
+func writeTable(dir string, t *bench.Table) error {
+	f, err := os.Create(filepath.Join(dir, "BENCH_"+t.ID+".json"))
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if t.Report == nil {
+		return nil
+	}
+	rf, err := os.Create(filepath.Join(dir, "BENCH_"+t.ID+".report.json"))
+	if err != nil {
+		return err
+	}
+	if err := t.Report.WriteJSON(rf); err != nil {
+		rf.Close()
+		return err
+	}
+	return rf.Close()
 }

@@ -16,9 +16,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"gbpolar"
@@ -54,8 +58,42 @@ func main() {
 		chaosSeed  = flag.Int64("chaos-seed", 0, "resilient: random fault schedule seed (0 = none)")
 		chaosN     = flag.Int("chaos-faults", 2, "resilient: number of random faults for -chaos-seed")
 		chaosHzn   = flag.Float64("chaos-horizon", 0.01, "resilient: virtual-time horizon (s) for random crash/delay scheduling")
+
+		// Observability and profiling.
+		verbose     = flag.Bool("v", false, "print per-phase span table and metrics after the run")
+		traceOut    = flag.String("trace", "", "write the span/event timeline as JSONL to this file")
+		chromeOut   = flag.String("chrome", "", "write a chrome://tracing-compatible trace to this file")
+		metricsOut  = flag.String("metrics", "", "write the metrics snapshot as JSON to this file")
+		manifestOut = flag.String("manifest", "", "write the run manifest (config, seed, git, host) to this file")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+		fmt.Printf("pprof: serving on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var o *gbpolar.Observer
+	if *verbose || *traceOut != "" || *chromeOut != "" || *metricsOut != "" {
+		o = gbpolar.NewObserver()
+	}
 
 	mol, err := loadOrGen(*inPath, *gen, *seed)
 	if err != nil {
@@ -75,6 +113,7 @@ func main() {
 	}
 	fmt.Printf("surface: %d quadrature points; octrees built in %v (preprocessing)\n",
 		eng.NumQuadraturePoints(), time.Since(buildStart).Round(time.Millisecond))
+	eng.Observe(o)
 
 	var res *gbpolar.Result
 	switch *runner {
@@ -151,6 +190,69 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("Born radii written to %s\n", *radiiOut)
+	}
+
+	if *verbose && o != nil {
+		fmt.Println()
+		if err := o.Trace.Fprint(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		if err := o.Metrics.Fprint(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *traceOut != "" {
+		writeTo(*traceOut, o.Trace.WriteJSONL)
+		fmt.Printf("trace written to %s (%d events)\n", *traceOut, o.Trace.NumEvents())
+	}
+	if *chromeOut != "" {
+		writeTo(*chromeOut, o.Trace.WriteChromeTrace)
+		fmt.Printf("chrome trace written to %s (load via chrome://tracing or https://ui.perfetto.dev)\n", *chromeOut)
+	}
+	if *metricsOut != "" {
+		writeTo(*metricsOut, o.Metrics.WriteJSON)
+		fmt.Printf("metrics written to %s\n", *metricsOut)
+	}
+	if *manifestOut != "" {
+		man := gbpolar.NewManifest("gbpol", *seed, map[string]any{
+			"in": *inPath, "gen": *gen, "runner": *runner,
+			"procs": *procs, "threads": *threads,
+			"eps_born": *epsBorn, "eps_epol": *epsEpol, "approx_math": *approx,
+		})
+		if err := man.WriteFile(*manifestOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("manifest written to %s\n", *manifestOut)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("heap profile written to %s\n", *memProfile)
+	}
+}
+
+// writeTo creates path and streams emit into it, failing fatally on any
+// error so partial artifacts are never mistaken for complete ones.
+func writeTo(path string, emit func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := emit(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
 	}
 }
 

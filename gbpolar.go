@@ -27,6 +27,7 @@ import (
 	"gbpolar/internal/geom"
 	"gbpolar/internal/mathx"
 	"gbpolar/internal/molecule"
+	"gbpolar/internal/obs"
 	"gbpolar/internal/surface"
 )
 
@@ -89,6 +90,25 @@ func (o Options) params() core.Params {
 	return p
 }
 
+// Observer re-exports the observability bundle: a hierarchical trace
+// (per-rank phase and collective spans on both wall and virtual clocks,
+// exportable as JSONL or chrome://tracing JSON) plus an allocation-free
+// metrics registry. See internal/obs and DESIGN.md §8.
+type Observer = obs.Obs
+
+// NewObserver returns an observer with tracing and metrics enabled.
+func NewObserver() *Observer { return obs.New() }
+
+// Manifest re-exports the run manifest (config, seed, git describe, host
+// info) that makes results/ artifacts reproducible.
+type Manifest = obs.Manifest
+
+// NewManifest collects host and revision info for the given tool, seed
+// and config.
+func NewManifest(tool string, seed int64, config map[string]any) *Manifest {
+	return obs.NewManifest(tool, seed, config)
+}
+
 // Engine holds a molecule, its sampled surface and the prebuilt octrees.
 // Building an Engine is the preprocessing step; Compute* calls are the
 // timed energy evaluations and can be repeated (e.g. per docking pose).
@@ -96,7 +116,14 @@ type Engine struct {
 	sys  *core.System
 	mol  *Molecule
 	surf *Surface
+	obs  *obs.Obs
 }
+
+// Observe attaches an observer to all subsequent Compute* calls: phase
+// and collective spans land on its trace, pair counts, batch histograms,
+// steal counts and fault events on its metrics. Passing nil detaches
+// (the default — disabled observability costs one branch per phase).
+func (e *Engine) Observe(o *Observer) { e.obs = o }
 
 // NewEngine samples the molecular surface and builds both octrees.
 func NewEngine(mol *Molecule, opts Options) (*Engine, error) {
@@ -143,7 +170,7 @@ func (e *Engine) Compute() (*Result, error) {
 // ComputeShared runs the shared-memory algorithm on `threads`
 // work-stealing workers.
 func (e *Engine) ComputeShared(threads int) (*Result, error) {
-	return core.RunShared(e.sys, core.SharedOptions{Threads: threads})
+	return core.RunShared(e.sys, core.SharedOptions{Threads: threads, Obs: e.obs})
 }
 
 // Cluster describes a distributed run layout.
@@ -188,6 +215,7 @@ func (e *Engine) ComputeDistributed(cl Cluster) (*Result, error) {
 		RanksPerNode:   cl.RanksPerNode,
 		Topology:       cluster.Lonestar4(cl.Nodes),
 		Mode:           mode,
+		Obs:            e.obs,
 	})
 }
 
@@ -242,6 +270,7 @@ func (e *Engine) ComputeDistributedResilient(cl Cluster, plan *FaultPlan) (*Resu
 		Topology:       cluster.Lonestar4(cl.Nodes),
 		Mode:           cluster.Modeled,
 		Faults:         plan,
+		Obs:            e.obs,
 	})
 }
 
@@ -272,6 +301,7 @@ func (e *Engine) ComputeDistributedDynamic(cl Cluster) (*Result, *DynStats, erro
 		RanksPerNode:   cl.RanksPerNode,
 		Topology:       cluster.Lonestar4(cl.Nodes),
 		Mode:           cluster.Modeled,
+		Obs:            e.obs,
 	})
 }
 

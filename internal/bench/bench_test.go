@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"testing"
@@ -14,7 +15,7 @@ func tinyCfg() Config {
 }
 
 func TestRegistryCoversEveryFigure(t *testing.T) {
-	want := []string{"tableI", "tableII", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "extensions"}
+	want := []string{"tableI", "tableII", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "extensions", "obs"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -264,6 +265,48 @@ func TestFig11ShapeMatchesPaper(t *testing.T) {
 	fmt.Sscanf(byProg["OCT_MPI"][6], "%g", &diff)
 	if abs(diff) > 2.0 {
 		t.Errorf("OCT_MPI %% diff with naive = %v, want within ±2", diff)
+	}
+}
+
+func TestTableWriteJSON(t *testing.T) {
+	tab := &Table{ID: "x", Title: "test", Columns: []string{"A", "B"}, Notes: []string{"n"}}
+	tab.AddRow("hello", 1.5)
+	var buf bytes.Buffer
+	if err := tab.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		ID      string     `json:"id"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "x" || len(got.Columns) != 2 || len(got.Rows) != 1 || len(got.Notes) != 1 {
+		t.Errorf("bad JSON round-trip: %+v", got)
+	}
+}
+
+func TestObsOverheadExperiment(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Repetitions = 1
+	tabs, err := obsOverhead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 1 || len(tabs[0].Rows) != 2 {
+		t.Fatalf("obs experiment shape: %d tables", len(tabs))
+	}
+	if tabs[0].Report == nil {
+		t.Error("obs experiment did not attach the cluster report")
+	}
+	// The enabled resilient run must have captured the injected crash.
+	var events int
+	fmt.Sscanf(tabs[0].Rows[1][4], "%d", &events)
+	if events < 10 {
+		t.Errorf("resilient timeline captured only %d events", events)
 	}
 }
 

@@ -32,6 +32,7 @@ func Registry() []Experiment {
 		{"fig10", "Error and running time vs E_pol approximation parameter", fig10},
 		{"fig11", "Scalability on a large molecule (CMV analogue)", fig11},
 		{"extensions", "Beyond the paper: inter-rank work stealing + dynamic octree updates", extensions},
+		{"obs", "Observability overhead: tracing+metrics on vs off", obsOverhead},
 	}
 }
 
@@ -42,7 +43,7 @@ func ByID(id string) (Experiment, error) {
 			return e, nil
 		}
 	}
-	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have tableI, tableII, fig5..fig11, extensions)", id)
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have tableI, tableII, fig5..fig11, extensions, obs)", id)
 }
 
 // tableI reports the modeled environment — the analogue of the paper's

@@ -6,9 +6,12 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
+
+	"gbpolar/internal/cluster"
 )
 
 // Table is a printable experiment result.
@@ -20,6 +23,10 @@ type Table struct {
 	// Notes carry caveats (substitutions, scale factors) printed under
 	// the table.
 	Notes []string
+	// Report optionally carries the cluster accounting behind the last
+	// distributed run of the experiment; persisted by gbbench -out as a
+	// BENCH_<id>.report.json side file, never printed inline.
+	Report *cluster.Report
 }
 
 // AddRow appends a row, formatting each cell with %v.
@@ -102,6 +109,20 @@ func lineWidth(widths []int) int {
 		total -= 2
 	}
 	return total
+}
+
+// WriteJSON emits the table (id, title, columns, rows, notes) as
+// indented JSON for results/ archiving.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Columns, t.Rows, t.Notes})
 }
 
 // CSV renders the table as comma-separated values (quotes cells

@@ -20,6 +20,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"gbpolar/internal/obs"
 )
 
 // Mode selects how Run accounts time.
@@ -146,6 +148,11 @@ type Config struct {
 	// in which case it defaults to 2 minutes — with faults active,
 	// nothing may block forever.
 	StallTimeout time.Duration
+	// Obs, when non-nil, receives a span per collective (with bytes
+	// moved), fault injections/detections/recoveries as timeline
+	// instants, and communication counters. nil — the default — costs
+	// one pointer test per communication call.
+	Obs *obs.Obs
 }
 
 func (c Config) withDefaults() Config {
@@ -271,6 +278,10 @@ func (c *Comm) Clock() float64 { return c.clock }
 
 // OpsPerSecond returns the configured calibrated kernel rate.
 func (c *Comm) OpsPerSecond() float64 { return c.w.cfg.OpsPerSecond }
+
+// Obs returns the run's observer; nil when observability is disabled.
+// Rank functions use it to open phase spans on the shared timeline.
+func (c *Comm) Obs() *obs.Obs { return c.w.cfg.Obs }
 
 // node returns the node index hosting rank r.
 func (w *world) node(r int) int { return r / w.cfg.RanksPerNode }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"gbpolar/internal/obs"
 )
 
 // Op is a reduction operator.
@@ -55,10 +57,28 @@ func (o Op) apply(dst, src []float64) {
 // time withdraws with ErrTimeout instead of hanging.
 func (c *Comm) rendezvous(kind string, contrib []float64,
 	combine func(contribs [][]float64, present []bool) []float64,
-	costFn func(result []float64) float64) ([]float64, error) {
+	costFn func(result []float64) float64) (res []float64, err error) {
 	w := c.w
 	c.enterCollective()
 	entry := c.clock
+
+	if o := w.cfg.Obs; o != nil {
+		// The span closes at the rank's post-collective clock; the
+		// deferred close runs after w.mu is released (defers are LIFO and
+		// the unlock is registered later), so the trace lock stays a leaf.
+		sp := o.Begin(c.rank, "collective", kind, entry)
+		nbytes := int64(len(contrib)) * 8
+		defer func() {
+			if err != nil {
+				sp.End(c.clock, obs.F("bytes", float64(nbytes)), obs.F("error", 1))
+				return
+			}
+			sp.End(c.clock, obs.F("bytes", float64(nbytes)))
+			o.Counter("cluster.collectives").Inc()
+			o.Counter("cluster.collective.bytes").Add(nbytes)
+			o.Histogram("cluster.collective.virt_us").Observe(int64((c.clock - entry) * 1e6))
+		}()
+	}
 
 	w.mu.Lock()
 	defer w.mu.Unlock()

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"gbpolar/internal/obs"
 )
 
 // This file is the substrate's fault layer: deterministic, seeded
@@ -332,6 +334,10 @@ func (w *world) markDead(rank int, clock float64, kind FaultKind) {
 		w.deadEpoch++
 		w.noteEventLocked(FaultEvent{Kind: kind, Rank: rank, Clock: clock})
 		w.fstats.Crashes++
+		if o := w.cfg.Obs; o != nil {
+			o.Instant(rank, "fault", "rank.crash", clock, obs.F("kind", float64(kind)))
+			o.Counter("cluster.fault.crashes").Inc()
+		}
 	}
 	w.cond.Broadcast()
 	w.mu.Unlock()
@@ -355,6 +361,10 @@ func (w *world) noteDrop(rank int, clock float64) {
 	w.fstats.Drops++
 	w.noteEventLocked(FaultEvent{Kind: DropMessages, Rank: rank, Clock: clock})
 	w.mu.Unlock()
+	if o := w.cfg.Obs; o != nil {
+		o.Instant(rank, "fault", "msg.drop", clock)
+		o.Counter("cluster.fault.drops").Inc()
+	}
 }
 
 // noteRetry records one modeled retransmission.
@@ -362,6 +372,7 @@ func (w *world) noteRetry() {
 	w.mu.Lock()
 	w.fstats.Retries++
 	w.mu.Unlock()
+	w.cfg.Obs.Counter("cluster.retransmits").Inc()
 }
 
 // noteDelay records one delayed message from rank at the given clock.
@@ -370,6 +381,10 @@ func (w *world) noteDelay(rank int, clock float64) {
 	w.fstats.Delays++
 	w.noteEventLocked(FaultEvent{Kind: DelayMessages, Rank: rank, Clock: clock})
 	w.mu.Unlock()
+	if o := w.cfg.Obs; o != nil {
+		o.Instant(rank, "fault", "msg.delay", clock)
+		o.Counter("cluster.fault.delays").Inc()
+	}
 }
 
 // liveCount returns len(ranks) − deaths; w.mu must be held.
@@ -396,6 +411,11 @@ func (c *Comm) observeDeathsLocked(words int) error {
 		w.fstats.Detections = append(w.fstats.Detections, Detection{
 			DeadRank: d, ByRank: c.rank, Clock: c.clock, Latency: charge,
 		})
+		if o := w.cfg.Obs; o != nil {
+			o.Instant(c.rank, "fault", "death.detect", c.clock,
+				obs.F("dead_rank", float64(d)), obs.F("latency_us", charge*1e6))
+			o.Counter("cluster.fault.detections").Inc()
+		}
 	}
 	w.fstats.RecoverySeconds += charge
 	return &RankDeadError{Dead: append([]int(nil), w.deadOrder...)}
@@ -421,6 +441,11 @@ func (c *Comm) NoteRecovery(rows int, seconds float64) {
 	w.fstats.RecomputedRows += rows
 	w.fstats.RecoverySeconds += seconds
 	w.mu.Unlock()
+	if o := w.cfg.Obs; o != nil {
+		o.Instant(c.rank, "recover", "rows.recomputed", c.clock,
+			obs.F("rows", float64(rows)), obs.F("virt_s", seconds))
+		o.Counter("cluster.recovered_rows").Add(int64(rows))
+	}
 }
 
 // DeadRanks returns the ordered death list observed so far (a copy).

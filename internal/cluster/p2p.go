@@ -36,6 +36,10 @@ func (c *Comm) Send(dst, tag int, data []float64) error {
 	c.clock += tier.Latency.Seconds()
 	c.commSecs += tier.Latency.Seconds()
 	c.bytesSent += int64(len(data)) * 8
+	if o := c.w.cfg.Obs; o != nil {
+		o.Counter("cluster.p2p.msgs").Inc()
+		o.Counter("cluster.p2p.bytes").Add(int64(len(data)) * 8)
+	}
 
 	if c.flt != nil {
 		attempt := 0

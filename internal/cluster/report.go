@@ -1,6 +1,10 @@
 package cluster
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
 
 // RankStats summarizes one rank's accounting.
 type RankStats struct {
@@ -47,11 +51,34 @@ func (r *Report) Seconds() float64 {
 	return r.VirtualSeconds
 }
 
+// DiedRanks returns how many ranks the fault plan crashed.
+func (r *Report) DiedRanks() int {
+	n := 0
+	for _, rs := range r.PerRank {
+		if rs.Died {
+			n++
+		}
+	}
+	return n
+}
+
 // String implements fmt.Stringer.
 func (r *Report) String() string {
-	return fmt.Sprintf("cluster run: %d ranks, %s time %.6gs, memory %.1f MB (max node %.1f MB)",
+	s := fmt.Sprintf("cluster run: %d ranks, %s time %.6gs, memory %.1f MB (max node %.1f MB)",
 		len(r.PerRank), r.Mode, r.Seconds(),
 		float64(r.TotalMemoryBytes)/(1<<20), float64(r.MaxNodeMemoryBytes)/(1<<20))
+	if r.Faults != nil {
+		s += fmt.Sprintf("; %d ranks died, %d rows recovered", r.DiedRanks(), r.Faults.RecomputedRows)
+	}
+	return s
+}
+
+// WriteJSON emits the report as indented JSON, so benchmark harnesses can
+// persist cluster accounting next to their own result files.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
 }
 
 func (w *world) report(wallSeconds float64) *Report {

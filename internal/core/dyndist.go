@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"gbpolar/internal/cluster"
+	"gbpolar/internal/obs"
 	"gbpolar/internal/sched"
 )
 
@@ -75,6 +76,7 @@ func RunDistributedDynamic(sys *System, cfg cluster.Config) (*Result, *DynStats,
 		shared, serr := RunShared(sys, SharedOptions{
 			Threads:      cfg.ThreadsPerProc,
 			OpsPerSecond: cfg.OpsPerSecond,
+			Obs:          cfg.Obs,
 		})
 		if serr != nil {
 			return nil, nil, serr
@@ -118,8 +120,17 @@ func bornPhase(sys *System, c *Comm, pool *sched.Pool, out *rankOut) ([]float64,
 	// Ranks share the System's compiled lists (first caller compiles,
 	// the rest reuse); Born row i is qLeaves[i], so this rank's segment
 	// maps directly onto rows [lo,hi).
-	il := sys.Lists(pool).Born
+	o := c.Obs()
+	bsp := o.Begin(rank, "phase", "build", c.Clock())
+	lists := sys.Lists(pool)
+	bsp.End(c.Clock())
+	if rank == 0 {
+		// Static list structure is identical across ranks — record once.
+		lists.RecordMetrics(o)
+	}
+	il := lists.Born
 	lo, hi := segment(len(qLeaves), P, rank)
+	sp := o.Begin(rank, "phase", "born", c.Clock())
 	accs := make([]*bornAccum, p)
 	for i := range accs {
 		accs[i] = newBornAccum(sys)
@@ -139,6 +150,8 @@ func bornPhase(sys *System, c *Comm, pool *sched.Pool, out *rankOut) ([]float64,
 	}
 	c.ChargeOps(modelPhaseOps(merged.ops, maxOps(accs), merged.maxTask, p))
 	out.ops += merged.ops
+	sp.End(c.Clock(), obs.F("rows", float64(hi-lo)), obs.F("ops", merged.ops))
+	o.Counter("kernel.born.batches").Add(int64(hi - lo))
 
 	vec := make([]float64, nNodes+nAtoms)
 	copy(vec, merged.node)
@@ -151,10 +164,12 @@ func bornPhase(sys *System, c *Comm, pool *sched.Pool, out *rankOut) ([]float64,
 	copy(merged.atom, sum[nNodes:])
 
 	aLo, aHi := segment(nAtoms, P, rank)
+	sp = o.Begin(rank, "phase", "push", c.Clock())
 	slotRadii := make([]float64, nAtoms)
 	pushOps := PushIntegralsToAtoms(sys, merged, aLo, aHi, slotRadii)
 	c.ChargeOps(pushOps / float64(p))
 	out.ops += pushOps
+	sp.End(c.Clock(), obs.F("ops", pushOps))
 
 	counts := make([]int, P)
 	for r := 0; r < P; r++ {
@@ -220,6 +235,8 @@ func dynRank(sys *System, c *Comm, out *rankOut, st *DynStats) error {
 	// Phase A: drain the local range, answering thieves between batches.
 	// Pace() keeps the real execution order aligned with the virtual
 	// clocks so steal availability matches the modeled machine.
+	o := c.Obs()
+	sp := o.Begin(rank, "phase", "epol", c.Clock())
 	for d.front < d.back {
 		c.Pace()
 		h := d.front + d.batch
@@ -239,6 +256,11 @@ func dynRank(sys *System, c *Comm, out *rankOut, st *DynStats) error {
 			return err
 		}
 	}
+	sp.End(c.Clock(), obs.F("rows", float64(d.leavesDone)))
+	o.Counter("kernel.epol.batches").Add(int64(d.leavesDone))
+	o.Counter("dyn.steals").Add(int64(st.Steals))
+	o.Counter("dyn.leaves_migrated").Add(int64(st.LeavesMigrated))
+	o.Counter("sched.steals").Add(pool.Steals())
 	return d.finish(slotRadii)
 }
 

@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"gbpolar/internal/geom"
+	"gbpolar/internal/obs"
 	"gbpolar/internal/octree"
 	"gbpolar/internal/sched"
 )
@@ -231,6 +232,36 @@ func (s *System) compile(pool *sched.Pool) *CompiledLists {
 	cl.Born = compileLists(s.Atoms, s.QPts, cl.bornMAC, false, false, pool)
 	cl.Epol = compileLists(s.Atoms, s.Atoms, cl.epolFar, true, true, pool)
 	return cl
+}
+
+// RecordMetrics publishes the lists' static structure to the observer:
+// total row/near/far/sym entry counts per phase plus per-row batch-size
+// histograms (the sizes the SoA batch kernels sweep). Everything here is
+// derivable from the compiled lists alone, so the hot loops in kernels.go
+// carry no instrumentation at all — the counts are recorded once per
+// run, off the critical path. No-op when o is nil.
+func (cl *CompiledLists) RecordMetrics(o *obs.Obs) {
+	if cl == nil || o == nil {
+		return
+	}
+	rec := func(prefix string, il *InteractionLists) {
+		o.Counter(prefix + ".rows").Add(int64(len(il.Rows)))
+		o.Counter(prefix + ".far_entries").Add(int64(il.NumFar()))
+		o.Counter(prefix + ".near_pairs").Add(int64(il.NumNear()))
+		o.Counter(prefix + ".sym_pairs").Add(int64(len(il.Sym)))
+		rowFar := o.Histogram(prefix + ".row_far")
+		rowNear := o.Histogram(prefix + ".row_near")
+		for i := range il.Rows {
+			rowFar.Observe(int64(il.FarOff[i+1] - il.FarOff[i]))
+			near := il.NearOff[i+1] - il.NearOff[i]
+			if il.SymOff != nil {
+				near += il.SymOff[i+1] - il.SymOff[i]
+			}
+			rowNear.Observe(int64(near))
+		}
+	}
+	rec("ilist.born", cl.Born)
+	rec("ilist.epol", cl.Epol)
 }
 
 // Lists returns the system's compiled interaction lists, building them on

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"gbpolar/internal/cluster"
+	"gbpolar/internal/obs"
+	"gbpolar/internal/sched"
+)
+
+// TestSharedRunTraceAndMetrics checks the shared runner's timeline: one
+// build/born/push/epol span each, phase spans on the virtual clock with
+// the same decomposition ModelSeconds reports, and the static
+// interaction-list metrics recorded once.
+func TestSharedRunTraceAndMetrics(t *testing.T) {
+	sys, _, _ := testSystem(t, 200, 7, Params{})
+	o := obs.New()
+	res, err := RunShared(sys, SharedOptions{Threads: 2, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	phases := map[string]obs.Event{}
+	for _, ev := range o.Trace.Events() {
+		if ev.Cat == "phase" && ev.Ph == "X" {
+			if _, dup := phases[ev.Name]; dup {
+				t.Errorf("phase %q recorded twice", ev.Name)
+			}
+			phases[ev.Name] = ev
+		}
+	}
+	for _, want := range []string{"build", "born", "push", "epol"} {
+		if _, ok := phases[want]; !ok {
+			t.Fatalf("no %q phase span; have %v", want, phases)
+		}
+	}
+	if phases["build"].HasVirt {
+		t.Error("build span should be wall-only (preprocessing is untimed)")
+	}
+	// born ∪ push ∪ epol tile [0, ModelSeconds] on the virtual axis.
+	virtSum := phases["born"].VirtDurUS + phases["push"].VirtDurUS + phases["epol"].VirtDurUS
+	if e := relErr(virtSum/1e6, res.ModelSeconds); e > 1e-9 {
+		t.Errorf("phase virtual durations sum to %g s, ModelSeconds %g", virtSum/1e6, res.ModelSeconds)
+	}
+	if phases["born"].VirtUS != 0 || !phases["epol"].HasVirt {
+		t.Error("virtual phase clocks misattached")
+	}
+
+	rows := o.Metrics.Counter("ilist.born.rows").Value()
+	if rows <= 0 {
+		t.Fatal("no ilist.born.rows recorded")
+	}
+	if got := o.Metrics.Counter("kernel.born.batches").Value(); got != rows {
+		t.Errorf("kernel.born.batches = %d, want %d (one batch per compiled row)", got, rows)
+	}
+	if o.Metrics.Counter("ilist.epol.near_pairs").Value() <= 0 {
+		t.Error("no ilist.epol.near_pairs recorded")
+	}
+	if o.Metrics.Histogram("ilist.born.row_far").Count() != rows {
+		t.Error("row_far histogram missing rows")
+	}
+}
+
+// TestResilientTraceTimeline is the issue's acceptance run: a resilient
+// 4-rank run with an injected crash must produce a timeline holding the
+// per-rank phase spans, per-collective spans with byte counts, and the
+// fault-detection + recovery events — exportable as both JSONL and a
+// chrome://tracing file.
+func TestResilientTraceTimeline(t *testing.T) {
+	sys, _, _ := testSystem(t, 200, 7, Params{})
+	o := obs.New()
+	cfg := resilientCfg(&cluster.FaultPlan{Faults: []cluster.Fault{
+		{Kind: cluster.CrashAtCollective, Rank: 1, Nth: 2},
+	}})
+	cfg.Obs = o
+	res := runResilient(t, sys, cfg)
+	if res.Report.Faults == nil || res.Report.Faults.Crashes != 1 {
+		t.Fatalf("expected exactly one crash, report: %+v", res.Report.Faults)
+	}
+
+	events := o.Trace.Events()
+	phasesByRank := map[int]map[string]bool{}
+	instants := map[string]int{}
+	collectives := 0
+	var collectiveBytes float64
+	for _, ev := range events {
+		switch {
+		case ev.Cat == "phase" && ev.Ph == "X":
+			if phasesByRank[ev.Rank] == nil {
+				phasesByRank[ev.Rank] = map[string]bool{}
+			}
+			phasesByRank[ev.Rank][ev.Name] = true
+		case ev.Cat == "collective" && ev.Ph == "X":
+			collectives++
+			collectiveBytes += ev.Args["bytes"]
+			if !ev.HasVirt {
+				t.Errorf("collective span %q without virtual clock", ev.Name)
+			}
+		case ev.Ph == "i":
+			instants[ev.Name]++
+		}
+	}
+	for r := 0; r < cfg.Procs; r++ {
+		if res.Report.PerRank[r].Died {
+			continue
+		}
+		for _, want := range []string{"build", "born", "push", "epol"} {
+			if !phasesByRank[r][want] {
+				t.Errorf("surviving rank %d missing %q phase span; has %v", r, want, phasesByRank[r])
+			}
+		}
+	}
+	if collectives < cfg.Procs {
+		t.Errorf("only %d collective spans for %d ranks", collectives, cfg.Procs)
+	}
+	if collectiveBytes <= 0 {
+		t.Error("collective spans carry no byte counts")
+	}
+	for _, want := range []string{"rank.crash", "death.detect", "rows.recomputed"} {
+		if instants[want] == 0 {
+			t.Errorf("no %q instant in timeline; have %v", want, instants)
+		}
+	}
+
+	// Events() is rank-major and time-ordered within a rank.
+	for i := 1; i < len(events); i++ {
+		a, b := events[i-1], events[i]
+		if b.Rank < a.Rank {
+			t.Fatal("events not rank-major")
+		}
+	}
+
+	// Counters agree with the authoritative fault report.
+	if got := o.Metrics.Counter("cluster.fault.crashes").Value(); got != 1 {
+		t.Errorf("cluster.fault.crashes = %d, want 1", got)
+	}
+	if o.Metrics.Counter("cluster.fault.detections").Value() <= 0 {
+		t.Error("no death detections counted")
+	}
+	if got := o.Metrics.Counter("cluster.recovered_rows").Value(); got != int64(res.Report.Faults.RecomputedRows) {
+		t.Errorf("cluster.recovered_rows = %d, report says %d", got, res.Report.Faults.RecomputedRows)
+	}
+	if o.Metrics.Counter("cluster.collectives").Value() <= 0 {
+		t.Error("no collectives counted")
+	}
+
+	// Both exports must round-trip: one JSON object per JSONL line, and a
+	// well-formed Trace Event Format envelope.
+	var buf bytes.Buffer
+	if err := o.Trace.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != o.Trace.NumEvents() {
+		t.Fatalf("JSONL has %d lines, trace %d events", len(lines), o.Trace.NumEvents())
+	}
+	for _, ln := range lines {
+		var ev obs.Event
+		if err := json.Unmarshal(ln, &ev); err != nil {
+			t.Fatalf("bad JSONL line %s: %v", ln, err)
+		}
+	}
+	buf.Reset()
+	if err := o.Trace.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &chrome); err != nil {
+		t.Fatalf("chrome trace does not parse: %v", err)
+	}
+	if len(chrome.TraceEvents) < o.Trace.NumEvents() {
+		t.Errorf("chrome trace has %d events, want >= %d", len(chrome.TraceEvents), o.Trace.NumEvents())
+	}
+}
+
+// TestKernelHotLoopZeroAllocs pins the hot loops: the SoA batch kernels
+// must not allocate, instrumented build or not — observability derives
+// its pair counts from the compiled lists, never from inside these
+// loops.
+func TestKernelHotLoopZeroAllocs(t *testing.T) {
+	sys, _, _ := testSystem(t, 300, 9, Params{})
+	pool := sched.NewPool(1)
+	defer pool.Close()
+	lists := sys.Lists(pool)
+
+	acc := newBornAccum(sys)
+	row := 0
+	if a := testing.AllocsPerRun(100, func() {
+		bornRow(sys, lists.Born, row%len(lists.Born.Rows), acc)
+		row++
+	}); a != 0 {
+		t.Errorf("bornRow allocates %.1f objects per call, want 0", a)
+	}
+
+	for i := range lists.Born.Rows {
+		bornRow(sys, lists.Born, i, acc)
+	}
+	slotRadii := make([]float64, sys.Mol.NumAtoms())
+	PushIntegralsToAtoms(sys, acc, 0, len(slotRadii), slotRadii)
+	ctx := NewEpolContext(sys, slotRadii)
+	conv := make([]float64, len(ctx.rr))
+	var eacc epolAccum
+	row = 0
+	if a := testing.AllocsPerRun(100, func() {
+		epolRow(ctx, lists.Epol, row%len(lists.Epol.Rows), conv, &eacc)
+		row++
+	}); a != 0 {
+		t.Errorf("epolRow allocates %.1f objects per call, want 0", a)
+	}
+}
+
+// TestDisabledObsOverhead is the issue's overhead guard: attaching the
+// observability layer to the 5k-atom shared energy path must cost under
+// 2% — and with Obs=nil the instrumented runner pays one pointer test
+// per phase boundary, so the nil path can only be cheaper still.
+// Interleaved min-of-N absorbs scheduler and thermal noise; a small
+// absolute floor keeps sub-millisecond jitter from failing the ratio on
+// fast machines.
+func TestDisabledObsOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	sys, _, _ := testSystem(t, 5000, 11, Params{})
+
+	run := func(o *obs.Obs) float64 {
+		res, err := RunShared(sys, SharedOptions{Threads: 4, Obs: o})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.WallSeconds
+	}
+	run(nil) // warm lists, pools, caches
+
+	const (
+		reps     = 3
+		attempts = 3
+		bound    = 0.02
+		floorSec = 0.010 // absolute noise floor
+	)
+	var off, on float64
+	for attempt := 0; attempt < attempts; attempt++ {
+		off, on = time.Hour.Seconds(), time.Hour.Seconds()
+		for rep := 0; rep < reps; rep++ {
+			if w := run(nil); w < off {
+				off = w
+			}
+			if w := run(obs.New()); w < on {
+				on = w
+			}
+		}
+		if on-off < floorSec || on/off-1 < bound {
+			return
+		}
+	}
+	t.Errorf("observability overhead %.2f%% (off %.4fs, on %.4fs), want < %.0f%%",
+		100*(on/off-1), off, on, 100*bound)
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gbpolar/internal/cluster"
+	"gbpolar/internal/obs"
 	"gbpolar/internal/sched"
 )
 
@@ -106,7 +107,13 @@ func resilientRank(sys *System, c *Comm, out *rankOut) error {
 	defer pool.Close()
 	c.TrackMemory(sys.MemoryBytes())
 
+	o := c.Obs()
+	bsp := o.Begin(rank, "phase", "build", c.Clock())
 	lists := sys.Lists(pool)
+	bsp.End(c.Clock())
+	if rank == 0 {
+		lists.RecordMetrics(o)
+	}
 	qLeaves := sys.QPts.Leaves()
 	aLeaves := sys.Atoms.Leaves()
 	nNodes := sys.Atoms.NumNodes()
@@ -147,6 +154,9 @@ func resilientRank(sys *System, c *Comm, out *rankOut) error {
 		if len(rows) == 0 {
 			return
 		}
+		// Each pass gets its own span, so post-crash re-executions show
+		// up as extra born/push/epol intervals on the timeline.
+		sp := o.Begin(rank, "phase", "born", c.Clock())
 		accs := make([]*bornAccum, p)
 		for i := range accs {
 			accs[i] = newBornAccum(sys)
@@ -168,6 +178,8 @@ func resilientRank(sys *System, c *Comm, out *rankOut) error {
 		out.ops += total
 		charged := modelPhaseOps(total, maxOps(accs), merged.maxTask, p)
 		c.ChargeOps(charged)
+		sp.End(c.Clock(), obs.F("rows", float64(len(rows))), obs.F("inherited", float64(inherited)))
+		o.Counter("kernel.born.batches").Add(int64(len(rows)))
 		if inherited > 0 {
 			// Recovery metering: the share of this pass spent on rows
 			// inherited from dead ranks (row-proportional attribution).
@@ -202,6 +214,7 @@ func resilientRank(sys *System, c *Comm, out *rankOut) error {
 		if len(slots) == 0 {
 			return
 		}
+		sp := o.Begin(rank, "phase", "push", c.Clock())
 		var ops float64
 		// PushIntegralsToAtoms takes [lo,hi) ranges; sweep maximal runs.
 		for i := 0; i < len(slots); {
@@ -214,6 +227,7 @@ func resilientRank(sys *System, c *Comm, out *rankOut) error {
 		}
 		out.ops += ops
 		c.ChargeOps(ops / float64(p))
+		sp.End(c.Clock(), obs.F("rows", float64(len(slots))), obs.F("inherited", float64(inherited)))
 		if inherited > 0 {
 			c.NoteRecovery(inherited, ops/float64(p)/rate*float64(inherited)/float64(len(slots)))
 		}
@@ -246,6 +260,7 @@ func resilientRank(sys *System, c *Comm, out *rankOut) error {
 		if len(rows) == 0 {
 			return
 		}
+		sp := o.Begin(rank, "phase", "epol", c.Clock())
 		eaccs := make([]epolAccum, p)
 		sched.ParallelFor(pool, len(rows), rowGrain(len(rows), p), func(l, h, w int) {
 			for k := l; k < h; k++ {
@@ -270,6 +285,8 @@ func resilientRank(sys *System, c *Comm, out *rankOut) error {
 		out.ops += total
 		charged := modelPhaseOps(total, maxW, maxTask, p)
 		c.ChargeOps(charged)
+		sp.End(c.Clock(), obs.F("rows", float64(len(rows))), obs.F("inherited", float64(inherited)))
+		o.Counter("kernel.epol.batches").Add(int64(len(rows)))
 		if inherited > 0 {
 			c.NoteRecovery(inherited, charged/rate*float64(inherited)/float64(len(rows)))
 		}
@@ -286,6 +303,7 @@ func resilientRank(sys *System, c *Comm, out *rankOut) error {
 	out.epol = ctx.Finish(total[0])
 	out.radii = slotRadii
 	out.ok = true
+	o.Counter("sched.steals").Add(pool.Steals())
 	return nil
 }
 
@@ -331,6 +349,7 @@ func RunDistributedResilient(sys *System, cfg cluster.Config) (*Result, error) {
 	shared, serr := RunShared(sys, SharedOptions{
 		Threads:      cfg.ThreadsPerProc,
 		OpsPerSecond: cfg.OpsPerSecond,
+		Obs:          cfg.Obs,
 	})
 	if serr != nil {
 		return nil, serr

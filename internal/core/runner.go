@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"gbpolar/internal/cluster"
+	"gbpolar/internal/obs"
 	"gbpolar/internal/sched"
 )
 
@@ -55,6 +56,11 @@ type SharedOptions struct {
 	// from the root on every call; it is kept as the cross-check
 	// reference and for the ablation benchmarks.
 	Recursive bool
+	// Obs, when non-nil, receives per-phase spans (build, born, push,
+	// epol — virtual timestamps follow the modeled clock), interaction-
+	// list metrics and the pool's steal count. The hot SoA loops carry no
+	// instrumentation either way; nil costs one branch per phase.
+	Obs *obs.Obs
 }
 
 // RunShared computes Born radii and E_pol with pure shared-memory
@@ -71,9 +77,14 @@ func RunShared(sys *System, opts SharedOptions) (*Result, error) {
 		rate = CalibratedOpsPerSecond()
 	}
 	p := pool.NumWorkers()
+	o := opts.Obs
+	steals0 := pool.Steals()
 	var lists *CompiledLists
 	if !opts.Recursive {
+		bsp := o.Begin(0, "phase", "build", obs.NoVirtual)
 		lists = sys.Lists(pool)
+		bsp.End(obs.NoVirtual)
+		lists.RecordMetrics(o)
 		if sys.Params.DebugCheckLists {
 			if err := sys.RecheckLists(pool); err != nil {
 				return nil, err
@@ -85,7 +96,10 @@ func RunShared(sys *System, opts SharedOptions) (*Result, error) {
 	// Phase 1 (Figure 4 step 2): APPROX-INTEGRALS over all q-point
 	// leaves, per-worker private accumulators. The compiled path sweeps
 	// the precomputed lists with the SoA batch kernel; the reference path
-	// re-runs the recursive traversal.
+	// re-runs the recursive traversal. Phase spans use the running
+	// modeled time as their virtual clock so the timeline's virtual axis
+	// matches ModelSeconds.
+	sp := o.Begin(0, "phase", "born", 0)
 	accs := make([]*bornAccum, p)
 	for i := range accs {
 		accs[i] = newBornAccum(sys)
@@ -119,13 +133,20 @@ func RunShared(sys *System, opts SharedOptions) (*Result, error) {
 		merged.add(a)
 	}
 	model := modelPhaseOps(merged.ops, maxOps(accs), merged.maxTask, p) / rate
+	sp.End(model, obs.F("ops", merged.ops))
+	if lists != nil {
+		o.Counter("kernel.born.batches").Add(int64(len(lists.Born.Rows)))
+	}
 
 	// Phase 2 (step 4): push integrals down and invert to Born radii.
+	sp = o.Begin(0, "phase", "push", model)
 	slotRadii := make([]float64, sys.Mol.NumAtoms())
 	pushOps := PushIntegralsToAtoms(sys, merged, 0, len(slotRadii), slotRadii)
 	model += pushOps / (rate * float64(p))
+	sp.End(model, obs.F("ops", pushOps))
 
 	// Phase 3 (step 6): APPROX-EPOL over all atom leaves.
+	sp = o.Begin(0, "phase", "epol", model)
 	ctx := NewEpolContext(sys, slotRadii)
 	eaccs := make([]epolAccum, p)
 	aLeaves := sys.Atoms.Leaves()
@@ -164,6 +185,11 @@ func RunShared(sys *System, opts SharedOptions) (*Result, error) {
 		totalOps += eaccs[i].ops
 	}
 	model += modelPhaseOps(totalOps, maxE, maxTask, p) / rate
+	sp.End(model, obs.F("ops", totalOps))
+	if lists != nil {
+		o.Counter("kernel.epol.batches").Add(int64(len(lists.Epol.Rows)))
+	}
+	o.Counter("sched.steals").Add(pool.Steals() - steals0)
 	totalOps += merged.ops + pushOps
 
 	return &Result{
@@ -306,10 +332,12 @@ func distRank(sys *System, c *Comm, out *rankOut) error {
 	// Step 6: APPROX-EPOL for this rank's segment of atom leaves
 	// (node-node work division). Ranks share the System's compiled lists
 	// (the first rank compiles, the rest reuse): row i is aLeaves[i].
+	o := c.Obs()
 	ctx := NewEpolContext(sys, slotRadii)
 	il := sys.Lists(pool).Epol
 	aLeaves := sys.Atoms.Leaves()
 	eLo, eHi := segment(len(aLeaves), P, rank)
+	sp := o.Begin(rank, "phase", "epol", c.Clock())
 	eaccs := make([]epolAccum, p)
 	conv := newConvScratch(ctx, p)
 	sched.ParallelFor(pool, eHi-eLo, rowGrain(eHi-eLo, p), func(l, h, w int) {
@@ -334,6 +362,9 @@ func distRank(sys *System, c *Comm, out *rankOut) error {
 		out.ops += eaccs[i].ops
 	}
 	c.ChargeOps(modelPhaseOps(rankOps, maxE, maxTask, p))
+	sp.End(c.Clock(), obs.F("rows", float64(eHi-eLo)), obs.F("ops", rankOps))
+	o.Counter("kernel.epol.batches").Add(int64(eHi - eLo))
+	o.Counter("sched.steals").Add(pool.Steals())
 
 	// Step 7: reduce partial energies (Allreduce so every rank returns
 	// the final value, like MPI_Allreduce in the paper's step 3 wording).

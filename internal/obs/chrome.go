@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// This file converts a Trace into the Chrome Trace Event Format (the
+// JSON array flavour), loadable in chrome://tracing and Perfetto. Each
+// rank becomes one "process" (pid = rank) and each event category one
+// named "thread" inside it, so phases, collectives and fault events
+// stack as separate swim lanes per rank. Timestamps use the virtual
+// clock when the event has one (the authoritative time of modeled
+// runs) and the wall clock otherwise.
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTid maps an event category to a stable lane index.
+func chromeTid(cat string) int {
+	switch cat {
+	case "phase":
+		return 0
+	case "collective", "comm":
+		return 1
+	case "fault", "recover":
+		return 2
+	default:
+		return 3
+	}
+}
+
+// chromeLaneNames mirrors chromeTid for thread_name metadata.
+var chromeLaneNames = map[int]string{
+	0: "phases",
+	1: "communication",
+	2: "faults+recovery",
+	3: "other",
+}
+
+// WriteChromeTrace emits the timeline as a chrome://tracing JSON array.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	events := t.Events()
+	out := make([]chromeEvent, 0, len(events)+8)
+
+	// Metadata: name each rank's process and each category lane, for
+	// every (rank, lane) pair that actually occurs.
+	seenRank := map[int]bool{}
+	seenLane := map[[2]int]bool{}
+	for _, ev := range events {
+		if !seenRank[ev.Rank] {
+			seenRank[ev.Rank] = true
+			out = append(out, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: ev.Rank,
+				Args: map[string]any{"name": "rank"},
+			})
+		}
+		lane := chromeTid(ev.Cat)
+		if key := [2]int{ev.Rank, lane}; !seenLane[key] {
+			seenLane[key] = true
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: ev.Rank, Tid: lane,
+				Args: map[string]any{"name": chromeLaneNames[lane]},
+			})
+		}
+	}
+
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Cat,
+			Ph:   ev.Ph,
+			Pid:  ev.Rank,
+			Tid:  chromeTid(ev.Cat),
+			TS:   ev.start(),
+			Dur:  ev.dur(),
+		}
+		if ev.Ph == "i" {
+			ce.S = "t" // thread-scoped instant marker
+		}
+		if len(ev.Args) > 0 || ev.HasVirt {
+			ce.Args = make(map[string]any, len(ev.Args)+2)
+			for k, v := range ev.Args {
+				ce.Args[k] = v
+			}
+			// Keep the other clock domain visible in the inspector.
+			ce.Args["wall_us"] = ev.WallUS
+			if ev.WallDurUS > 0 {
+				ce.Args["wall_dur_us"] = ev.WallDurUS
+			}
+		}
+		out = append(out, ce)
+	}
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{out, "ms"}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

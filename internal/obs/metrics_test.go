@@ -1,0 +1,159 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"gbpolar/internal/obs"
+	"gbpolar/internal/sched"
+)
+
+// TestMetricsConcurrent hammers one registry from sched workers — the
+// exact concurrency pattern of the instrumented runners — and checks the
+// totals. Run under -race this pins down that Counter/Gauge/Histogram
+// updates are data-race-free.
+func TestMetricsConcurrent(t *testing.T) {
+	reg := obs.NewRegistry()
+	pool := sched.NewPool(4)
+	defer pool.Close()
+
+	const tasks = 64
+	const perTask = 1000
+	ctr := reg.Counter("test.ops")
+	hist := reg.Histogram("test.batch")
+	pool.Run(func(w *sched.Worker) {
+		for i := 0; i < tasks; i++ {
+			i := i
+			w.Spawn(func(w *sched.Worker) {
+				for j := 0; j < perTask; j++ {
+					ctr.Inc()
+					hist.Observe(int64(i + 1))
+					// Handle resolution from workers must be safe too.
+					reg.Counter("test.ops2").Add(2)
+					reg.Gauge("test.level").Set(float64(w.ID()))
+				}
+			})
+		}
+	})
+
+	if got := ctr.Value(); got != tasks*perTask {
+		t.Fatalf("counter = %d, want %d", got, tasks*perTask)
+	}
+	if got := reg.Counter("test.ops2").Value(); got != 2*tasks*perTask {
+		t.Fatalf("ops2 = %d, want %d", got, 2*tasks*perTask)
+	}
+	if got := hist.Count(); got != tasks*perTask {
+		t.Fatalf("hist count = %d, want %d", got, tasks*perTask)
+	}
+	if got, want := hist.Max(), int64(tasks); got != want {
+		t.Fatalf("hist max = %d, want %d", got, want)
+	}
+	lvl := reg.Gauge("test.level").Value()
+	if lvl < 0 || lvl >= 4 {
+		t.Fatalf("gauge = %g, want a worker id in [0,4)", lvl)
+	}
+}
+
+// TestHistogramBuckets checks the power-of-two bucket edges.
+func TestHistogramBuckets(t *testing.T) {
+	var h obs.Histogram
+	for _, v := range []int64{0, 1, 2, 3, 4, 100, -5} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 100 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	buckets := h.Snapshot()
+	// Expected: le=0 (v≤0: 0 and -5), le=1 (1), le=3 (2,3), le=7 (4),
+	// le=127 (100).
+	want := map[int64]int64{0: 2, 1: 1, 3: 2, 7: 1, 127: 1}
+	if len(buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want edges %v", buckets, want)
+	}
+	for _, b := range buckets {
+		if want[b.Le] != b.N {
+			t.Fatalf("bucket le=%d n=%d, want n=%d", b.Le, b.N, want[b.Le])
+		}
+	}
+}
+
+// TestMetricUpdatesAllocFree: hot-path updates must not allocate.
+func TestMetricUpdatesAllocFree(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h")
+	if n := testing.AllocsPerRun(100, func() {
+		c.Add(3)
+		g.Set(1.5)
+		h.Observe(17)
+	}); n != 0 {
+		t.Fatalf("metric updates allocate %.1f per op, want 0", n)
+	}
+	// Nil handles (disabled observability) must also be free.
+	var nc *obs.Counter
+	var ng *obs.Gauge
+	var nh *obs.Histogram
+	if n := testing.AllocsPerRun(100, func() {
+		nc.Add(3)
+		ng.Set(1.5)
+		nh.Observe(17)
+	}); n != 0 {
+		t.Fatalf("nil metric updates allocate %.1f per op, want 0", n)
+	}
+}
+
+// TestRegistrySnapshotJSON round-trips the snapshot through JSON.
+func TestRegistrySnapshotJSON(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("pairs.near").Add(123)
+	reg.Gauge("imbalance").Set(1.07)
+	reg.Histogram("batch.size").Observe(48)
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.MetricsSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["pairs.near"] != 123 {
+		t.Fatalf("counters = %v", snap.Counters)
+	}
+	if snap.Gauges["imbalance"] != 1.07 {
+		t.Fatalf("gauges = %v", snap.Gauges)
+	}
+	hs := snap.Histograms["batch.size"]
+	if hs.Count != 1 || hs.Max != 48 {
+		t.Fatalf("histogram = %+v", hs)
+	}
+
+	var tbl bytes.Buffer
+	if err := reg.Fprint(&tbl); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(tbl.Bytes(), []byte("pairs.near")) {
+		t.Fatalf("Fprint missing counter:\n%s", tbl.String())
+	}
+}
+
+// TestNilRegistryInert: nil registry hands out nil (no-op) handles.
+func TestNilRegistryInert(t *testing.T) {
+	var reg *obs.Registry
+	reg.Counter("x").Inc()
+	reg.Gauge("y").Set(1)
+	reg.Histogram("z").Observe(1)
+	snap := reg.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatal("nil registry produced metrics")
+	}
+	var buf bytes.Buffer
+	if err := reg.Fprint(&buf); err != nil || buf.Len() != 0 {
+		t.Fatal("nil registry printed output")
+	}
+}

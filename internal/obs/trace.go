@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// NoVirtual marks a span or instant with no virtual-clock timestamp
+// (shared-memory runners, which have only the wall clock).
+const NoVirtual = -1
+
+// KV is one event argument (name → numeric value). Arguments carry
+// per-event payload such as bytes moved, rows recomputed or op counts.
+type KV struct {
+	K string
+	V float64
+}
+
+// F is shorthand for KV{k, v}.
+func F(k string, v float64) KV { return KV{K: k, V: v} }
+
+// Event is one timeline entry. Phases are "X" (complete spans, with
+// durations); instantaneous occurrences (fault injections, detections,
+// recovery notes) are "i". Timestamps are microseconds: wall times are
+// relative to the trace's creation, virtual times to the run's virtual
+// clock origin. HasVirt distinguishes a true virtual timestamp of 0
+// from "no virtual clock".
+type Event struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	Ph   string `json:"ph"`
+	Rank int    `json:"rank"`
+
+	WallUS    float64 `json:"wall_us"`
+	WallDurUS float64 `json:"wall_dur_us,omitempty"`
+	VirtUS    float64 `json:"virt_us"`
+	VirtDurUS float64 `json:"virt_dur_us,omitempty"`
+	HasVirt   bool    `json:"virt"`
+
+	Args map[string]float64 `json:"args,omitempty"`
+
+	// seq is the emission order, the tie-breaker that keeps the sorted
+	// output deterministic.
+	seq uint64
+}
+
+// start returns the event's ordering timestamp: the virtual clock when
+// present (the authoritative time of modeled runs), wall otherwise.
+func (e *Event) start() float64 {
+	if e.HasVirt {
+		return e.VirtUS
+	}
+	return e.WallUS
+}
+
+// dur returns the matching duration for start's clock domain.
+func (e *Event) dur() float64 {
+	if e.HasVirt {
+		return e.VirtDurUS
+	}
+	return e.WallDurUS
+}
+
+// Trace collects events from any number of goroutines. The zero value
+// is not usable; create with NewTrace. A nil *Trace is fully inert.
+type Trace struct {
+	mu     sync.Mutex
+	wall0  time.Time
+	seq    uint64
+	events []Event
+}
+
+// NewTrace returns an empty trace whose wall origin is now.
+func NewTrace() *Trace {
+	return &Trace{wall0: time.Now()}
+}
+
+// Span is an open trace interval. The zero Span (from a nil trace) is
+// inert: End on it does nothing. Spans are values — opening one
+// allocates nothing.
+type Span struct {
+	t         *Trace
+	name, cat string
+	rank      int
+	wallStart time.Time
+	virtStart float64
+	hasVirt   bool
+}
+
+// Begin opens a span at the given virtual clock (seconds; NoVirtual for
+// wall-only runners). Nil-safe.
+func (t *Trace) Begin(rank int, cat, name string, virtClock float64) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{
+		t: t, name: name, cat: cat, rank: rank,
+		wallStart: time.Now(),
+		virtStart: virtClock,
+		hasVirt:   virtClock >= 0,
+	}
+}
+
+// End closes the span at the given virtual clock (ignored when the span
+// was opened with NoVirtual) and records it with the given arguments.
+func (s Span) End(virtClock float64, args ...KV) {
+	if s.t == nil {
+		return
+	}
+	now := time.Now()
+	ev := Event{
+		Name: s.name, Cat: s.cat, Ph: "X", Rank: s.rank,
+		WallUS:    float64(s.wallStart.Sub(s.t.wall0)) / float64(time.Microsecond),
+		WallDurUS: float64(now.Sub(s.wallStart)) / float64(time.Microsecond),
+		HasVirt:   s.hasVirt,
+	}
+	if s.hasVirt {
+		ev.VirtUS = s.virtStart * 1e6
+		if virtClock > s.virtStart {
+			ev.VirtDurUS = (virtClock - s.virtStart) * 1e6
+		}
+	}
+	s.t.add(ev, args)
+}
+
+// Instant records an instantaneous event.
+func (t *Trace) Instant(rank int, cat, name string, virtClock float64, args ...KV) {
+	if t == nil {
+		return
+	}
+	ev := Event{
+		Name: name, Cat: cat, Ph: "i", Rank: rank,
+		WallUS:  float64(time.Since(t.wall0)) / float64(time.Microsecond),
+		HasVirt: virtClock >= 0,
+	}
+	if ev.HasVirt {
+		ev.VirtUS = virtClock * 1e6
+	}
+	t.add(ev, args)
+}
+
+func (t *Trace) add(ev Event, args []KV) {
+	if len(args) > 0 {
+		ev.Args = make(map[string]float64, len(args))
+		for _, a := range args {
+			ev.Args[a.K] = a.V
+		}
+	}
+	t.mu.Lock()
+	ev.seq = t.seq
+	t.seq++
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// NumEvents returns the number of recorded events.
+func (t *Trace) NumEvents() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a sorted copy of the timeline: by rank, then start
+// time, with longer (enclosing) spans before shorter ones at equal
+// starts — so a parent span always precedes the sub-spans it contains
+// and the JSONL output reads as a per-rank, time-ordered log.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]Event(nil), t.events...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		if a.start() != b.start() {
+			return a.start() < b.start()
+		}
+		if a.dur() != b.dur() {
+			return a.dur() > b.dur()
+		}
+		return a.seq < b.seq
+	})
+	return out
+}
+
+// WriteJSONL emits the sorted timeline, one JSON event per line.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range t.Events() {
+		if err := enc.Encode(&ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// phaseAgg is one row of the per-phase summary.
+type phaseAgg struct {
+	cat, name  string
+	count      int
+	wallUS     float64
+	virtUS     float64
+	bytesMoved float64
+}
+
+// Fprint writes a human-readable per-phase table: spans aggregated by
+// (category, name) with counts and total wall/virtual time, instants by
+// count. This is the `-v` view of a run.
+func (t *Trace) Fprint(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	byKey := map[string]*phaseAgg{}
+	var order []string
+	for _, ev := range t.Events() {
+		key := ev.Cat + "\x00" + ev.Name
+		a := byKey[key]
+		if a == nil {
+			a = &phaseAgg{cat: ev.Cat, name: ev.Name}
+			byKey[key] = a
+			order = append(order, key)
+		}
+		a.count++
+		a.wallUS += ev.WallDurUS
+		a.virtUS += ev.VirtDurUS
+		a.bytesMoved += ev.Args["bytes"]
+	}
+	if _, err := fmt.Fprintf(w, "%-12s %-22s %7s %12s %12s %10s\n",
+		"category", "name", "count", "wall (ms)", "virt (ms)", "bytes"); err != nil {
+		return err
+	}
+	for _, key := range order {
+		a := byKey[key]
+		if _, err := fmt.Fprintf(w, "%-12s %-22s %7d %12.3f %12.3f %10.0f\n",
+			a.cat, a.name, a.count, a.wallUS/1e3, a.virtUS/1e3, a.bytesMoved); err != nil {
+			return err
+		}
+	}
+	return nil
+}

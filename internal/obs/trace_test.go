@@ -1,0 +1,238 @@
+package obs_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gbpolar/internal/obs"
+)
+
+// TestSpanNestingOrder checks the JSONL emitter's ordering contract: per
+// rank, events sort by start time with enclosing (longer) spans before
+// the sub-spans they contain, regardless of emission order — End() fires
+// child-first, so the raw append order is inverted.
+func TestSpanNestingOrder(t *testing.T) {
+	tr := obs.NewTrace()
+
+	// Rank 1 first to check rank-major ordering too.
+	outer1 := tr.Begin(1, "phase", "E_pol", 10.0)
+	inner1 := tr.Begin(1, "phase", "epol.far", 10.0)
+	inner1.End(12.0)
+	outer1.End(15.0)
+
+	outer0 := tr.Begin(0, "phase", "Born", 0.0)
+	innerA := tr.Begin(0, "phase", "born.near", 0.0)
+	innerA.End(1.0)
+	innerB := tr.Begin(0, "phase", "born.far", 1.0)
+	innerB.End(3.0)
+	outer0.End(3.0)
+
+	events := tr.Events()
+	var got []string
+	for _, ev := range events {
+		got = append(got, ev.Name)
+	}
+	want := []string{"Born", "born.near", "born.far", "E_pol", "epol.far"}
+	if len(got) != len(want) {
+		t.Fatalf("event count = %d, want %d (%v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if events[0].Rank != 0 || events[3].Rank != 1 {
+		t.Fatalf("rank-major ordering violated: %+v", events)
+	}
+	// Virtual durations follow the virtual clock, not the wall clock.
+	if events[0].VirtDurUS != 3e6 {
+		t.Fatalf("Born virt_dur_us = %g, want 3e6", events[0].VirtDurUS)
+	}
+	if !events[0].HasVirt {
+		t.Fatal("Born span should carry a virtual timestamp")
+	}
+}
+
+// TestWriteJSONL checks one-event-per-line JSON with the schema fields.
+func TestWriteJSONL(t *testing.T) {
+	tr := obs.NewTrace()
+	s := tr.Begin(2, "collective", "allreduce", 1.5)
+	s.End(1.75, obs.F("bytes", 4096))
+	tr.Instant(2, "fault", "rank.crash", 2.0, obs.F("rank", 3))
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	span := lines[0]
+	if span["name"] != "allreduce" || span["ph"] != "X" {
+		t.Fatalf("span line = %v", span)
+	}
+	if span["virt_us"].(float64) != 1.5e6 {
+		t.Fatalf("virt_us = %v, want 1.5e6", span["virt_us"])
+	}
+	if span["virt_dur_us"].(float64) != 0.25e6 {
+		t.Fatalf("virt_dur_us = %v, want 0.25e6", span["virt_dur_us"])
+	}
+	args := span["args"].(map[string]any)
+	if args["bytes"].(float64) != 4096 {
+		t.Fatalf("bytes arg = %v", args["bytes"])
+	}
+	inst := lines[1]
+	if inst["ph"] != "i" || inst["name"] != "rank.crash" {
+		t.Fatalf("instant line = %v", inst)
+	}
+}
+
+// TestChromeTraceValid checks that the chrome://tracing export is valid
+// JSON with the expected envelope, metadata, and microsecond timestamps.
+func TestChromeTraceValid(t *testing.T) {
+	tr := obs.NewTrace()
+	s := tr.Begin(0, "phase", "build", obs.NoVirtual)
+	s.End(obs.NoVirtual)
+	c := tr.Begin(0, "collective", "allgatherv", 0.5)
+	c.End(0.75, obs.F("bytes", 800))
+	tr.Instant(1, "fault", "rank.crash", 1.0)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			S    string         `json:"s"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var spans, instants, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spans++
+			if ev.Name == "allgatherv" {
+				if ev.TS != 0.5e6 || ev.Dur != 0.25e6 {
+					t.Fatalf("allgatherv ts/dur = %g/%g, want virtual clock", ev.TS, ev.Dur)
+				}
+				if ev.Args["bytes"].(float64) != 800 {
+					t.Fatalf("allgatherv args = %v", ev.Args)
+				}
+			}
+		case "i":
+			instants++
+			if ev.S != "t" {
+				t.Fatalf("instant scope = %q, want t", ev.S)
+			}
+		case "M":
+			meta++
+		}
+	}
+	if spans != 2 || instants != 1 {
+		t.Fatalf("spans=%d instants=%d, want 2/1", spans, instants)
+	}
+	if meta < 4 { // ≥2 process_name + ≥2 thread_name
+		t.Fatalf("metadata events = %d, want >= 4", meta)
+	}
+}
+
+// TestFprintTable smoke-tests the per-phase summary table.
+func TestFprintTable(t *testing.T) {
+	tr := obs.NewTrace()
+	for i := 0; i < 3; i++ {
+		s := tr.Begin(0, "phase", "Born", float64(i))
+		s.End(float64(i)+0.5, obs.F("bytes", 100))
+	}
+	var buf bytes.Buffer
+	if err := tr.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Born") || !strings.Contains(out, "3") {
+		t.Fatalf("table missing aggregated row:\n%s", out)
+	}
+}
+
+// TestNilTraceInert: every operation on a nil trace and its spans must be
+// a safe no-op — this is the disabled-observability fast path.
+func TestNilTraceInert(t *testing.T) {
+	var tr *obs.Trace
+	s := tr.Begin(0, "phase", "x", 1.0)
+	s.End(2.0, obs.F("bytes", 1))
+	tr.Instant(0, "fault", "y", obs.NoVirtual)
+	if tr.NumEvents() != 0 || tr.Events() != nil {
+		t.Fatal("nil trace recorded events")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Fatal("nil trace wrote output")
+	}
+	if err := tr.WriteChromeTrace(&buf); err != nil || buf.Len() != 0 {
+		t.Fatal("nil trace wrote chrome output")
+	}
+
+	var o *obs.Obs
+	if o.Enabled() {
+		t.Fatal("nil Obs reports enabled")
+	}
+	o.Begin(0, "phase", "x", 1.0).End(2.0)
+	o.Instant(0, "fault", "y", 1.0)
+	o.Counter("c").Inc()
+	o.Gauge("g").Set(1)
+	o.Histogram("h").Observe(1)
+}
+
+// TestManifest checks the run manifest round-trips through JSON with the
+// reproducibility fields populated.
+func TestManifest(t *testing.T) {
+	m := obs.NewManifest("gbtest", 42, map[string]any{"atoms": 5000})
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["tool"] != "gbtest" || back["seed"].(float64) != 42 {
+		t.Fatalf("manifest = %v", back)
+	}
+	for _, key := range []string{"time", "git", "os", "arch", "go"} {
+		if v, ok := back[key].(string); !ok || v == "" {
+			t.Fatalf("manifest missing %q: %v", key, back)
+		}
+	}
+	if back["cpus"].(float64) < 1 {
+		t.Fatalf("cpus = %v", back["cpus"])
+	}
+	cfg := back["config"].(map[string]any)
+	if cfg["atoms"].(float64) != 5000 {
+		t.Fatalf("config = %v", cfg)
+	}
+}
