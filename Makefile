@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check build test vet race faults bench-warm obs
+.PHONY: check build test vet race faults bench-warm obs perfgate
 
 ## check: the tier-1 gate — vet, build, full test suite, race detector,
-## the fault-injection matrix, and the observability suite.
+## the fault-injection matrix, the observability suite, and the perf
+## regression gate.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -11,6 +12,7 @@ check:
 	$(MAKE) race
 	$(MAKE) faults
 	$(MAKE) obs
+	$(MAKE) perfgate
 
 build:
 	$(GO) build ./...
@@ -37,6 +39,18 @@ faults:
 obs:
 	$(GO) test -race ./internal/obs/
 	$(GO) test -run 'TestSharedRunTrace|TestResilientTraceTimeline|TestKernelHotLoopZeroAllocs|TestDisabledObsOverhead' -v ./internal/core/
+
+## perfgate: the performance regression gate (DESIGN.md §9). Compares
+## the gate workload against results/baseline.json and fails on any
+## stat regressing beyond its noise-aware tolerance; seeds the baseline
+## on first run. Re-seed after an intentional perf change with:
+##   go run ./cmd/gbbench -baseline results/baseline.json
+perfgate:
+	@if [ -f results/baseline.json ]; then \
+		$(GO) run ./cmd/gbbench -compare results/baseline.json; \
+	else \
+		$(GO) run ./cmd/gbbench -baseline results/baseline.json; \
+	fi
 
 ## bench-warm: the warm-engine pose-scan pair (EXPERIMENTS.md extD).
 bench-warm:

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -60,7 +61,7 @@ func main() {
 		chaosHzn   = flag.Float64("chaos-horizon", 0.01, "resilient: virtual-time horizon (s) for random crash/delay scheduling")
 
 		// Observability and profiling.
-		verbose     = flag.Bool("v", false, "print per-phase span table and metrics after the run")
+		verbose     = flag.Bool("v", false, "stream structured per-span progress lines (rank, phase, virtual clock) and print the span/metrics tables after the run")
 		traceOut    = flag.String("trace", "", "write the span/event timeline as JSONL to this file")
 		chromeOut   = flag.String("chrome", "", "write a chrome://tracing-compatible trace to this file")
 		metricsOut  = flag.String("metrics", "", "write the metrics snapshot as JSON to this file")
@@ -93,6 +94,12 @@ func main() {
 	var o *gbpolar.Observer
 	if *verbose || *traceOut != "" || *chromeOut != "" || *metricsOut != "" {
 		o = gbpolar.NewObserver()
+	}
+	if *verbose {
+		// Stream every span close and instant as a structured progress
+		// line (rank, phase name, wall/virtual clocks) while the run is
+		// still going; the summary tables follow at the end.
+		o.Trace.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, nil)))
 	}
 
 	mol, err := loadOrGen(*inPath, *gen, *seed)

@@ -1,0 +1,94 @@
+// Command gbtrace analyzes JSONL trace timelines exported by gbpol
+// -trace (or any obs.Trace.WriteJSONL output): per-rank/per-phase cost
+// attribution on both clock axes, load-imbalance factors, the cross-rank
+// critical path, collective wait attribution, stragglers, and recovery
+// cost — plus run-to-run deltas.
+//
+// Usage:
+//
+//	gbtrace report trace.jsonl            # phase/imbalance breakdown
+//	gbtrace report -json trace.jsonl      # the full model as JSON
+//	gbtrace diff a.jsonl b.jsonl          # run-to-run stat deltas
+//	gbtrace diff -all a.jsonl b.jsonl     # include unchanged stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gbpolar/internal/obs"
+	"gbpolar/internal/obs/analyze"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gbtrace: ")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "report":
+		fs := flag.NewFlagSet("report", flag.ExitOnError)
+		asJSON := fs.Bool("json", false, "emit the full analysis as JSON")
+		fs.Parse(args[1:])
+		if fs.NArg() != 1 {
+			log.Fatal("usage: gbtrace report [-json] <trace.jsonl>")
+		}
+		a := analyzeFile(fs.Arg(0))
+		var err error
+		if *asJSON {
+			err = a.WriteJSON(os.Stdout)
+		} else {
+			err = a.Fprint(os.Stdout)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	case "diff":
+		fs := flag.NewFlagSet("diff", flag.ExitOnError)
+		all := fs.Bool("all", false, "include unchanged stats")
+		fs.Parse(args[1:])
+		if fs.NArg() != 2 {
+			log.Fatal("usage: gbtrace diff [-all] <a.jsonl> <b.jsonl>")
+		}
+		rows := analyze.Diff(analyzeFile(fs.Arg(0)), analyzeFile(fs.Arg(1)))
+		if err := analyze.FprintDiff(os.Stdout, rows, !*all); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func analyzeFile(path string) *analyze.Analysis {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	t, err := obs.ReadJSONL(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return analyze.FromTrace(t)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `gbtrace — trace analytics for gbpolar timelines
+
+commands:
+  report [-json] <trace.jsonl>   per-phase wall/virtual breakdown, imbalance,
+                                 critical path, collective waits, recovery cost
+  diff [-all] <a.jsonl> <b.jsonl>  run-to-run stat deltas, biggest movers first
+
+produce traces with: gbpol -gen 5000 -runner resilient -procs 4 -trace run.jsonl
+`)
+}

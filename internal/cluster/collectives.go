@@ -62,6 +62,12 @@ func (c *Comm) rendezvous(kind string, contrib []float64,
 	c.enterCollective()
 	entry := c.clock
 
+	// Wait/transfer split of the collective's virtual time, for the
+	// analyzer's blocked-vs-computing attribution: waitSecs is the time
+	// this rank idled in the rendezvous for the last arrival (zero for
+	// the rank that completes the round — the straggler), xferSecs the
+	// cost-model charge for the data movement itself.
+	var waitSecs, xferSecs float64
 	if o := w.cfg.Obs; o != nil {
 		// The span closes at the rank's post-collective clock; the
 		// deferred close runs after w.mu is released (defers are LIFO and
@@ -73,10 +79,12 @@ func (c *Comm) rendezvous(kind string, contrib []float64,
 				sp.End(c.clock, obs.F("bytes", float64(nbytes)), obs.F("error", 1))
 				return
 			}
-			sp.End(c.clock, obs.F("bytes", float64(nbytes)))
+			sp.End(c.clock, obs.F("bytes", float64(nbytes)),
+				obs.F("wait_us", waitSecs*1e6), obs.F("xfer_us", xferSecs*1e6))
 			o.Counter("cluster.collectives").Inc()
 			o.Counter("cluster.collective.bytes").Add(nbytes)
 			o.Histogram("cluster.collective.virt_us").Observe(int64((c.clock - entry) * 1e6))
+			o.Histogram("cluster.collective.wait_us").Observe(int64(waitSecs * 1e6))
 		}()
 	}
 
@@ -150,6 +158,8 @@ func (c *Comm) rendezvous(kind string, contrib []float64,
 		}
 	}
 	done := w.doneMaxClock + costFn(w.result)
+	waitSecs = w.doneMaxClock - entry
+	xferSecs = done - w.doneMaxClock
 	c.commSecs += done - entry
 	c.clock = done
 	c.bytesSent += int64(len(contrib)) * 8

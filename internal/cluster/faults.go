@@ -407,13 +407,21 @@ func (c *Comm) observeDeathsLocked(words int) error {
 	c.seenDeaths = len(w.deadOrder)
 	c.clock += charge
 	c.commSecs += charge
-	for _, d := range newly {
+	for i, d := range newly {
 		w.fstats.Detections = append(w.fstats.Detections, Detection{
 			DeadRank: d, ByRank: c.rank, Clock: c.clock, Latency: charge,
 		})
 		if o := w.cfg.Obs; o != nil {
+			// The latency was charged once for the whole batch of newly
+			// observed deaths; attribute it to the first instant so the
+			// trace's latency_us sum reconciles exactly with the report's
+			// RecoverySeconds detection component.
+			lat := 0.0
+			if i == 0 {
+				lat = charge
+			}
 			o.Instant(c.rank, "fault", "death.detect", c.clock,
-				obs.F("dead_rank", float64(d)), obs.F("latency_us", charge*1e6))
+				obs.F("dead_rank", float64(d)), obs.F("latency_us", lat*1e6))
 			o.Counter("cluster.fault.detections").Inc()
 		}
 	}

@@ -1,0 +1,358 @@
+// Package analyze turns a raw obs.Trace timeline into the quantities the
+// paper's evaluation argues with: per-rank/per-phase cost attribution on
+// both the wall and virtual clock axes, the cross-rank critical path,
+// per-phase load-imbalance factors (max/mean — the scalability lens of
+// Figure 5's discussion), collective wait-time attribution (time blocked
+// in a rendezvous vs. computing), straggler identification, and
+// fault-recovery cost attribution reconcilable against the cluster
+// report's Faults section.
+//
+// The package consumes only []obs.Event — in-memory from a live Trace or
+// re-parsed from JSONL via obs.ReadJSONL — so cmd/gbtrace can analyze a
+// run on a different machine than the one that produced it. See
+// DESIGN.md §9 for the definitions.
+package analyze
+
+import (
+	"math"
+	"sort"
+
+	"gbpolar/internal/obs"
+)
+
+// AxisStat aggregates one phase's per-rank durations on one clock axis
+// (microseconds).
+type AxisStat struct {
+	// TotalUS is the sum of span durations over all ranks — the raw
+	// span sum the breakdown must reconcile with.
+	TotalUS float64 `json:"total_us"`
+	// MaxUS is the largest per-rank total; MaxRank holds it.
+	MaxUS   float64 `json:"max_us"`
+	MaxRank int     `json:"max_rank"`
+	// MeanUS averages over participating ranks.
+	MeanUS float64 `json:"mean_us"`
+	// Imbalance is MaxUS/MeanUS — the load-imbalance factor λ ≥ 1; a
+	// perfectly balanced phase has λ = 1 and a phase where one rank does
+	// everything has λ = P.
+	Imbalance float64 `json:"imbalance"`
+}
+
+func (a *AxisStat) finalize(perRank map[int]float64) {
+	first := true
+	for r, us := range perRank {
+		a.TotalUS += us
+		if first || us > a.MaxUS {
+			a.MaxUS, a.MaxRank = us, r
+			first = false
+		}
+	}
+	if n := len(perRank); n > 0 {
+		a.MeanUS = a.TotalUS / float64(n)
+	}
+	if a.MeanUS > 0 {
+		a.Imbalance = a.MaxUS / a.MeanUS
+	}
+}
+
+// PhaseStat aggregates the spans of one phase (category "phase") across
+// ranks.
+type PhaseStat struct {
+	Name string `json:"name"`
+	// Spans counts the contributing spans; under recovery a rank may
+	// re-enter a phase, so Spans can exceed the rank count.
+	Spans int `json:"spans"`
+	// Truncated counts spans still open at export time (marked
+	// truncated by the trace); their wall time is included, their
+	// virtual time is unknown and excluded.
+	Truncated int `json:"truncated,omitempty"`
+	// PerRankWallUS / PerRankVirtUS are the per-rank duration totals
+	// this phase's AxisStats summarize.
+	PerRankWallUS map[int]float64 `json:"per_rank_wall_us"`
+	PerRankVirtUS map[int]float64 `json:"per_rank_virt_us,omitempty"`
+	Wall          AxisStat        `json:"wall"`
+	Virt          AxisStat        `json:"virt"`
+	// HasVirt reports whether any span carried a virtual clock.
+	HasVirt bool `json:"has_virt"`
+}
+
+// CollectiveStat aggregates the spans of one collective kind.
+type CollectiveStat struct {
+	Name  string  `json:"name"`
+	Count int     `json:"count"`
+	Bytes float64 `json:"bytes"`
+	// WallUS / VirtUS are total span durations across ranks.
+	WallUS float64 `json:"wall_us"`
+	VirtUS float64 `json:"virt_us"`
+	// WaitUS is the virtual time ranks spent blocked in the rendezvous
+	// waiting for the last arrival; XferUS the cost-model charge for the
+	// data movement itself. Wait + Xfer = Virt for fault-free rounds;
+	// failed rounds (Errors) contribute duration but no split.
+	WaitUS float64 `json:"wait_us"`
+	XferUS float64 `json:"xfer_us"`
+	Errors int     `json:"errors,omitempty"`
+	// MaxWaitRank idled longest — it runs ahead and waits on the
+	// stragglers, so a large per-rank wait marks a FAST rank.
+	MaxWaitUS     float64         `json:"max_wait_us"`
+	MaxWaitRank   int             `json:"max_wait_rank"`
+	PerRankWaitUS map[int]float64 `json:"per_rank_wait_us,omitempty"`
+}
+
+// Recovery aggregates the fault and recovery events of the timeline.
+// DetectionUS/1e6 + RecomputeSecs reconciles with the cluster
+// FaultReport's RecoverySeconds; RecomputedRows with its RecomputedRows.
+type Recovery struct {
+	Crashes        int     `json:"crashes"`
+	Drops          int     `json:"drops"`
+	Delays         int     `json:"delays"`
+	Detections     int     `json:"detections"`
+	DetectionUS    float64 `json:"detection_us"`
+	RecomputedRows int     `json:"recomputed_rows"`
+	RecomputeSecs  float64 `json:"recompute_secs"`
+}
+
+// Seconds returns the total attributed recovery cost in seconds.
+func (r Recovery) Seconds() float64 { return r.DetectionUS/1e6 + r.RecomputeSecs }
+
+// RankStat is one rank's computing-vs-blocked decomposition.
+type RankStat struct {
+	Rank int `json:"rank"`
+	// PhaseWallUS / PhaseVirtUS is time spent computing in phase spans.
+	PhaseWallUS float64 `json:"phase_wall_us"`
+	PhaseVirtUS float64 `json:"phase_virt_us"`
+	// WaitUS is virtual time blocked in collective rendezvous;
+	// CollVirtUS the full collective time including the transfer charge.
+	WaitUS     float64 `json:"wait_us"`
+	CollVirtUS float64 `json:"coll_virt_us"`
+}
+
+// Analysis is the queryable model of one run's timeline.
+type Analysis struct {
+	Events      int               `json:"events"`
+	Ranks       []RankStat        `json:"ranks"`
+	Phases      []*PhaseStat      `json:"phases"`
+	Collectives []*CollectiveStat `json:"collectives"`
+	Recovery    Recovery          `json:"recovery"`
+
+	// Makespan is max end − min start over the events of each axis.
+	WallMakespanUS float64 `json:"wall_makespan_us"`
+	VirtMakespanUS float64 `json:"virt_makespan_us"`
+	// Critical path: Σ over phases of the slowest rank's phase total —
+	// the cross-rank lower bound on the makespan given the collective
+	// barriers between phases. The virtual-axis gap between critical
+	// path + collective costs and the makespan is scheduling slack.
+	WallCriticalUS float64 `json:"wall_critical_us"`
+	VirtCriticalUS float64 `json:"virt_critical_us"`
+	// DominantPhase contributes the largest share of the authoritative
+	// critical path; DominantShare is that fraction (0..1).
+	DominantPhase string  `json:"dominant_phase"`
+	DominantShare float64 `json:"dominant_share"`
+	// Straggler is the rank with the largest authoritative phase total;
+	// StragglerShare is its total over the mean (≥ 1).
+	Straggler      int     `json:"straggler"`
+	StragglerShare float64 `json:"straggler_share"`
+	// HasVirt selects the authoritative axis: virtual when any phase
+	// span carried one (modeled runs), wall otherwise.
+	HasVirt bool `json:"has_virt"`
+}
+
+// FromTrace analyzes a live trace's events.
+func FromTrace(t *obs.Trace) *Analysis { return Analyze(t.Events()) }
+
+// Analyze builds the timeline model from raw events (as returned by
+// Trace.Events or re-read via obs.ReadJSONL).
+func Analyze(events []obs.Event) *Analysis {
+	a := &Analysis{Events: len(events)}
+	phases := map[string]*PhaseStat{}
+	colls := map[string]*CollectiveStat{}
+	ranks := map[int]*RankStat{}
+	rank := func(r int) *RankStat {
+		rs := ranks[r]
+		if rs == nil {
+			rs = &RankStat{Rank: r}
+			ranks[r] = rs
+		}
+		return rs
+	}
+
+	wallMin, wallMax := math.Inf(1), math.Inf(-1)
+	virtMin, virtMax := math.Inf(1), math.Inf(-1)
+	for i := range events {
+		ev := &events[i]
+		if ev.WallUS < wallMin {
+			wallMin = ev.WallUS
+		}
+		if e := ev.WallUS + ev.WallDurUS; e > wallMax {
+			wallMax = e
+		}
+		if ev.HasVirt {
+			if ev.VirtUS < virtMin {
+				virtMin = ev.VirtUS
+			}
+			if e := ev.VirtUS + ev.VirtDurUS; e > virtMax {
+				virtMax = e
+			}
+		}
+
+		switch {
+		case ev.Ph == "X" && ev.Cat == "phase":
+			ps := phases[ev.Name]
+			if ps == nil {
+				ps = &PhaseStat{Name: ev.Name, PerRankWallUS: map[int]float64{}, PerRankVirtUS: map[int]float64{}}
+				phases[ev.Name] = ps
+				a.Phases = append(a.Phases, ps)
+			}
+			ps.Spans++
+			ps.PerRankWallUS[ev.Rank] += ev.WallDurUS
+			rank(ev.Rank).PhaseWallUS += ev.WallDurUS
+			if ev.Args["truncated"] != 0 {
+				ps.Truncated++
+			} else if ev.HasVirt {
+				ps.HasVirt = true
+				ps.PerRankVirtUS[ev.Rank] += ev.VirtDurUS
+				rank(ev.Rank).PhaseVirtUS += ev.VirtDurUS
+			}
+
+		case ev.Ph == "X" && ev.Cat == "collective":
+			cs := colls[ev.Name]
+			if cs == nil {
+				cs = &CollectiveStat{Name: ev.Name, PerRankWaitUS: map[int]float64{}}
+				colls[ev.Name] = cs
+				a.Collectives = append(a.Collectives, cs)
+			}
+			cs.Count++
+			cs.Bytes += ev.Args["bytes"]
+			cs.WallUS += ev.WallDurUS
+			cs.VirtUS += ev.VirtDurUS
+			cs.WaitUS += ev.Args["wait_us"]
+			cs.XferUS += ev.Args["xfer_us"]
+			cs.PerRankWaitUS[ev.Rank] += ev.Args["wait_us"]
+			if ev.Args["error"] != 0 {
+				cs.Errors++
+			}
+			rank(ev.Rank).WaitUS += ev.Args["wait_us"]
+			rank(ev.Rank).CollVirtUS += ev.VirtDurUS
+
+		case ev.Ph == "i":
+			switch ev.Name {
+			case "rank.crash":
+				a.Recovery.Crashes++
+			case "msg.drop":
+				a.Recovery.Drops++
+			case "msg.delay":
+				a.Recovery.Delays++
+			case "death.detect":
+				a.Recovery.Detections++
+				a.Recovery.DetectionUS += ev.Args["latency_us"]
+			case "rows.recomputed":
+				a.Recovery.RecomputedRows += int(ev.Args["rows"])
+				a.Recovery.RecomputeSecs += ev.Args["virt_s"]
+			}
+		}
+	}
+
+	if wallMax > wallMin {
+		a.WallMakespanUS = wallMax - wallMin
+	}
+	if virtMax > virtMin {
+		a.VirtMakespanUS = virtMax - virtMin
+	}
+
+	for _, ps := range a.Phases {
+		ps.Wall.finalize(ps.PerRankWallUS)
+		ps.Virt.finalize(ps.PerRankVirtUS)
+		if ps.HasVirt {
+			a.HasVirt = true
+		}
+		a.WallCriticalUS += ps.Wall.MaxUS
+		a.VirtCriticalUS += ps.Virt.MaxUS
+	}
+	for _, cs := range a.Collectives {
+		first := true
+		for r, us := range cs.PerRankWaitUS {
+			if first || us > cs.MaxWaitUS {
+				cs.MaxWaitUS, cs.MaxWaitRank = us, r
+				first = false
+			}
+		}
+	}
+
+	for _, rs := range ranks {
+		a.Ranks = append(a.Ranks, *rs)
+	}
+	sort.Slice(a.Ranks, func(i, j int) bool { return a.Ranks[i].Rank < a.Ranks[j].Rank })
+
+	a.findDominant()
+	a.findStraggler()
+	return a
+}
+
+// axisOf selects a phase's authoritative axis stat.
+func (a *Analysis) axisOf(ps *PhaseStat) *AxisStat {
+	if a.HasVirt && ps.HasVirt {
+		return &ps.Virt
+	}
+	return &ps.Wall
+}
+
+// Critical returns the authoritative critical path in microseconds.
+func (a *Analysis) Critical() float64 {
+	if a.HasVirt {
+		return a.VirtCriticalUS
+	}
+	return a.WallCriticalUS
+}
+
+func (a *Analysis) findDominant() {
+	crit := a.Critical()
+	var best float64
+	for _, ps := range a.Phases {
+		if m := a.axisOf(ps).MaxUS; m > best {
+			best = m
+			a.DominantPhase = ps.Name
+		}
+	}
+	if crit > 0 {
+		a.DominantShare = best / crit
+	}
+}
+
+func (a *Analysis) findStraggler() {
+	if len(a.Ranks) == 0 {
+		return
+	}
+	var max, sum float64
+	for _, rs := range a.Ranks {
+		t := rs.PhaseVirtUS
+		if !a.HasVirt {
+			t = rs.PhaseWallUS
+		}
+		sum += t
+		if t >= max {
+			max = t
+			a.Straggler = rs.Rank
+		}
+	}
+	if mean := sum / float64(len(a.Ranks)); mean > 0 {
+		a.StragglerShare = max / mean
+	}
+}
+
+// Phase returns the named phase's stats, or nil.
+func (a *Analysis) Phase(name string) *PhaseStat {
+	for _, ps := range a.Phases {
+		if ps.Name == name {
+			return ps
+		}
+	}
+	return nil
+}
+
+// Collective returns the named collective's stats, or nil.
+func (a *Analysis) Collective(name string) *CollectiveStat {
+	for _, cs := range a.Collectives {
+		if cs.Name == name {
+			return cs
+		}
+	}
+	return nil
+}

@@ -1,0 +1,323 @@
+package analyze
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gbpolar/internal/obs"
+)
+
+// span builds a synthetic phase/collective event on both clock axes.
+func span(name, cat string, rank int, wallUS, wallDur, virtUS, virtDur float64, args map[string]float64) obs.Event {
+	return obs.Event{
+		Name: name, Cat: cat, Ph: "X", Rank: rank,
+		WallUS: wallUS, WallDurUS: wallDur,
+		VirtUS: virtUS, VirtDurUS: virtDur, HasVirt: true,
+		Args: args,
+	}
+}
+
+func instant(name string, rank int, args map[string]float64) obs.Event {
+	return obs.Event{Name: name, Cat: "fault", Ph: "i", Rank: rank, Args: args}
+}
+
+// A small fixed timeline: two phases across two ranks plus one
+// collective round and a recovery episode.
+//
+//	push: rank0 virt 100, rank1 virt 300 → max 300, mean 200, λ=1.5
+//	epol: rank0 virt 400, rank1 virt 400 → λ=1
+//	allreduce: rank0 waits 50, rank1 waits 0, both xfer 10
+func fixedEvents() []obs.Event {
+	return []obs.Event{
+		span("push", "phase", 0, 0, 120, 0, 100, nil),
+		span("push", "phase", 1, 0, 310, 0, 300, nil),
+		span("allreduce", "collective", 0, 120, 70, 100, 260, map[string]float64{
+			"bytes": 64, "wait_us": 250, "xfer_us": 10,
+		}),
+		span("allreduce", "collective", 1, 310, 30, 300, 60, map[string]float64{
+			"bytes": 64, "wait_us": 50, "xfer_us": 10,
+		}),
+		span("epol", "phase", 0, 200, 410, 360, 400, nil),
+		span("epol", "phase", 1, 350, 390, 360, 400, nil),
+		instant("rank.crash", 1, nil),
+		instant("death.detect", 0, map[string]float64{"latency_us": 2000}),
+		instant("rows.recomputed", 0, map[string]float64{"rows": 42, "virt_s": 0.005}),
+	}
+}
+
+func TestAnalyzePhaseImbalance(t *testing.T) {
+	a := Analyze(fixedEvents())
+	if !a.HasVirt {
+		t.Fatal("expected virtual axis")
+	}
+
+	push := a.Phase("push")
+	if push == nil {
+		t.Fatal("no push phase")
+	}
+	if push.Spans != 2 {
+		t.Fatalf("push spans = %d, want 2", push.Spans)
+	}
+	if got := push.Virt.TotalUS; got != 400 {
+		t.Fatalf("push virt total = %v, want 400", got)
+	}
+	if got := push.Virt.MaxUS; got != 300 {
+		t.Fatalf("push virt max = %v, want 300", got)
+	}
+	if push.Virt.MaxRank != 1 {
+		t.Fatalf("push virt max rank = %d, want 1", push.Virt.MaxRank)
+	}
+	if got := push.Virt.Imbalance; math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("push imbalance = %v, want 1.5", got)
+	}
+
+	epol := a.Phase("epol")
+	if got := epol.Virt.Imbalance; math.Abs(got-1) > 1e-12 {
+		t.Fatalf("epol imbalance = %v, want 1", got)
+	}
+
+	// Critical path = Σ per-phase maxima = 300 + 400.
+	if got := a.VirtCriticalUS; got != 700 {
+		t.Fatalf("virt critical = %v, want 700", got)
+	}
+	if got := a.Critical(); got != 700 {
+		t.Fatalf("Critical() = %v, want 700", got)
+	}
+	// Wall: push max 310, epol max 410.
+	if got := a.WallCriticalUS; got != 720 {
+		t.Fatalf("wall critical = %v, want 720", got)
+	}
+	// epol's 400 is the largest phase maximum.
+	if a.DominantPhase != "epol" {
+		t.Fatalf("dominant phase = %q, want epol", a.DominantPhase)
+	}
+	if got := a.DominantShare; math.Abs(got-400.0/700.0) > 1e-12 {
+		t.Fatalf("dominant share = %v, want 4/7", got)
+	}
+	// Rank 1 did 300+400 = 700 vs rank 0's 500; mean 600.
+	if a.Straggler != 1 {
+		t.Fatalf("straggler = %d, want 1", a.Straggler)
+	}
+	if got := a.StragglerShare; math.Abs(got-700.0/600.0) > 1e-12 {
+		t.Fatalf("straggler share = %v, want 7/6", got)
+	}
+}
+
+func TestAnalyzeMakespan(t *testing.T) {
+	a := Analyze(fixedEvents())
+	// Wall: min start 0, max end = 350+390 = 740 (rank 1's epol).
+	if got := a.WallMakespanUS; got != 740 {
+		t.Fatalf("wall makespan = %v, want 740", got)
+	}
+	// Virt: min 0, max end = 360+400 = 760.
+	if got := a.VirtMakespanUS; got != 760 {
+		t.Fatalf("virt makespan = %v, want 760", got)
+	}
+}
+
+func TestAnalyzeCollectiveWait(t *testing.T) {
+	a := Analyze(fixedEvents())
+	cs := a.Collective("allreduce")
+	if cs == nil {
+		t.Fatal("no allreduce stats")
+	}
+	if cs.Count != 2 || cs.Bytes != 128 {
+		t.Fatalf("count=%d bytes=%v, want 2/128", cs.Count, cs.Bytes)
+	}
+	if cs.WaitUS != 300 || cs.XferUS != 20 {
+		t.Fatalf("wait=%v xfer=%v, want 300/20", cs.WaitUS, cs.XferUS)
+	}
+	// Rank 0 idled longest: it is the FAST rank waiting on rank 1.
+	if cs.MaxWaitRank != 0 || cs.MaxWaitUS != 250 {
+		t.Fatalf("max wait rank=%d us=%v, want rank 0 / 250", cs.MaxWaitRank, cs.MaxWaitUS)
+	}
+	// Per-rank rollup.
+	if len(a.Ranks) != 2 {
+		t.Fatalf("ranks = %d, want 2", len(a.Ranks))
+	}
+	r0 := a.Ranks[0]
+	if r0.Rank != 0 || r0.WaitUS != 250 || r0.CollVirtUS != 260 {
+		t.Fatalf("rank0 = %+v", r0)
+	}
+	if r0.PhaseVirtUS != 500 {
+		t.Fatalf("rank0 phase virt = %v, want 500", r0.PhaseVirtUS)
+	}
+}
+
+func TestAnalyzeRecovery(t *testing.T) {
+	a := Analyze(fixedEvents())
+	rec := a.Recovery
+	if rec.Crashes != 1 || rec.Detections != 1 {
+		t.Fatalf("crashes=%d detections=%d, want 1/1", rec.Crashes, rec.Detections)
+	}
+	if rec.DetectionUS != 2000 {
+		t.Fatalf("detection us = %v, want 2000", rec.DetectionUS)
+	}
+	if rec.RecomputedRows != 42 {
+		t.Fatalf("rows = %d, want 42", rec.RecomputedRows)
+	}
+	if got, want := rec.Seconds(), 0.002+0.005; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("recovery seconds = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzeTruncatedSpans(t *testing.T) {
+	events := []obs.Event{
+		span("push", "phase", 0, 0, 100, 0, 100, nil),
+		// Truncated span: wall counts, virtual axis must be excluded.
+		{
+			Name: "epol", Cat: "phase", Ph: "X", Rank: 0,
+			WallUS: 100, WallDurUS: 50, VirtUS: 100, HasVirt: true,
+			Args: map[string]float64{"truncated": 1},
+		},
+	}
+	a := Analyze(events)
+	epol := a.Phase("epol")
+	if epol == nil || epol.Truncated != 1 {
+		t.Fatalf("truncated count wrong: %+v", epol)
+	}
+	if epol.Wall.TotalUS != 50 {
+		t.Fatalf("truncated wall total = %v, want 50", epol.Wall.TotalUS)
+	}
+	if epol.Virt.TotalUS != 0 || epol.HasVirt {
+		t.Fatalf("truncated span leaked into virtual axis: %+v", epol.Virt)
+	}
+}
+
+func TestAnalyzeWallOnly(t *testing.T) {
+	events := []obs.Event{
+		{Name: "born", Cat: "phase", Ph: "X", Rank: 0, WallUS: 0, WallDurUS: 100},
+		{Name: "born", Cat: "phase", Ph: "X", Rank: 1, WallUS: 0, WallDurUS: 300},
+	}
+	a := Analyze(events)
+	if a.HasVirt {
+		t.Fatal("wall-only trace reported a virtual axis")
+	}
+	if got := a.Phase("born").Wall.Imbalance; math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("wall imbalance = %v, want 1.5", got)
+	}
+	if a.Straggler != 1 {
+		t.Fatalf("straggler = %d, want 1", a.Straggler)
+	}
+	s := a.Summary()
+	if _, ok := s["makespan.virt_ms"]; ok {
+		t.Fatal("wall-only summary carries virtual keys")
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := Analyze(nil)
+	if a.Events != 0 || len(a.Phases) != 0 || a.WallMakespanUS != 0 {
+		t.Fatalf("empty analysis not zero: %+v", a)
+	}
+	var buf strings.Builder
+	if err := a.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0 events") {
+		t.Fatalf("empty report = %q", buf.String())
+	}
+}
+
+func TestSummaryKeys(t *testing.T) {
+	a := Analyze(fixedEvents())
+	s := a.Summary()
+	for _, k := range []string{
+		"events", "ranks",
+		"makespan.wall_ms", "makespan.virt_ms",
+		"critical.wall_ms", "critical.virt_ms",
+		"phase.push.virt_ms", "phase.push.virt_imbalance",
+		"phase.epol.wall_ms", "phase.epol.wall_imbalance",
+		"collective.allreduce.count", "collective.allreduce.wait_ms",
+		"recovery.rows", "recovery.ms", "faults.crashes",
+	} {
+		if _, ok := s[k]; !ok {
+			t.Errorf("summary missing %q", k)
+		}
+	}
+	if got := s["phase.push.virt_imbalance"]; math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("summary imbalance = %v, want 1.5", got)
+	}
+	if got := s["recovery.rows"]; got != 42 {
+		t.Fatalf("summary recovery.rows = %v, want 42", got)
+	}
+	keys := SortedKeys(s)
+	if len(keys) != len(s) {
+		t.Fatalf("SortedKeys len = %d, want %d", len(keys), len(s))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("keys not sorted: %q >= %q", keys[i-1], keys[i])
+		}
+	}
+}
+
+func TestFprintReport(t *testing.T) {
+	a := Analyze(fixedEvents())
+	var buf strings.Builder
+	if err := a.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"dominant phase: epol",
+		"straggler: rank 1 at 1.167x",
+		"allreduce",
+		"1 crashes",
+		"42 rows recomputed",
+		"authoritative axis: virtual",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	sa := map[string]float64{"phase.push.virt_ms": 100, "same": 5, "gone": 3}
+	sb := map[string]float64{"phase.push.virt_ms": 200, "same": 5, "fresh": 7}
+	rows := DiffSummaries(sa, sb)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	// "fresh" (A==0 → +Inf) must sort first, then the 100% move, then
+	// the -100% "gone", then the unchanged row.
+	if rows[0].Stat != "fresh" || !math.IsInf(rows[0].DeltaPct, 1) {
+		t.Fatalf("rows[0] = %+v", rows[0])
+	}
+	if rows[1].Stat != "phase.push.virt_ms" || rows[1].DeltaPct != 100 {
+		t.Fatalf("rows[1] = %+v", rows[1])
+	}
+	if rows[2].Stat != "gone" || rows[2].DeltaPct != -100 {
+		t.Fatalf("rows[2] = %+v", rows[2])
+	}
+	if rows[3].Stat != "same" || rows[3].DeltaPct != 0 {
+		t.Fatalf("rows[3] = %+v", rows[3])
+	}
+
+	var buf strings.Builder
+	if err := FprintDiff(&buf, rows, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "new") {
+		t.Errorf("diff output missing 'new' label:\n%s", out)
+	}
+	if !strings.Contains(out, "(1 stats unchanged)") {
+		t.Errorf("diff output missing unchanged count:\n%s", out)
+	}
+	if strings.Contains(out, "same") {
+		t.Errorf("changedOnly diff printed unchanged row:\n%s", out)
+	}
+}
+
+func TestDiffAnalyses(t *testing.T) {
+	a := Analyze(fixedEvents())
+	rows := Diff(a, a)
+	for _, r := range rows {
+		if r.DeltaPct != 0 {
+			t.Fatalf("self-diff nonzero: %+v", r)
+		}
+	}
+}

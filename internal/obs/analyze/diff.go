@@ -1,0 +1,92 @@
+package analyze
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// DiffRow is one stat's run-to-run comparison.
+type DiffRow struct {
+	Stat string  `json:"stat"`
+	A    float64 `json:"a"`
+	B    float64 `json:"b"`
+	// DeltaPct is 100·(B−A)/A; ±Inf when only A is zero.
+	DeltaPct float64 `json:"delta_pct"`
+}
+
+// Diff compares two analyses stat-by-stat over the union of their
+// summary keys, sorted by descending |Δ%| (at equal magnitude,
+// regressions before improvements, then lexically), so the biggest
+// run-to-run movement tops the `gbtrace diff` output.
+func Diff(a, b *Analysis) []DiffRow {
+	return DiffSummaries(a.Summary(), b.Summary())
+}
+
+// DiffSummaries is Diff on pre-flattened summaries.
+func DiffSummaries(sa, sb map[string]float64) []DiffRow {
+	keys := map[string]bool{}
+	for k := range sa {
+		keys[k] = true
+	}
+	for k := range sb {
+		keys[k] = true
+	}
+	rows := make([]DiffRow, 0, len(keys))
+	for k := range keys {
+		row := DiffRow{Stat: k, A: sa[k], B: sb[k]}
+		switch {
+		case row.A == row.B:
+			row.DeltaPct = 0
+		case row.A == 0:
+			row.DeltaPct = math.Inf(sign(row.B - row.A))
+		default:
+			row.DeltaPct = 100 * (row.B - row.A) / row.A
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		di, dj := math.Abs(rows[i].DeltaPct), math.Abs(rows[j].DeltaPct)
+		if di != dj {
+			return di > dj
+		}
+		if rows[i].DeltaPct != rows[j].DeltaPct {
+			return rows[i].DeltaPct > rows[j].DeltaPct
+		}
+		return rows[i].Stat < rows[j].Stat
+	})
+	return rows
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// FprintDiff renders diff rows as an aligned table. When changedOnly is
+// set, rows with zero delta are suppressed (a count of them is printed
+// instead).
+func FprintDiff(w io.Writer, rows []DiffRow, changedOnly bool) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%-34s %14s %14s %10s\n", "stat", "a", "b", "delta")
+	unchanged := 0
+	for _, r := range rows {
+		if changedOnly && r.DeltaPct == 0 {
+			unchanged++
+			continue
+		}
+		delta := fmt.Sprintf("%+.2f%%", r.DeltaPct)
+		if math.IsInf(r.DeltaPct, 0) {
+			delta = "new"
+		}
+		fmt.Fprintf(bw, "%-34s %14.4f %14.4f %10s\n", r.Stat, r.A, r.B, delta)
+	}
+	if unchanged > 0 {
+		fmt.Fprintf(bw, "(%d stats unchanged)\n", unchanged)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,160 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"gbpolar/internal/obs"
+)
+
+// chromeDoc parses a chrome export for the edge-case tests.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func exportChrome(t *testing.T, tr *obs.Trace) chromeDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	return doc
+}
+
+// TestChromeTraceEmpty: a trace with no events still exports a valid
+// envelope with an empty (non-null is not required) traceEvents array.
+func TestChromeTraceEmpty(t *testing.T) {
+	doc := exportChrome(t, obs.NewTrace())
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("empty trace exported %d events", len(doc.TraceEvents))
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+}
+
+// TestChromeTraceMultiRankOrdering: each rank becomes one pid with its
+// own metadata, and data events within a rank appear in start-time
+// order (the Events() contract carried through the converter).
+func TestChromeTraceMultiRankOrdering(t *testing.T) {
+	tr := obs.NewTrace()
+	// Emit out of rank order on purpose.
+	for _, r := range []int{3, 1, 0, 2} {
+		s := tr.Begin(r, "phase", "born", float64(r))
+		s.End(float64(r) + 0.5)
+		c := tr.Begin(r, "collective", "allreduce", float64(r)+0.5)
+		c.End(float64(r)+0.75, obs.F("bytes", 64))
+	}
+	doc := exportChrome(t, tr)
+
+	procNames := map[int]bool{}
+	threadNames := map[[2]int]bool{}
+	lastStart := map[int]float64{}
+	lastRank := -1 << 30
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			procNames[ev.Pid] = true
+		case ev.Ph == "M" && ev.Name == "thread_name":
+			threadNames[[2]int{ev.Pid, ev.Tid}] = true
+		case ev.Ph == "X":
+			if ev.Pid < lastRank {
+				t.Fatalf("rank-major order violated: pid %d after %d", ev.Pid, lastRank)
+			}
+			lastRank = ev.Pid
+			if prev, ok := lastStart[ev.Pid]; ok && ev.TS < prev {
+				t.Fatalf("rank %d events out of time order: %g after %g", ev.Pid, ev.TS, prev)
+			}
+			lastStart[ev.Pid] = ev.TS
+		}
+	}
+	for r := 0; r < 4; r++ {
+		if !procNames[r] {
+			t.Errorf("no process_name metadata for rank %d", r)
+		}
+		if !threadNames[[2]int{r, 0}] || !threadNames[[2]int{r, 1}] {
+			t.Errorf("rank %d missing phase/communication lane metadata", r)
+		}
+	}
+}
+
+// TestChromeTraceNoArgs: a wall-only span with no arguments must export
+// without an args object at all, and a virtual-clocked span without
+// explicit args still carries the wall-clock cross-reference.
+func TestChromeTraceNoArgs(t *testing.T) {
+	tr := obs.NewTrace()
+	s := tr.Begin(0, "phase", "build", obs.NoVirtual)
+	s.End(obs.NoVirtual)
+	v := tr.Begin(0, "phase", "born", 0.0)
+	v.End(1.0)
+	doc := exportChrome(t, tr)
+
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph != "X":
+		case ev.Name == "build":
+			if ev.Args != nil {
+				t.Fatalf("no-arg wall span exported args: %v", ev.Args)
+			}
+		case ev.Name == "born":
+			if _, ok := ev.Args["wall_us"]; !ok {
+				t.Fatalf("virtual span lost its wall cross-reference: %v", ev.Args)
+			}
+		}
+	}
+}
+
+// TestChromeTraceInstantsInterleaved: instants landing between and
+// inside nested spans keep their own timestamps and the fault lane,
+// while the nesting (parent before child at the same pid) survives.
+func TestChromeTraceInstantsInterleaved(t *testing.T) {
+	tr := obs.NewTrace()
+	outer := tr.Begin(0, "phase", "epol", 0.0)
+	tr.Instant(0, "fault", "msg.drop", 0.25)
+	inner := tr.Begin(0, "phase", "epol.far", 0.5)
+	tr.Instant(0, "fault", "msg.delay", 0.75)
+	inner.End(1.0)
+	outer.End(2.0)
+	tr.Instant(0, "fault", "rank.crash", 3.0)
+	doc := exportChrome(t, tr)
+
+	idx := map[string]int{}
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		idx[ev.Name] = i
+		if ev.Ph == "i" {
+			if ev.Tid != 2 {
+				t.Errorf("instant %q on lane %d, want fault lane 2", ev.Name, ev.Tid)
+			}
+		}
+	}
+	for _, name := range []string{"epol", "epol.far", "msg.drop", "msg.delay", "rank.crash"} {
+		if _, ok := idx[name]; !ok {
+			t.Fatalf("chrome export missing %q (have %v)", name, idx)
+		}
+	}
+	if idx["epol"] > idx["epol.far"] {
+		t.Error("enclosing span must precede its nested span")
+	}
+	// Instants sort by their own timestamps relative to the spans.
+	if !(idx["msg.drop"] > idx["epol"] && idx["msg.delay"] > idx["epol.far"] && idx["rank.crash"] > idx["epol"]) {
+		t.Errorf("instants not interleaved by timestamp: %v", idx)
+	}
+}

@@ -161,6 +161,58 @@ func (h *Histogram) Snapshot() []Bucket {
 	return out
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) of the observations
+// from the power-of-two buckets: the target rank's bucket is found by
+// cumulative count and the value linearly interpolated between the
+// bucket's bounds. The estimate is exact for q at bucket boundaries and
+// within a factor of 2 elsewhere — the bucket resolution. Returns 0 on a
+// nil or empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return quantileFromBuckets(h.Snapshot(), h.Count(), q)
+}
+
+// Quantile estimates the q-quantile from a snapshot (see
+// Histogram.Quantile).
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	return quantileFromBuckets(s.Buckets, s.Count, q)
+}
+
+func quantileFromBuckets(buckets []Bucket, count int64, q float64) float64 {
+	if count == 0 || len(buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := q * float64(count)
+	if target < 1 {
+		target = 1
+	}
+	cum := 0.0
+	for _, b := range buckets {
+		prev := cum
+		cum += float64(b.N)
+		if cum+1e-12 < target {
+			continue
+		}
+		if b.Le <= 0 {
+			return 0
+		}
+		// Bucket b holds values in [ (Le+1)/2, Le ].
+		lo := float64(b.Le+1) / 2
+		hi := float64(b.Le)
+		frac := (target - prev) / float64(b.N)
+		return lo + frac*(hi-lo)
+	}
+	last := buckets[len(buckets)-1]
+	return float64(last.Le)
+}
+
 // Registry resolves metric names to handles. All methods are nil-safe
 // and return nil handles on a nil registry.
 type Registry struct {
@@ -224,12 +276,18 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// HistogramSnapshot is the JSON form of one histogram.
+// HistogramSnapshot is the JSON form of one histogram. P50/P95/P99 are
+// bucket-interpolated quantile estimates (see Histogram.Quantile), so
+// batch-size and latency distributions are readable straight from the
+// JSON without post-processing the buckets.
 type HistogramSnapshot struct {
 	Count   int64    `json:"count"`
 	Sum     int64    `json:"sum"`
 	Max     int64    `json:"max"`
 	Mean    float64  `json:"mean"`
+	P50     float64  `json:"p50"`
+	P95     float64  `json:"p95"`
+	P99     float64  `json:"p99"`
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
@@ -271,10 +329,14 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 		snap.Gauges[k] = g.Value()
 	}
 	for k, h := range hists {
-		snap.Histograms[k] = HistogramSnapshot{
+		hs := HistogramSnapshot{
 			Count: h.Count(), Sum: h.Sum(), Max: h.Max(), Mean: h.Mean(),
 			Buckets: h.Snapshot(),
 		}
+		hs.P50 = hs.Quantile(0.50)
+		hs.P95 = hs.Quantile(0.95)
+		hs.P99 = hs.Quantile(0.99)
+		snap.Histograms[k] = hs
 	}
 	return snap
 }
@@ -316,7 +378,8 @@ func (r *Registry) Fprint(w io.Writer) error {
 	sort.Strings(names)
 	for _, k := range names {
 		h := snap.Histograms[k]
-		fmt.Fprintf(bw, "%-36s count=%d mean=%.1f max=%d\n", k, h.Count, h.Mean, h.Max)
+		fmt.Fprintf(bw, "%-36s count=%d mean=%.1f p50=%.0f p95=%.0f p99=%.0f max=%d\n",
+			k, h.Count, h.Mean, h.P50, h.P95, h.P99, h.Max)
 	}
 	return bw.Flush()
 }

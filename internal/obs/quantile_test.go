@@ -1,0 +1,117 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"gbpolar/internal/obs"
+)
+
+// TestHistogramQuantile pins the bucket-interpolation estimator: exact
+// at bucket boundaries, within the factor-2 bucket resolution elsewhere,
+// and zero on nil/empty.
+func TestHistogramQuantile(t *testing.T) {
+	var nilH *obs.Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil quantile = %v, want 0", got)
+	}
+	reg := obs.NewRegistry()
+	h := reg.Histogram("empty")
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+
+	// Uniform 1..8: the p50 target rank 4 falls in the [4,7] bucket
+	// after a cumulative 3, giving 4 + 0.25·3 = 4.75 by interpolation.
+	u := reg.Histogram("uniform")
+	for v := int64(1); v <= 8; v++ {
+		u.Observe(v)
+	}
+	if got := u.Quantile(0.5); math.Abs(got-4.75) > 1e-12 {
+		t.Fatalf("uniform p50 = %v, want 4.75", got)
+	}
+	// q clamps: below 0 behaves like the minimum bucket, above 1 like max.
+	if lo, hi := u.Quantile(-1), u.Quantile(2); lo > u.Quantile(0.01) || hi < u.Quantile(0.99) {
+		t.Fatalf("clamping broken: q=-1 → %v, q=2 → %v", lo, hi)
+	}
+
+	// A constant distribution stays inside its bucket's bounds [4,7].
+	c := reg.Histogram("const")
+	for i := 0; i < 1000; i++ {
+		c.Observe(7)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got := c.Quantile(q); got < 4 || got > 7 {
+			t.Fatalf("const-7 q%g = %v, want within bucket [4,7]", q, got)
+		}
+	}
+
+	// Heavy head with one outlier: p50/p95 stay in the head bucket, the
+	// top quantile reaches the outlier's bucket.
+	o := reg.Histogram("outlier")
+	for i := 0; i < 100; i++ {
+		o.Observe(1)
+	}
+	o.Observe(1000) // lands in the [512,1023] bucket
+	if got := o.Quantile(0.5); got != 1 {
+		t.Fatalf("outlier p50 = %v, want 1", got)
+	}
+	if got := o.Quantile(0.95); got != 1 {
+		t.Fatalf("outlier p95 = %v, want 1", got)
+	}
+	if got := o.Quantile(1.0); got < 512 || got > 1023 {
+		t.Fatalf("outlier p100 = %v, want within [512,1023]", got)
+	}
+}
+
+// TestQuantilesInSnapshotAndFprint: the satellite's readability contract
+// — p50/p95/p99 must appear in both the JSON snapshot and the printed
+// table without any bucket post-processing.
+func TestQuantilesInSnapshotAndFprint(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("soa.batch")
+	for v := int64(1); v <= 64; v++ {
+		h.Observe(v)
+	}
+
+	snap := reg.Snapshot()
+	hs := snap.Histograms["soa.batch"]
+	if hs.P50 <= 0 || hs.P95 < hs.P50 || hs.P99 < hs.P95 {
+		t.Fatalf("snapshot quantiles not monotone: p50=%v p95=%v p99=%v", hs.P50, hs.P95, hs.P99)
+	}
+	// The snapshot's quantiles and the live histogram's agree.
+	if live := h.Quantile(0.95); math.Abs(live-hs.P95) > 1e-12 {
+		t.Fatalf("snapshot p95 %v != live %v", hs.P95, live)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Histograms map[string]struct {
+			P50 float64 `json:"p50"`
+			P95 float64 `json:"p95"`
+			P99 float64 `json:"p99"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Histograms["soa.batch"].P95 != hs.P95 {
+		t.Fatalf("JSON p95 = %v, want %v", doc.Histograms["soa.batch"].P95, hs.P95)
+	}
+
+	buf.Reset()
+	if err := reg.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"p50=", "p95=", "p99="} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("Fprint missing %q:\n%s", want, buf.String())
+		}
+	}
+}

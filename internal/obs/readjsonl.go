@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ReadJSONL parses a timeline previously written by Trace.WriteJSONL and
+// returns a Trace that replays it: Events(), Fprint, WriteChromeTrace
+// and WriteJSONL on the result reproduce the original timeline. Line
+// order becomes the sequence tie-breaker, so a write→read→write
+// round-trip is byte-identical. Blank lines are skipped; a malformed
+// line fails with its 1-based line number.
+//
+// This is the entry point of offline analysis (cmd/gbtrace): a traced
+// run exports JSONL, and the analyzer re-ingests it later, possibly on a
+// different machine.
+func ReadJSONL(r io.Reader) (*Trace, error) {
+	t := &Trace{wall0: time.Now(), open: map[uint64]openSpan{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("obs: jsonl line %d: %w", line, err)
+		}
+		if ev.Ph != "X" && ev.Ph != "i" {
+			return nil, fmt.Errorf("obs: jsonl line %d: unknown phase type %q", line, ev.Ph)
+		}
+		ev.seq = t.seq
+		t.seq++
+		t.events = append(t.events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading jsonl: %w", err)
+	}
+	return t, nil
+}

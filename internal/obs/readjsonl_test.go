@@ -1,0 +1,203 @@
+package obs_test
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"gbpolar/internal/obs"
+)
+
+// rtTrace builds a timeline exercising every schema variant: nested
+// virtual spans on two ranks, a wall-only span, args, and instants.
+func rtTrace() *obs.Trace {
+	tr := obs.NewTrace()
+	b := tr.Begin(0, "phase", "build", obs.NoVirtual)
+	b.End(obs.NoVirtual)
+	outer := tr.Begin(0, "phase", "born", 0.0)
+	inner := tr.Begin(0, "phase", "born.far", 0.25)
+	inner.End(0.75, obs.F("rows", 12))
+	outer.End(1.0)
+	c := tr.Begin(1, "collective", "allreduce", 1.0)
+	c.End(1.5, obs.F("bytes", 4096), obs.F("wait_us", 2e5))
+	tr.Instant(1, "fault", "rank.crash", 2.0, obs.F("dead_rank", 1))
+	tr.Instant(0, "fault", "death.detect", 2.25)
+	return tr
+}
+
+// TestReadJSONLRoundTrip is the satellite's contract: write → read →
+// write must be byte-identical, and the re-read trace must replay the
+// same analyzed timeline.
+func TestReadJSONLRoundTrip(t *testing.T) {
+	tr := rtTrace()
+
+	var first bytes.Buffer
+	if err := tr.WriteJSONL(&first); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadJSONL(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEvents() != tr.NumEvents() {
+		t.Fatalf("re-read %d events, wrote %d", back.NumEvents(), tr.NumEvents())
+	}
+	var second bytes.Buffer
+	if err := back.WriteJSONL(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("round-trip not byte-identical:\n--- first ---\n%s--- second ---\n%s",
+			first.String(), second.String())
+	}
+
+	// Field-level spot checks on the replayed events.
+	a, b := tr.Events(), back.Events()
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Rank != b[i].Rank || a[i].Ph != b[i].Ph ||
+			a[i].VirtUS != b[i].VirtUS || a[i].VirtDurUS != b[i].VirtDurUS ||
+			a[i].HasVirt != b[i].HasVirt || a[i].WallDurUS != b[i].WallDurUS {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+		for k, v := range a[i].Args {
+			if b[i].Args[k] != v {
+				t.Fatalf("event %d arg %q = %v, want %v", i, k, b[i].Args[k], v)
+			}
+		}
+	}
+}
+
+// TestReadJSONLBlankAndMalformed: blank lines are skipped; a broken line
+// fails with its 1-based line number; an unknown phase type is rejected.
+func TestReadJSONLBlankAndMalformed(t *testing.T) {
+	good := `{"name":"born","cat":"phase","ph":"X","rank":0,"wall_us":1,"virt_us":0,"virt":true}`
+	tr, err := obs.ReadJSONL(strings.NewReader(good + "\n\n  \n" + good + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumEvents() != 2 {
+		t.Fatalf("events = %d, want 2 (blank lines must be skipped)", tr.NumEvents())
+	}
+
+	_, err = obs.ReadJSONL(strings.NewReader(good + "\n{not json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("malformed line error = %v, want line 2", err)
+	}
+
+	bad := `{"name":"x","cat":"phase","ph":"B","rank":0}`
+	_, err = obs.ReadJSONL(strings.NewReader(bad))
+	if err == nil || !strings.Contains(err.Error(), `unknown phase type "B"`) {
+		t.Fatalf("unknown ph error = %v", err)
+	}
+}
+
+// TestOpenSpansExportTruncated: spans still open at export time must be
+// emitted explicitly with a `truncated` marker and a measured wall
+// duration — never silently as zero-duration events — and must not
+// carry a fabricated virtual duration.
+func TestOpenSpansExportTruncated(t *testing.T) {
+	tr := obs.NewTrace()
+	done := tr.Begin(0, "phase", "born", 0.0)
+	done.End(1.0)
+	_ = tr.Begin(1, "phase", "epol", 1.0) // never ended
+
+	if tr.NumEvents() != 2 {
+		t.Fatalf("NumEvents = %d, want 2 (open span counted)", tr.NumEvents())
+	}
+	events := tr.Events()
+	var open *obs.Event
+	for i := range events {
+		if events[i].Args["truncated"] == 1 {
+			open = &events[i]
+		}
+	}
+	if open == nil {
+		t.Fatalf("no truncated event in export: %+v", events)
+	}
+	if open.Name != "epol" || open.Rank != 1 || open.Ph != "X" {
+		t.Fatalf("truncated event = %+v", open)
+	}
+	if open.WallDurUS <= 0 {
+		t.Fatal("truncated span exported with zero wall duration")
+	}
+	if open.VirtDurUS != 0 {
+		t.Fatalf("truncated span fabricated a virtual duration %g", open.VirtDurUS)
+	}
+	if !open.HasVirt || open.VirtUS != 1e6 {
+		t.Fatalf("truncated span lost its virtual start: %+v", open)
+	}
+
+	// The JSONL and chrome exports both carry the marker.
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"truncated":1`) {
+		t.Fatalf("JSONL missing truncated marker:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"truncated":1`) {
+		t.Fatalf("chrome trace missing truncated marker:\n%s", buf.String())
+	}
+}
+
+// TestSpanDoubleEnd: ending a span twice records exactly one event and
+// leaves nothing open.
+func TestSpanDoubleEnd(t *testing.T) {
+	tr := obs.NewTrace()
+	s := tr.Begin(0, "phase", "push", 0.0)
+	s.End(1.0)
+	s.End(2.0)
+	if tr.NumEvents() != 1 {
+		t.Fatalf("NumEvents = %d, want 1 after double End", tr.NumEvents())
+	}
+	if ev := tr.Events()[0]; ev.VirtDurUS != 1e6 {
+		t.Fatalf("first End must win: virt_dur_us = %g", ev.VirtDurUS)
+	}
+}
+
+// TestTraceLogger: a trace with a logger streams each recorded event as
+// a structured line carrying the rank/name/virtual-clock fields (the
+// gbpol -v progress view).
+func TestTraceLogger(t *testing.T) {
+	tr := obs.NewTrace()
+	var buf bytes.Buffer
+	tr.SetLogger(slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if a.Key == slog.TimeKey { // deterministic output
+				return slog.Attr{}
+			}
+			return a
+		},
+	})))
+
+	s := tr.Begin(2, "phase", "epol", 1.0)
+	s.End(1.5)
+	tr.Instant(0, "fault", "rank.crash", 2.0, obs.F("dead_rank", 1))
+
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("logged %d lines, want 2:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"msg=phase", "name=epol", "rank=2", "virt_clock_ms=1500", "virt_ms=500"} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("span line missing %q: %s", want, lines[0])
+		}
+	}
+	for _, want := range []string{"msg=fault", "name=rank.crash", "rank=0", "dead_rank=1"} {
+		if !strings.Contains(lines[1], want) {
+			t.Errorf("instant line missing %q: %s", want, lines[1])
+		}
+	}
+
+	tr.SetLogger(nil)
+	tr.Instant(0, "fault", "msg.drop", 3.0)
+	if strings.Contains(buf.String(), "msg.drop") {
+		t.Fatal("logger kept streaming after SetLogger(nil)")
+	}
+}

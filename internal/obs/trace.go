@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -73,18 +74,72 @@ type Trace struct {
 	wall0  time.Time
 	seq    uint64
 	events []Event
+	// open tracks spans that have been opened but not yet ended, so
+	// exports can emit them explicitly (with a `truncated` marker)
+	// instead of losing them. Map slots are reused across Begin/End
+	// cycles, so the steady state allocates nothing.
+	open   map[uint64]openSpan
+	openID uint64
+	// logger, when set, streams every recorded event as a structured log
+	// line — the live `-v` progress view. Nil costs one pointer test.
+	logger *slog.Logger
+}
+
+// SetLogger streams each recorded event (span close or instant) to l as
+// a structured log line whose fields mirror the trace schema: the event
+// category as the message, plus name, rank, and the wall/virtual
+// coordinates in milliseconds. Pass nil to stop streaming.
+func (t *Trace) SetLogger(l *slog.Logger) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.logger = l
+	t.mu.Unlock()
+}
+
+// logEvent renders ev for the streaming logger. Args ride along so a
+// collective's bytes or a recovery's row count appear on the line.
+func logEvent(l *slog.Logger, ev *Event) {
+	attrs := make([]any, 0, 8+2*len(ev.Args))
+	attrs = append(attrs, "name", ev.Name, "rank", ev.Rank)
+	if ev.Ph == "X" {
+		attrs = append(attrs, "wall_ms", ev.WallDurUS/1e3)
+	}
+	if ev.HasVirt {
+		// The virtual clock at which the event lands: span end or
+		// instant time — the coordinate trace consumers sort by.
+		attrs = append(attrs, "virt_clock_ms", (ev.VirtUS+ev.VirtDurUS)/1e3)
+		if ev.Ph == "X" {
+			attrs = append(attrs, "virt_ms", ev.VirtDurUS/1e3)
+		}
+	}
+	for k, v := range ev.Args {
+		attrs = append(attrs, k, v)
+	}
+	l.Info(ev.Cat, attrs...)
+}
+
+// openSpan is the registry record of a not-yet-ended span.
+type openSpan struct {
+	name, cat string
+	rank      int
+	wallStart time.Time
+	virtStart float64
+	hasVirt   bool
 }
 
 // NewTrace returns an empty trace whose wall origin is now.
 func NewTrace() *Trace {
-	return &Trace{wall0: time.Now()}
+	return &Trace{wall0: time.Now(), open: map[uint64]openSpan{}}
 }
 
 // Span is an open trace interval. The zero Span (from a nil trace) is
 // inert: End on it does nothing. Spans are values — opening one
-// allocates nothing.
+// allocates nothing beyond the trace's reusable open-span registry.
 type Span struct {
 	t         *Trace
+	id        uint64
 	name, cat string
 	rank      int
 	wallStart time.Time
@@ -98,16 +153,26 @@ func (t *Trace) Begin(rank int, cat, name string, virtClock float64) Span {
 	if t == nil {
 		return Span{}
 	}
-	return Span{
+	s := Span{
 		t: t, name: name, cat: cat, rank: rank,
 		wallStart: time.Now(),
 		virtStart: virtClock,
 		hasVirt:   virtClock >= 0,
 	}
+	t.mu.Lock()
+	t.openID++
+	s.id = t.openID
+	t.open[s.id] = openSpan{
+		name: name, cat: cat, rank: rank,
+		wallStart: s.wallStart, virtStart: virtClock, hasVirt: s.hasVirt,
+	}
+	t.mu.Unlock()
+	return s
 }
 
 // End closes the span at the given virtual clock (ignored when the span
 // was opened with NoVirtual) and records it with the given arguments.
+// Ending a span twice records it once.
 func (s Span) End(virtClock float64, args ...KV) {
 	if s.t == nil {
 		return
@@ -124,6 +189,15 @@ func (s Span) End(virtClock float64, args ...KV) {
 		if virtClock > s.virtStart {
 			ev.VirtDurUS = (virtClock - s.virtStart) * 1e6
 		}
+	}
+	s.t.mu.Lock()
+	_, wasOpen := s.t.open[s.id]
+	if wasOpen {
+		delete(s.t.open, s.id)
+	}
+	s.t.mu.Unlock()
+	if !wasOpen {
+		return
 	}
 	s.t.add(ev, args)
 }
@@ -155,29 +229,64 @@ func (t *Trace) add(ev Event, args []KV) {
 	ev.seq = t.seq
 	t.seq++
 	t.events = append(t.events, ev)
+	l := t.logger
 	t.mu.Unlock()
+	if l != nil {
+		// Emitted outside the lock so the trace mutex stays a leaf even
+		// when the slog handler blocks on its writer.
+		logEvent(l, &ev)
+	}
 }
 
-// NumEvents returns the number of recorded events.
+// NumEvents returns the number of events an export would emit: recorded
+// events plus still-open spans (exported with a `truncated` marker).
 func (t *Trace) NumEvents() int {
 	if t == nil {
 		return 0
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.events)
+	return len(t.events) + len(t.open)
 }
 
 // Events returns a sorted copy of the timeline: by rank, then start
 // time, with longer (enclosing) spans before shorter ones at equal
 // starts — so a parent span always precedes the sub-spans it contains
 // and the JSONL output reads as a per-rank, time-ordered log.
+//
+// Spans still open at the time of the call are included explicitly as
+// "X" events carrying Args["truncated"] = 1, with the wall duration
+// measured up to now and no virtual duration (the closing virtual clock
+// is unknown) — a crash or an export mid-run therefore shows where each
+// rank currently is instead of silently dropping the in-flight phase.
 func (t *Trace) Events() []Event {
 	if t == nil {
 		return nil
 	}
+	now := time.Now()
 	t.mu.Lock()
-	out := append([]Event(nil), t.events...)
+	out := make([]Event, 0, len(t.events)+len(t.open))
+	out = append(out, t.events...)
+	ids := make([]uint64, 0, len(t.open))
+	for id := range t.open {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for i, id := range ids {
+		os := t.open[id]
+		ev := Event{
+			Name: os.name, Cat: os.cat, Ph: "X", Rank: os.rank,
+			WallUS:    float64(os.wallStart.Sub(t.wall0)) / float64(time.Microsecond),
+			WallDurUS: float64(now.Sub(os.wallStart)) / float64(time.Microsecond),
+			HasVirt:   os.hasVirt,
+			Args:      map[string]float64{"truncated": 1},
+			seq:       t.seq + uint64(i),
+		}
+		if os.hasVirt {
+			ev.VirtUS = os.virtStart * 1e6
+		}
+		out = append(out, ev)
+	}
 	t.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool {
 		a, b := &out[i], &out[j]
