@@ -25,7 +25,7 @@ test:
 
 ## race: the concurrency-heavy packages under the race detector.
 race:
-	$(GO) test -race ./internal/core/ ./internal/sched/ ./internal/cluster/
+	$(GO) test -race ./internal/core/ ./internal/sched/ ./internal/cluster/ ./internal/octree/
 
 ## faults: the fault matrix — {crash, drop, delay} x {Born, E_pol,
 ## collective boundary} — plus the full injection/recovery suite.
@@ -55,3 +55,10 @@ perfgate:
 ## bench-warm: the warm-engine pose-scan pair (EXPERIMENTS.md extD).
 bench-warm:
 	$(GO) test -run '^$$' -bench 'BenchmarkComputeWarm' -benchtime 3x -count 2 .
+
+## bench-cold: the cold-path pair — octree construction benchmarks
+## (recursive vs Morton at 1k/10k/100k points) and the coldstart
+## experiment tables (EXPERIMENTS.md cold-start section).
+bench-cold:
+	$(GO) test -run '^$$' -bench 'BenchmarkBuild' -benchtime 3x -count 2 ./internal/octree/
+	$(GO) run ./cmd/gbbench -exp coldstart

@@ -41,6 +41,7 @@ func main() {
 		procs    = flag.Int("procs", 4, "ranks P for mpi/hybrid runners")
 		threads  = flag.Int("threads", 0, "threads (shared: workers, hybrid: per rank; 0 = auto)")
 		epsBorn  = flag.Float64("eps-born", 0.9, "Born-radius approximation parameter")
+		builder  = flag.String("builder", "recursive", "octree construction algorithm: recursive | morton")
 		epsEpol  = flag.Float64("eps-epol", 0.9, "E_pol approximation parameter")
 		approx   = flag.Bool("approx-math", false, "enable fast sqrt/exp kernels")
 		naive    = flag.Bool("naive", false, "also run the exact reference and report the error")
@@ -114,6 +115,7 @@ func main() {
 		EpsBorn:         *epsBorn,
 		EpsEpol:         *epsEpol,
 		ApproximateMath: *approx,
+		Builder:         *builder,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -9,10 +9,11 @@
 package main
 
 import (
+	"cmp"
 	"fmt"
 	"log"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"gbpolar"
@@ -85,7 +86,7 @@ func main() {
 	}
 	fmt.Printf("scored %d poses in %v\n", poses, time.Since(start).Round(time.Millisecond))
 
-	sort.Slice(results, func(i, j int) bool { return results[i].dE < results[j].dE })
+	slices.SortFunc(results, func(a, b scored) int { return cmp.Compare(a.dE, b.dE) })
 	fmt.Println("best 5 poses by polarization contribution to binding:")
 	for _, r := range results[:5] {
 		fmt.Printf("  pose %2d: ΔE_pol = %+8.3f kcal/mol\n", r.pose, r.dE)

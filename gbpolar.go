@@ -28,6 +28,7 @@ import (
 	"gbpolar/internal/mathx"
 	"gbpolar/internal/molecule"
 	"gbpolar/internal/obs"
+	"gbpolar/internal/octree"
 	"gbpolar/internal/surface"
 )
 
@@ -68,6 +69,11 @@ type Options struct {
 	QuadratureDegree int
 	// LeafCap is the octree leaf capacity (0 = 8).
 	LeafCap int
+	// Builder selects the octree construction algorithm: "recursive"
+	// (the reference top-down builder, the default) or "morton" (the
+	// Morton-key radix build — same tree, faster cold start, and the
+	// prerequisite for incremental list repair after atom motion).
+	Builder string
 }
 
 func (o Options) params() core.Params {
@@ -146,7 +152,15 @@ func NewEngine(mol *Molecule, opts Options) (*Engine, error) {
 // NewEngineWithSurface builds an Engine from a pre-sampled surface
 // (e.g. one loaded from disk or shared between parameter sweeps).
 func NewEngineWithSurface(mol *Molecule, surf *Surface, opts Options) (*Engine, error) {
-	sys, err := core.NewSystem(mol, surf, opts.params())
+	params := opts.params()
+	if opts.Builder != "" {
+		b, err := octree.ParseBuilder(opts.Builder)
+		if err != nil {
+			return nil, fmt.Errorf("gbpolar: %w", err)
+		}
+		params.Builder = b
+	}
+	sys, err := core.NewSystem(mol, surf, params)
 	if err != nil {
 		return nil, fmt.Errorf("gbpolar: %w", err)
 	}

@@ -1,9 +1,10 @@
 package bench
 
 import (
+	"cmp"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 
 	"gbpolar/internal/baselines"
 	"gbpolar/internal/cluster"
@@ -33,6 +34,7 @@ func Registry() []Experiment {
 		{"fig11", "Scalability on a large molecule (CMV analogue)", fig11},
 		{"extensions", "Beyond the paper: inter-rank work stealing + dynamic octree updates", extensions},
 		{"obs", "Observability overhead: tracing+metrics on vs off", obsOverhead},
+		{"coldstart", "Cold-path performance: Morton vs recursive build + incremental list repair", coldstart},
 	}
 }
 
@@ -43,7 +45,7 @@ func ByID(id string) (Experiment, error) {
 			return e, nil
 		}
 	}
-	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have tableI, tableII, fig5..fig11, extensions, obs)", id)
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have tableI, tableII, fig5..fig11, extensions, obs, coldstart)", id)
 }
 
 // tableI reports the modeled environment — the analogue of the paper's
@@ -177,10 +179,10 @@ func fig6(cfg Config) ([]*Table, error) {
 
 // sortRowsByFloatColumn sorts table rows ascending by a numeric column.
 func sortRowsByFloatColumn(t *Table, col int) {
-	sort.SliceStable(t.Rows, func(i, j int) bool {
+	slices.SortStableFunc(t.Rows, func(ri, rj []string) int {
 		var a, b float64
-		fmt.Sscanf(t.Rows[i][col], "%g", &a)
-		fmt.Sscanf(t.Rows[j][col], "%g", &b)
-		return a < b
+		fmt.Sscanf(ri[col], "%g", &a)
+		fmt.Sscanf(rj[col], "%g", &b)
+		return cmp.Compare(a, b)
 	})
 }

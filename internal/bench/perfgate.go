@@ -1,11 +1,13 @@
 package bench
 
 import (
+	"cmp"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"slices"
 	"sort"
 	"strings"
 	"time"
@@ -16,6 +18,7 @@ import (
 	"gbpolar/internal/molecule"
 	"gbpolar/internal/obs"
 	"gbpolar/internal/obs/analyze"
+	"gbpolar/internal/octree"
 )
 
 // This file is the performance regression gate (`gbbench -baseline` /
@@ -105,9 +108,34 @@ func gatePrepare(atoms int, seed int64) (*prepared, error) {
 	return prepare(mol, paperParams(mathx.Exact))
 }
 
+// gateBuildStats is the "build" measurement class: one cold octree
+// construction per builder over the gate molecule's atom positions,
+// timed wall-clock. The stat names carry "wall" so the comparison
+// applies the generous wall-clock tolerance floor — these are real
+// timings, not modeled ones.
+func gateBuildStats(p *prepared) (map[string]float64, error) {
+	pts := p.mol.Positions()
+	out := make(map[string]float64, 2)
+	for _, b := range []struct {
+		stat    string
+		builder octree.Builder
+	}{
+		{"build.recursive.wall_ms", octree.BuilderRecursive},
+		{"build.morton.wall_ms", octree.BuilderMorton},
+	} {
+		t0 := time.Now()
+		if _, err := octree.Build(pts, octree.Options{Builder: b.builder}); err != nil {
+			return nil, fmt.Errorf("bench: gate %s: %w", b.stat, err)
+		}
+		out[b.stat] = float64(time.Since(t0)) / float64(time.Millisecond)
+	}
+	return out, nil
+}
+
 // GateSamples measures the gate workload reps times and returns one
-// analyzer summary per repetition. The first (warm-up) run is discarded
-// so list compilation and pool growth don't pollute the wall stats.
+// analyzer summary per repetition, each merged with the cold-build
+// stats. The first (warm-up) run is discarded so list compilation and
+// pool growth don't pollute the wall stats.
 func GateSamples(atoms, reps int, seed int64) ([]map[string]float64, error) {
 	p, err := gatePrepare(atoms, seed)
 	if err != nil {
@@ -122,7 +150,15 @@ func GateSamples(atoms, reps int, seed int64) ([]map[string]float64, error) {
 		if err := gateRun(p, seed, o); err != nil {
 			return nil, err
 		}
-		samples = append(samples, analyze.FromTrace(o.Trace).Summary())
+		s := analyze.FromTrace(o.Trace).Summary()
+		builds, err := gateBuildStats(p)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range builds {
+			s[k] = v
+		}
+		samples = append(samples, s)
 	}
 	return samples, nil
 }
@@ -246,16 +282,18 @@ func CompareBaselines(base, current *Baseline) (rows []GateRow, ok bool) {
 		rows = append(rows, row)
 	}
 	// Worst offenders first, then biggest movers, then lexical.
-	sort.Slice(rows, func(i, j int) bool {
-		ri, rj := rows[i].Status == "REGRESSED", rows[j].Status == "REGRESSED"
-		if ri != rj {
-			return ri
+	slices.SortFunc(rows, func(a, b GateRow) int {
+		ra, rb := a.Status == "REGRESSED", b.Status == "REGRESSED"
+		if ra != rb {
+			if ra {
+				return -1
+			}
+			return 1
 		}
-		di, dj := math.Abs(rows[i].DeltaPct), math.Abs(rows[j].DeltaPct)
-		if di != dj {
-			return di > dj
+		if c := cmp.Compare(math.Abs(b.DeltaPct), math.Abs(a.DeltaPct)); c != 0 {
+			return c
 		}
-		return rows[i].Stat < rows[j].Stat
+		return cmp.Compare(a.Stat, b.Stat)
 	})
 	return rows, ok
 }

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"gbpolar/internal/geom"
+	"gbpolar/internal/obs"
+	"gbpolar/internal/octree"
+	"gbpolar/internal/sched"
+)
+
+// This file is the incremental interaction-list repair — the warm-path
+// companion to the tracked octree update (octree/tracked.go). A compiled
+// list row is a pure function of the opening tests its classification
+// evaluated, and each row carries the minimum slack those tests had
+// (Margin). After an update the repair measures, per node, how far the
+// center and radius ACTUALLY moved relative to the snapshot the lists
+// were certified against; a row whose margin dominates the worst drift
+// along every path it descended — and whose paths saw no structural
+// change (child materialized, child pruned, leaf split) — provably
+// classifies identically against the moved geometry, so its cached
+// entries ARE what a fresh compile would produce. Only the remaining
+// rows are recomputed, and the result is structurally byte-for-byte a
+// full recompile (RecheckLists verifies exactly that) at O(dirty rows)
+// cost. Measuring drift per node rather than bounding it by the fastest
+// atom is what makes the certificate bite: an opening test's operands
+// move with a node's centroid, which for an n-point node drifts ~1/n of
+// the per-atom displacement.
+
+// repairSlop absorbs floating-point evaluation noise in the margin/drift
+// comparison: the drift bound is exact over the reals, and the opening
+// test's FP rounding is ~1e-13 at molecular coordinate scales, so a
+// conservative absolute guard keeps the certificate sound without
+// recomputing measurably more rows.
+const repairSlop = 1e-9
+
+// UpdateStats reports what an UpdateAtomsRepair call did.
+type UpdateStats struct {
+	// Moved is the number of atoms that changed octree leaf.
+	Moved int
+	// Rebuilt is set when the octree fell back to a full reconstruction
+	// (atom escaped the root cube, or the tree had no Morton keys).
+	Rebuilt bool
+	// Repaired is set when the cached interaction lists were repaired in
+	// place; when false they were invalidated and the next evaluation
+	// recompiles from scratch.
+	Repaired bool
+	// RowsRepaired and RowsTotal count recompiled vs total list rows
+	// across both phases (valid only when Repaired).
+	RowsRepaired, RowsTotal int
+}
+
+// UpdateAtomsRepair moves the atoms to new positions (original atom
+// order) like UpdateAtoms, but uses the tracked octree update and its
+// structural-change report to repair the compiled interaction lists in
+// place instead of discarding them. When repair is impossible — the
+// octree rebuilt, or there were no cached lists — it degrades to
+// UpdateAtoms semantics (lists invalidated). The pool parallelizes row
+// reclassification; o (may be nil) receives the "octree.keys.moved",
+// "ilist.rows.repaired" and "ilist.repair.fallbacks" counters.
+func (s *System) UpdateAtomsRepair(newPositions []geom.Vec3, pool *sched.Pool, o *obs.Obs) (UpdateStats, error) {
+	if len(newPositions) != s.Mol.NumAtoms() {
+		return UpdateStats{}, fmt.Errorf("core: UpdateAtomsRepair with %d positions for %d atoms",
+			len(newPositions), s.Mol.NumAtoms())
+	}
+	res, err := s.Atoms.UpdateTracked(newPositions)
+	if err != nil {
+		return UpdateStats{Moved: res.Moved, Rebuilt: res.Rebuilt}, err
+	}
+	s.commitAtomPositions(newPositions)
+	if o != nil {
+		o.Counter("octree.keys.moved").Add(int64(res.Moved))
+	}
+
+	stats := UpdateStats{Moved: res.Moved, Rebuilt: res.Rebuilt}
+	s.listsMu.Lock()
+	defer s.listsMu.Unlock()
+	cl := s.lists
+	if cl == nil || !cl.matches(s) || res.Rebuilt {
+		// Node ids are not stable across a rebuild (or there is nothing
+		// to repair): full recompile on next use.
+		s.lists = nil
+		if o != nil && cl != nil {
+			o.Counter("ilist.repair.fallbacks").Add(1)
+		}
+		return stats, nil
+	}
+	cert := buildRepairCert(s.Atoms, cl.nodeC, cl.nodeR, res.Struct)
+	born, nb := repairPhase(s.Atoms, s.QPts, cl.Born, cert, cl.bornMAC, false, false, pool)
+	epol, ne := repairPhase(s.Atoms, s.Atoms, cl.Epol, cert, cl.epolFar, true, true, pool)
+	nc, nr := snapshotNodes(s.Atoms)
+	s.lists = &CompiledLists{
+		bornMAC: cl.bornMAC, epolFar: cl.epolFar,
+		Born: born, Epol: epol,
+		nodeC: nc, nodeR: nr,
+	}
+	stats.Repaired = true
+	stats.RowsRepaired = nb + ne
+	stats.RowsTotal = len(born.Rows) + len(epol.Rows)
+	if o != nil {
+		o.Counter("ilist.rows.repaired").Add(int64(stats.RowsRepaired))
+	}
+	return stats, nil
+}
+
+// commitAtomPositions applies already-tree-updated atom positions to the
+// molecule record, the slot-ordered payloads and the SoA mirrors —
+// everything UpdateAtoms does after the octree call except list
+// invalidation, which the callers decide.
+func (s *System) commitAtomPositions(newPositions []geom.Vec3) {
+	for i := range s.Mol.Atoms {
+		s.Mol.Atoms[i].Pos = newPositions[i]
+	}
+	for slot, orig := range s.Atoms.Index {
+		s.Charge[slot] = s.Mol.Atoms[orig].Charge
+		s.Radius[slot] = s.Mol.Atoms[orig].Radius
+	}
+	s.refreshAtomSoA()
+}
+
+// repairCert holds the per-node certification state one tracked update
+// induces on the atoms tree, shared by both phases' repairs.
+type repairCert struct {
+	// reached marks ids reachable from the root; entries referencing
+	// pruned nodes fail their row's certificate through it.
+	reached []bool
+	// pathBad[id] is true iff any node on root→id (inclusive) changed
+	// structure: a classification descending that path cannot be trusted
+	// to revisit the same children.
+	pathBad []bool
+	// dc/dr are the node's own center/radius drift vs the snapshot;
+	// upDc/upDr are the maxima over the STRICT ancestors root→parent(id)
+	// — the nodes a classification descended through (and tested) on its
+	// way to id. Keeping the entry's own drift out of the path maximum is
+	// the point: the node a moved atom left or joined can jump by its
+	// whole cell size, and only the rows for which THAT node's own test
+	// was tight need recomputing, not every row that descended past it.
+	dc, dr, upDc, upDr []float64
+	// dfsIdx numbers nodes in classification visit order (pre-order,
+	// children in octant order) — node IDS stop being in visit order once
+	// tracked updates materialize leaves, so reassembling a row's
+	// pre-symmetrization near list must sort by this, not by id.
+	dfsIdx []int32
+}
+
+// buildRepairCert measures every reachable node's drift against the
+// snapshot and folds in the tracked update's structural-change report
+// (nil strct means no structural change).
+func buildRepairCert(atoms *octree.Tree, snapC []geom.Vec3, snapR []float64, strct []bool) *repairCert {
+	nn := len(atoms.Nodes)
+	c := &repairCert{
+		reached: make([]bool, nn),
+		pathBad: make([]bool, nn),
+		dc:      make([]float64, nn),
+		dr:      make([]float64, nn),
+		upDc:    make([]float64, nn),
+		upDr:    make([]float64, nn),
+		dfsIdx:  make([]int32, nn),
+	}
+	var next int32
+	var walk func(id int32, bad bool, mdc, mdr float64)
+	walk = func(id int32, bad bool, mdc, mdr float64) {
+		nd := &atoms.Nodes[id]
+		dc, dr := math.Inf(1), math.Inf(1)
+		if int(id) < len(snapC) {
+			dc = nd.Center.Dist(snapC[id])
+			dr = math.Abs(nd.Radius - snapR[id])
+		} else {
+			bad = true // new node: no snapshot to certify against
+		}
+		if strct != nil && int(id) < len(strct) && strct[id] {
+			bad = true
+		}
+		c.reached[id] = true
+		c.pathBad[id] = bad
+		c.dc[id], c.dr[id] = dc, dr
+		c.upDc[id], c.upDr[id] = mdc, mdr
+		c.dfsIdx[id] = next
+		next++
+		if nd.IsLeaf {
+			return
+		}
+		// The recursion's running maxima include this node: it is a
+		// strict ancestor of (and an internal test for) everything below.
+		if dc > mdc {
+			mdc = dc
+		}
+		if dr > mdr {
+			mdr = dr
+		}
+		for _, ch := range nd.Children {
+			if ch != octree.NoChild {
+				walk(ch, bad, mdc, mdr)
+			}
+		}
+	}
+	walk(atoms.Root(), false, 0, 0)
+	return c
+}
+
+// repairPhase repairs one phase's lists against the updated atoms tree.
+// Rows follow the rowTree's CURRENT leaves: rows whose leaf survived
+// reuse their certificate, rows for new leaves (materializations,
+// splits) classify fresh, rows for dead leaves drop. A surviving row is
+// certified clean iff every cached entry is still reachable, no visited
+// path changed structure, and every opening test's recorded slack
+// dominates the drift of ITS operands: for the test that admitted entry
+// e, the entry's own dc[e] + mac·dr[e]; for the internal tests on e's
+// root path, the path minimum slack (FarPath/NearPath/…) against the
+// ancestor drift maxima upDc[e] + mac·upDr[e] — each plus the row
+// cluster's own drift when the rows are atom leaves (E_pol; Born rows
+// are static q-point leaves). Keeping the internal certificate per entry
+// matters as much as the per-entry own-test margins: one hot node (a
+// leaf that lost an atom drifts by its cell size) sits on only a few
+// entries' paths, and only those entries' rows need recomputing. It
+// returns the repaired lists and the number of rows recomputed.
+func repairPhase(atoms, rowTree *octree.Tree, il *InteractionLists, cert *repairCert, mac float64, leafFirst, symmetrize bool, pool *sched.Pool) (*InteractionLists, int) {
+	oldIdx := make([]int32, len(rowTree.Nodes))
+	for i := range oldIdx {
+		oldIdx[i] = -1
+	}
+	for i, r := range il.Rows {
+		oldIdx[r] = int32(i)
+	}
+
+	rows := rowTree.Leaves()
+	per := make([]rowLists, len(rows))
+	var dirtyRows []int32
+	repaired := 0
+	for k, r := range rows {
+		i := int32(-1)
+		if int(r) < len(oldIdx) {
+			i = oldIdx[r]
+		}
+		redo := i < 0 // new leaf: no cached row
+		var drow float64
+		if !redo && leafFirst {
+			drow = cert.dc[r] + mac*cert.dr[r]
+		}
+		// Reconstruct the row's pre-symmetrization near list — the cached
+		// near entries plus the mutual pairs symmetrization moved to Sym
+		// or ceded to a partner row — merged back into classification
+		// visit order, each with its stored path certificate. (Surviving
+		// nodes keep their relative pre-order under materializations,
+		// prunes and splits, and any structural change on a visited path
+		// forces a redo, so dfs order reproduces the compile emission
+		// order exactly.)
+		var pn []int32
+		var pnP []float64
+		if !redo {
+			near := il.Near[il.NearOff[i]:il.NearOff[i+1]]
+			if !symmetrize {
+				pn, pnP = near, il.NearPath[il.NearOff[i]:il.NearOff[i+1]]
+			} else {
+				sym := il.Sym[il.SymOff[i]:il.SymOff[i+1]]
+				cede := il.Cede[il.CedeOff[i]:il.CedeOff[i+1]]
+				pn = make([]int32, 0, len(near)+len(sym)+len(cede))
+				pnP = make([]float64, 0, cap(pn))
+				pn = append(append(append(pn, near...), sym...), cede...)
+				pnP = append(pnP, il.NearPath[il.NearOff[i]:il.NearOff[i+1]]...)
+				pnP = append(pnP, il.SymPath[il.SymOff[i]:il.SymOff[i+1]]...)
+				pnP = append(pnP, il.CedePath[il.CedeOff[i]:il.CedeOff[i+1]]...)
+				ord := make([]int32, len(pn))
+				for x := range ord {
+					ord[x] = int32(x)
+				}
+				slices.SortFunc(ord, func(a, b int32) int {
+					return int(cert.dfsIdx[pn[a]]) - int(cert.dfsIdx[pn[b]])
+				})
+				spn := make([]int32, len(pn))
+				spnP := make([]float64, len(pn))
+				for x, o := range ord {
+					spn[x], spnP[x] = pn[o], pnP[o]
+				}
+				pn, pnP = spn, spnP
+			}
+		}
+		if !redo {
+			for fi := il.FarOff[i]; fi < il.FarOff[i+1]; fi++ {
+				e := il.Far[fi]
+				if !cert.reached[e] || cert.pathBad[e] ||
+					il.FarMargin[fi] <= drow+cert.dc[e]+mac*cert.dr[e]+repairSlop ||
+					il.FarPath[fi] <= drow+cert.upDc[e]+mac*cert.upDr[e]+repairSlop {
+					redo = true
+					break
+				}
+			}
+		}
+		if !redo {
+			for x, e := range pn {
+				if !cert.reached[e] || cert.pathBad[e] ||
+					pnP[x] <= drow+cert.upDc[e]+mac*cert.upDr[e]+repairSlop {
+					redo = true
+					break
+				}
+				// Born near leaves were admitted by a failed far test of
+				// their own; E_pol's leaf-first near entries were never
+				// tested (NearMargin nil) and need only the path checks.
+				if il.NearMargin != nil &&
+					il.NearMargin[il.NearOff[i]+int32(x)] <= drow+cert.dc[e]+mac*cert.dr[e]+repairSlop {
+					redo = true
+					break
+				}
+			}
+		}
+		if redo {
+			dirtyRows = append(dirtyRows, int32(k))
+			repaired++
+			continue
+		}
+		// Certified clean: the cached entries are exactly what a fresh
+		// classification would produce. Every margin decays by the drift
+		// bound its test was certified under — a lower bound on the true
+		// slack from here on; once one dips under the next drift the row
+		// recomputes and refreshes them all.
+		farM := make([]float64, il.FarOff[i+1]-il.FarOff[i])
+		farP := make([]float64, len(farM))
+		for x := range farM {
+			fi := il.FarOff[i] + int32(x)
+			e := il.Far[fi]
+			farM[x] = il.FarMargin[fi] - (drow + cert.dc[e] + mac*cert.dr[e])
+			farP[x] = il.FarPath[fi] - (drow + cert.upDc[e] + mac*cert.upDr[e])
+		}
+		nearP := make([]float64, len(pn))
+		for x, e := range pn {
+			nearP[x] = pnP[x] - (drow + cert.upDc[e] + mac*cert.upDr[e])
+		}
+		var nearM []float64
+		if il.NearMargin != nil {
+			nearM = make([]float64, len(pn))
+			for x, e := range pn {
+				nearM[x] = il.NearMargin[il.NearOff[i]+int32(x)] - (drow + cert.dc[e] + mac*cert.dr[e])
+			}
+		}
+		per[k] = rowLists{
+			far:   il.Far[il.FarOff[i]:il.FarOff[i+1]],
+			near:  pn,
+			farM:  farM,
+			farP:  farP,
+			nearM: nearM,
+			nearP: nearP,
+		}
+	}
+	recompute := func(j int) {
+		k := dirtyRows[j]
+		per[k] = rowLists{}
+		rn := &rowTree.Nodes[rows[k]]
+		classify(atoms, atoms.Root(), rn.Center, rn.Radius, mac, leafFirst, math.Inf(1), &per[k])
+	}
+	if pool == nil || len(dirtyRows) < 16 {
+		for j := range dirtyRows {
+			recompute(j)
+		}
+	} else {
+		grain := len(dirtyRows)/(8*pool.NumWorkers()) + 1
+		sched.ParallelFor(pool, len(dirtyRows), grain, func(lo, hi, _ int) {
+			for j := lo; j < hi; j++ {
+				recompute(j)
+			}
+		})
+	}
+	if symmetrize {
+		symmetrizeNear(rowTree, rows, per)
+	}
+	return assembleLists(rows, per), repaired
+}

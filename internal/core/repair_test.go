@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gbpolar/internal/geom"
+	"gbpolar/internal/obs"
+	"gbpolar/internal/octree"
+)
+
+func mortonParams() Params {
+	p := DefaultParams()
+	p.Builder = octree.BuilderMorton
+	return p
+}
+
+func jigglePositions(rng *rand.Rand, pos []geom.Vec3, sigma float64) []geom.Vec3 {
+	out := make([]geom.Vec3, len(pos))
+	for i, p := range pos {
+		out[i] = p.Add(geom.V(
+			rng.NormFloat64()*sigma, rng.NormFloat64()*sigma, rng.NormFloat64()*sigma))
+	}
+	return out
+}
+
+// TestUpdateAtomsRepairExact: after a repair, the cached lists must be
+// byte-for-byte what a fresh compile over the moved geometry produces
+// (RecheckLists diffs every row's far/near/sym entries in order), and
+// the repaired system's energy must match a from-scratch system on the
+// same positions to full approximation accuracy.
+func TestUpdateAtomsRepairExact(t *testing.T) {
+	sys, mol, surf := testSystem(t, 500, 211, mortonParams())
+	sys.Lists(nil) // compile the cache the repair will patch
+	rng := rand.New(rand.NewSource(212))
+	newPos := jigglePositions(rng, mol.Positions(), 0.05)
+
+	o := obs.New()
+	stats, err := sys.UpdateAtomsRepair(newPos, nil, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rebuilt {
+		t.Fatal("small jiggle triggered a rebuild")
+	}
+	if !stats.Repaired {
+		t.Fatal("small jiggle did not repair the lists")
+	}
+	if stats.RowsRepaired > stats.RowsTotal {
+		t.Fatalf("repaired %d of %d rows", stats.RowsRepaired, stats.RowsTotal)
+	}
+	if o.Counter("ilist.rows.repaired").Value() != int64(stats.RowsRepaired) {
+		t.Error("ilist.rows.repaired counter disagrees with stats")
+	}
+	if o.Counter("octree.keys.moved").Value() != int64(stats.Moved) {
+		t.Error("octree.keys.moved counter disagrees with stats")
+	}
+	if err := sys.Atoms.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The hard guarantee: repaired lists == fresh compile, exactly.
+	if err := sys.RecheckLists(nil); err != nil {
+		t.Fatalf("repaired lists diverge from a fresh compile: %v", err)
+	}
+
+	got, err := RunShared(sys, SharedOptions{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same tree, recompiled-from-scratch lists: identical lists ⇒
+	// identical arithmetic, so the energy must match to summation-order
+	// noise.
+	sys.InvalidateLists()
+	recompiled, err := RunShared(sys, SharedOptions{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(got.Epol, recompiled.Epol) > 1e-12 {
+		t.Errorf("repaired energy %v vs recompiled %v", got.Epol, recompiled.Epol)
+	}
+	// A from-scratch SYSTEM partitions cells differently (the update
+	// preserves old leaf boundaries), so both are ε-valid answers that
+	// agree only to well within the approximation band.
+	movedMol := mol.Clone()
+	for i := range movedMol.Atoms {
+		movedMol.Atoms[i].Pos = newPos[i]
+	}
+	fresh, err := NewSystem(movedMol, surf, mortonParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunShared(fresh, SharedOptions{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(got.Epol, want.Epol) > 0.02 {
+		t.Errorf("repaired energy %v vs fresh-system %v", got.Epol, want.Epol)
+	}
+}
+
+// TestUpdateAtomsRepairRepeated walks a trajectory of repairs and
+// rechecks exactness at every step — in particular this exercises the
+// margin-decay path, where a row stays clean across several steps on a
+// decayed (lower-bound) margin before finally recomputing.
+func TestUpdateAtomsRepairRepeated(t *testing.T) {
+	sys, mol, _ := testSystem(t, 400, 213, mortonParams())
+	sys.Lists(nil)
+	rng := rand.New(rand.NewSource(214))
+	pos := mol.Positions()
+	repairs := 0
+	for step := 0; step < 8; step++ {
+		pos = jigglePositions(rng, pos, 0.02)
+		stats, err := sys.UpdateAtomsRepair(pos, nil, nil)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if stats.Repaired {
+			repairs++
+			if err := sys.RecheckLists(nil); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+		res, err := RunShared(sys, SharedOptions{Threads: 2})
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if res.Epol >= 0 || math.IsNaN(res.Epol) {
+			t.Fatalf("step %d: energy %v", step, res.Epol)
+		}
+	}
+	if repairs == 0 {
+		t.Fatal("no step repaired the lists; test exercised nothing")
+	}
+}
+
+// TestUpdateAtomsRepairSavesWork: for a small jiggle most rows must ride
+// on their certificates — if the repair recomputes nearly everything the
+// margins or the dirtiness propagation are broken (too conservative).
+func TestUpdateAtomsRepairSavesWork(t *testing.T) {
+	sys, mol, _ := testSystem(t, 600, 215, mortonParams())
+	sys.Lists(nil)
+	rng := rand.New(rand.NewSource(216))
+	stats, err := sys.UpdateAtomsRepair(jigglePositions(rng, mol.Positions(), 0.01), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Repaired {
+		t.Fatal("not repaired")
+	}
+	if stats.RowsRepaired*2 > stats.RowsTotal {
+		t.Errorf("repair recomputed %d of %d rows for a 0.01 sigma jiggle",
+			stats.RowsRepaired, stats.RowsTotal)
+	}
+}
+
+// TestUpdateAtomsRepairFallbacks: the repair degrades to plain
+// UpdateAtoms semantics whenever its preconditions fail — recursive
+// (keyless) trees, no cached lists, or structural leaf changes — and
+// meters the fallback.
+func TestUpdateAtomsRepairFallbacks(t *testing.T) {
+	// Recursive builder: no keys, tracked update rebuilds.
+	sys, mol, _ := testSystem(t, 200, 217, DefaultParams())
+	sys.Lists(nil)
+	rng := rand.New(rand.NewSource(218))
+	o := obs.New()
+	stats, err := sys.UpdateAtomsRepair(jigglePositions(rng, mol.Positions(), 0.05), nil, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Rebuilt || stats.Repaired {
+		t.Errorf("recursive tree: Rebuilt=%v Repaired=%v, want rebuild fallback", stats.Rebuilt, stats.Repaired)
+	}
+	if o.Counter("ilist.repair.fallbacks").Value() != 1 {
+		t.Error("fallback not metered")
+	}
+	if res, err := RunShared(sys, SharedOptions{Threads: 2}); err != nil || res.Epol >= 0 {
+		t.Fatalf("post-fallback run: %v %v", res.Epol, err)
+	}
+
+	// No cached lists: nothing to repair, but the update itself works.
+	sys2, mol2, _ := testSystem(t, 200, 219, mortonParams())
+	stats, err = sys2.UpdateAtomsRepair(jigglePositions(rng, mol2.Positions(), 0.05), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Repaired {
+		t.Error("repair claimed with no cached lists")
+	}
+
+	// A violent move changes the leaf set (or escapes the cube): lists
+	// must be invalidated, and the next evaluation still agrees with a
+	// fresh system.
+	sys3, mol3, _ := testSystem(t, 200, 221, mortonParams())
+	sys3.Lists(nil)
+	big := jigglePositions(rng, mol3.Positions(), 5.0)
+	stats, err = sys3.UpdateAtomsRepair(big, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Repaired {
+		if err := sys3.RecheckLists(nil); err != nil {
+			t.Fatalf("big-move repair diverged: %v", err)
+		}
+	}
+	if err := sys3.Atoms.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Length mismatch is rejected before anything mutates.
+	if _, err := sys3.UpdateAtomsRepair(make([]geom.Vec3, 3), nil, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

@@ -62,6 +62,12 @@ type Params struct {
 	StrictBornMAC bool
 	// LeafCap is the octree leaf capacity (default 8).
 	LeafCap int
+	// Builder selects the octree construction algorithm for both trees
+	// (default the recursive reference builder; octree.BuilderMorton is
+	// the sorted cold-path builder). Both produce the same decomposition
+	// on realistic inputs; Morton is faster and keys the atoms tree for
+	// incremental updates.
+	Builder octree.Builder
 	// DebugCheckLists makes every compiled-list evaluation recompile the
 	// interaction lists from the current geometry and assert they match
 	// the cached ones — the paranoid mode backing the rigid-transform
@@ -166,7 +172,7 @@ func NewSystem(mol *molecule.Molecule, surf *surface.Surface, params Params) (*S
 		return nil, fmt.Errorf("core: surface has no quadrature points")
 	}
 
-	ta, err := octree.Build(mol.Positions(), octree.Options{LeafCap: params.LeafCap})
+	ta, err := octree.Build(mol.Positions(), octree.Options{LeafCap: params.LeafCap, Builder: params.Builder})
 	if err != nil {
 		return nil, fmt.Errorf("core: atoms octree: %w", err)
 	}
@@ -174,7 +180,7 @@ func NewSystem(mol *molecule.Molecule, surf *surface.Surface, params Params) (*S
 	for i, p := range surf.Points {
 		qpos[i] = p.Pos
 	}
-	tq, err := octree.Build(qpos, octree.Options{LeafCap: params.LeafCap})
+	tq, err := octree.Build(qpos, octree.Options{LeafCap: params.LeafCap, Builder: params.Builder})
 	if err != nil {
 		return nil, fmt.Errorf("core: q-points octree: %w", err)
 	}
@@ -332,17 +338,9 @@ func (s *System) UpdateAtoms(newPositions []geom.Vec3) (moved int, err error) {
 	if err != nil {
 		return moved, err
 	}
-	for i := range s.Mol.Atoms {
-		s.Mol.Atoms[i].Pos = newPositions[i]
-	}
-	// The update permutes slots: refresh the slot-ordered payloads.
-	for slot, orig := range s.Atoms.Index {
-		s.Charge[slot] = s.Mol.Atoms[orig].Charge
-		s.Radius[slot] = s.Mol.Atoms[orig].Radius
-	}
-	// Non-rigid motion: the SoA mirrors and the compiled near/far
-	// classification are both stale.
-	s.refreshAtomSoA()
+	s.commitAtomPositions(newPositions)
+	// Non-rigid motion: the compiled near/far classification is stale.
+	// (UpdateAtomsRepair is the variant that repairs it instead.)
 	s.InvalidateLists()
 	return moved, nil
 }

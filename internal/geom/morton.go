@@ -1,0 +1,211 @@
+package geom
+
+import "math"
+
+// Morton (Z-order) key math for the octree's sorted cold-path builder.
+// A key interleaves the three 21-bit lattice coordinates of a point
+// inside a root box into 63 bits, most significant octant first, so that
+// sorting points by key visits them in the depth-first octant order of
+// the recursive subdivision — tree-code builders (DASHMM,
+// arXiv:1710.06316) derive both the hierarchy and the memory layout from
+// that single sort.
+//
+// Exactness is the delicate part: the recursive builder classifies a
+// point by comparing against midpoints computed as (lo+hi)/2 level by
+// level, and a quantized key computed with different arithmetic can
+// disagree by an ulp at cell seams. Two mechanisms close that gap
+// without changing the box the tree subdivides:
+//
+//   - MortonKey replays the descent's own floating-point comparisons,
+//     so it is bit-exact against OctantIndex for ANY box — at ~21
+//     serial add/mul latencies per axis.
+//   - MortonKeys quantizes in one multiply per axis and CERTIFIES the
+//     result: the recursive midpoints drift from the ideal uniform
+//     lattice by at most 21 rounding errors, so away from a guard band
+//     around each cell seam the quantized verdict provably equals the
+//     chain's. Points inside the band (a ~1e-6-cell sliver) fall back
+//     to the chain per axis. Same bits, an order of magnitude faster.
+const (
+	// MortonBits is the lattice resolution per axis: 21 bits × 3 axes
+	// fill a 63-bit key, leaving the top bit clear so keys order
+	// correctly as both signed and unsigned integers.
+	MortonBits = 21
+	// mortonSpan is the number of leaf cells per axis.
+	mortonSpan = 1 << MortonBits
+)
+
+// axisBits returns the MortonBits successive half-space verdicts of p
+// against the interval [lo, hi), most significant first. It performs the
+// SAME floating-point operations as the recursive octree descent —
+// center c = (lo+hi)/2, upper half iff p >= c, then recurse into the
+// half — so bit l of the result equals the axis bit of OctantIndex at
+// depth l exactly, boundary points and all.
+func axisBits(p, lo, hi float64) uint32 {
+	var u uint32
+	for l := 0; l < MortonBits; l++ {
+		c := (lo + hi) * 0.5
+		u <<= 1
+		if p >= c {
+			u |= 1
+			lo = c
+		} else {
+			hi = c
+		}
+	}
+	return u
+}
+
+// Spread3 distributes the low 21 bits of v to every third bit of the
+// result (bit i of v lands at bit 3i).
+func Spread3(v uint32) uint64 {
+	x := uint64(v) & 0x1fffff
+	x = (x | x<<32) & 0x1f00000000ffff
+	x = (x | x<<16) & 0x1f0000ff0000ff
+	x = (x | x<<8) & 0x100f00f00f00f00f
+	x = (x | x<<4) & 0x10c30c30c30c30c3
+	x = (x | x<<2) & 0x1249249249249249
+	return x
+}
+
+// Compact3 inverts Spread3: it gathers every third bit of x (starting at
+// bit 0) into the low 21 bits of the result.
+func Compact3(x uint64) uint32 {
+	x &= 0x1249249249249249
+	x = (x ^ x>>2) & 0x10c30c30c30c30c3
+	x = (x ^ x>>4) & 0x100f00f00f00f00f
+	x = (x ^ x>>8) & 0x1f0000ff0000ff
+	x = (x ^ x>>16) & 0x1f00000000ffff
+	x = (x ^ x>>32) & 0x1fffff
+	return uint32(x)
+}
+
+// MortonEncode interleaves three 21-bit lattice coordinates into a
+// 63-bit key. Bit 0 of each coordinate triple is the X axis, bit 1 the Y
+// axis, bit 2 the Z axis — the same convention as AABB.Octant /
+// AABB.OctantIndex, so the 3-bit group at depth d (counting from the
+// most significant group) IS the octant index of the point at that depth.
+func MortonEncode(x, y, z uint32) uint64 {
+	return Spread3(x) | Spread3(y)<<1 | Spread3(z)<<2
+}
+
+// MortonDecode returns the three lattice coordinates of a key.
+func MortonDecode(k uint64) (x, y, z uint32) {
+	return Compact3(k), Compact3(k >> 1), Compact3(k >> 2)
+}
+
+// MortonKey returns the 63-bit Morton key of p inside box b. The
+// per-axis bits replay the recursive subdivision's own comparisons, so
+// for any depth d ≤ MortonBits,
+//
+//	MortonOctant(b.MortonKey(p), d) == (d-th recursive box).OctantIndex(p)
+//
+// holds exactly, for any box. Points outside b are clamped to its
+// lattice by the comparison chain itself (every verdict simply
+// saturates toward the nearest face), so the key is total.
+func (b AABB) MortonKey(p Vec3) uint64 {
+	return MortonEncode(
+		axisBits(p.X, b.Min.X, b.Max.X),
+		axisBits(p.Y, b.Min.Y, b.Max.Y),
+		axisBits(p.Z, b.Min.Z, b.Max.Z),
+	)
+}
+
+// MortonOctant extracts the octant index (0..7) a key selects at depth
+// d, d = 0 being the root's split.
+func MortonOctant(k uint64, d int) int {
+	return int(k >> (3 * (MortonBits - 1 - d)) & 7)
+}
+
+// mortonAxis is the certified one-multiply quantizer for one axis of a
+// box. The comparison chain's effective cell boundaries are nested
+// midpoints, each off the ideal uniform lattice point lo + k·side/2^21
+// by at most the accumulated rounding of 21 midpoint additions,
+// ≤ 21·ulp(max(|lo|,|hi|)). guard is that drift plus the quantizer's own
+// evaluation error, expressed in cell units with a 4x safety factor:
+// whenever the quantized fraction is farther than guard from both
+// adjacent seams, the floor verdict provably equals the chain's.
+type mortonAxis struct {
+	lo    float64
+	hi    float64
+	scale float64 // mortonSpan / (hi - lo)
+	guard float64 // uncertainty radius around each seam, in cell units
+	ok    bool    // false: degenerate axis, always use the chain
+}
+
+// ulp returns the distance from |x| to the next float64, the unit of the
+// rounding error bounds above.
+func ulp(x float64) float64 {
+	x = math.Abs(x)
+	if x == 0 || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Ldexp(0x1p-52, math.Ilogb(x))
+}
+
+func makeMortonAxis(lo, hi float64) mortonAxis {
+	side := hi - lo
+	if !(side > 0) || math.IsInf(side, 0) {
+		return mortonAxis{lo: lo, hi: hi}
+	}
+	m := math.Max(math.Abs(lo), math.Abs(hi))
+	// 21 levels of midpoint rounding drift ≤ 21·ulp(m); the quantizer's
+	// own evaluation error is ≲ 2^-30 cells, absorbed (with room to
+	// spare) by the 1e-6 absolute floor.
+	guard := 84*ulp(m)*mortonSpan/side + 1e-6
+	if guard >= 0.5 {
+		// The seams are uncertain everywhere (box astronomically far
+		// from the origin relative to its size): chain only.
+		return mortonAxis{lo: lo, hi: hi}
+	}
+	return mortonAxis{lo: lo, hi: hi, scale: mortonSpan / side, guard: guard, ok: true}
+}
+
+// quant returns the axis's lattice coordinate for p when it can be
+// certified; ok == false sends the point to the exact chain.
+func (a *mortonAxis) quant(p float64) (uint32, bool) {
+	f := (p - a.lo) * a.scale
+	u := math.Floor(f)
+	frac := f - u
+	if frac <= a.guard || frac >= 1-a.guard {
+		return 0, false
+	}
+	if u < 0 {
+		return 0, true // strictly below the box: the chain saturates to 0
+	}
+	if u >= mortonSpan {
+		return mortonSpan - 1, true // strictly above: saturates to the top cell
+	}
+	return uint32(u), true
+}
+
+// MortonKeys fills out[i] = b.MortonKey(pts[i]), bit-identical to the
+// comparison chain but about an order of magnitude faster: each axis is
+// quantized with one multiply and certified by the guard-band bound
+// above; only the vanishing fraction of coordinates inside a guard band
+// (or every coordinate of a degenerate axis) pays the chain.
+func MortonKeys(b AABB, pts []Vec3, out []uint64) {
+	ax := makeMortonAxis(b.Min.X, b.Max.X)
+	ay := makeMortonAxis(b.Min.Y, b.Max.Y)
+	az := makeMortonAxis(b.Min.Z, b.Max.Z)
+	if !ax.ok || !ay.ok || !az.ok {
+		for i, p := range pts {
+			out[i] = b.MortonKey(p)
+		}
+		return
+	}
+	for i, p := range pts {
+		ux, okx := ax.quant(p.X)
+		if !okx {
+			ux = axisBits(p.X, ax.lo, ax.hi)
+		}
+		uy, oky := ay.quant(p.Y)
+		if !oky {
+			uy = axisBits(p.Y, ay.lo, ay.hi)
+		}
+		uz, okz := az.quant(p.Z)
+		if !okz {
+			uz = axisBits(p.Z, az.lo, az.hi)
+		}
+		out[i] = MortonEncode(ux, uy, uz)
+	}
+}

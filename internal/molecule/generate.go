@@ -1,10 +1,11 @@
 package molecule
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"gbpolar/internal/geom"
 )
@@ -65,7 +66,7 @@ func GenProtein(name string, n int, seed int64) *Molecule {
 		}
 	}
 	// Fill from the center outward so the molecule is compact for any n.
-	sort.Slice(sites, func(i, j int) bool { return sites[i].d2 < sites[j].d2 })
+	slices.SortFunc(sites, func(a, b site) int { return cmp.Compare(a.d2, b.d2) })
 
 	for i := 0; i < n; i++ {
 		s := sites[i%len(sites)]

@@ -14,8 +14,9 @@
 package analyze
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"gbpolar/internal/obs"
 )
@@ -279,7 +280,7 @@ func Analyze(events []obs.Event) *Analysis {
 	for _, rs := range ranks {
 		a.Ranks = append(a.Ranks, *rs)
 	}
-	sort.Slice(a.Ranks, func(i, j int) bool { return a.Ranks[i].Rank < a.Ranks[j].Rank })
+	slices.SortFunc(a.Ranks, func(x, y RankStat) int { return cmp.Compare(x.Rank, y.Rank) })
 
 	a.findDominant()
 	a.findStraggler()

@@ -2,10 +2,11 @@ package analyze
 
 import (
 	"bufio"
+	"cmp"
 	"fmt"
 	"io"
 	"math"
-	"sort"
+	"slices"
 )
 
 // DiffRow is one stat's run-to-run comparison.
@@ -47,15 +48,14 @@ func DiffSummaries(sa, sb map[string]float64) []DiffRow {
 		}
 		rows = append(rows, row)
 	}
-	sort.Slice(rows, func(i, j int) bool {
-		di, dj := math.Abs(rows[i].DeltaPct), math.Abs(rows[j].DeltaPct)
-		if di != dj {
-			return di > dj
+	slices.SortFunc(rows, func(a, b DiffRow) int {
+		if c := cmp.Compare(math.Abs(b.DeltaPct), math.Abs(a.DeltaPct)); c != 0 {
+			return c
 		}
-		if rows[i].DeltaPct != rows[j].DeltaPct {
-			return rows[i].DeltaPct > rows[j].DeltaPct
+		if c := cmp.Compare(b.DeltaPct, a.DeltaPct); c != 0 {
+			return c
 		}
-		return rows[i].Stat < rows[j].Stat
+		return cmp.Compare(a.Stat, b.Stat)
 	})
 	return rows
 }

@@ -2,11 +2,12 @@ package obs
 
 import (
 	"bufio"
+	"cmp"
 	"encoding/json"
 	"fmt"
 	"io"
 	"log/slog"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 )
@@ -271,7 +272,7 @@ func (t *Trace) Events() []Event {
 	for id := range t.open {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	for i, id := range ids {
 		os := t.open[id]
 		ev := Event{
@@ -288,18 +289,17 @@ func (t *Trace) Events() []Event {
 		out = append(out, ev)
 	}
 	t.mu.Unlock()
-	sort.SliceStable(out, func(i, j int) bool {
-		a, b := &out[i], &out[j]
-		if a.Rank != b.Rank {
-			return a.Rank < b.Rank
+	slices.SortStableFunc(out, func(a, b Event) int {
+		if c := cmp.Compare(a.Rank, b.Rank); c != 0 {
+			return c
 		}
-		if a.start() != b.start() {
-			return a.start() < b.start()
+		if c := cmp.Compare(a.start(), b.start()); c != 0 {
+			return c
 		}
-		if a.dur() != b.dur() {
-			return a.dur() > b.dur()
+		if c := cmp.Compare(b.dur(), a.dur()); c != 0 {
+			return c
 		}
-		return a.seq < b.seq
+		return cmp.Compare(a.seq, b.seq)
 	})
 	return out
 }

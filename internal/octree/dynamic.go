@@ -3,7 +3,7 @@ package octree
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"gbpolar/internal/geom"
 )
@@ -43,6 +43,9 @@ func (t *Tree) Update(newPts []geom.Vec3) (moved int, err error) {
 			return 0, fmt.Errorf("octree: point %d is not finite: %v", i, p)
 		}
 	}
+	// The untracked path does not maintain Morton keys; drop them so a
+	// later tracked update recomputes rather than trusting stale keys.
+	t.keys = nil
 	for slot, orig := range t.Index {
 		t.Pts[slot] = newPts[orig]
 	}
@@ -87,7 +90,7 @@ func (t *Tree) Update(newPts []geom.Vec3) (moved int, err error) {
 	for _, li := range target {
 		counts[li]++
 	}
-	t.pruneEmpty(0, counts)
+	t.pruneEmpty(0, counts, nil)
 
 	// Structural leaf order (children visited in octant order) defines
 	// the new slot layout.
@@ -167,8 +170,10 @@ func (t *Tree) route(p geom.Vec3, boxes []geom.AABB) (int32, []geom.AABB) {
 }
 
 // pruneEmpty removes children whose subtree holds no points anymore.
-// It returns the subtree's total count.
-func (t *Tree) pruneEmpty(node int32, counts []int32) int32 {
+// It returns the subtree's total count. When strct is non-nil, nodes
+// whose child set or leaf-ness changes are flagged (the tracked update's
+// structural-change report).
+func (t *Tree) pruneEmpty(node int32, counts []int32, strct []bool) int32 {
 	nd := &t.Nodes[node]
 	if nd.IsLeaf {
 		return counts[node]
@@ -181,9 +186,12 @@ func (t *Tree) pruneEmpty(node int32, counts []int32) int32 {
 		if c == NoChild {
 			continue
 		}
-		sub := t.pruneEmpty(c, counts)
+		sub := t.pruneEmpty(c, counts, strct)
 		if sub == 0 {
 			nd.Children[o] = NoChild
+			if strct != nil {
+				strct[node] = true
+			}
 			continue
 		}
 		total += sub
@@ -196,6 +204,9 @@ func (t *Tree) pruneEmpty(node int32, counts []int32) int32 {
 	_ = lastLive
 	if live == 0 {
 		nd.IsLeaf = true
+		if strct != nil {
+			strct[node] = true
+		}
 	}
 	return total
 }
@@ -344,8 +355,8 @@ func (t *Tree) rebuildLeafList() {
 			t.leaves = append(t.leaves, id)
 		}
 	})
-	sort.Slice(t.leaves, func(i, j int) bool {
-		return t.Nodes[t.leaves[i]].Start < t.Nodes[t.leaves[j]].Start
+	slices.SortFunc(t.leaves, func(a, b int32) int {
+		return int(t.Nodes[a].Start) - int(t.Nodes[b].Start)
 	})
 }
 
@@ -356,7 +367,7 @@ func (t *Tree) rebuildAll() error {
 	for slot, orig := range t.Index {
 		pts[orig] = t.Pts[slot]
 	}
-	fresh, err := Build(pts, Options{LeafCap: t.leafCap, MaxDepth: 32})
+	fresh, err := Build(pts, Options{LeafCap: t.leafCap, MaxDepth: 32, Builder: t.builder, Pool: t.pool})
 	if err != nil {
 		return err
 	}

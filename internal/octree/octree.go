@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"gbpolar/internal/geom"
+	"gbpolar/internal/sched"
 )
 
 // NoChild marks an absent child slot.
@@ -59,6 +60,14 @@ type Tree struct {
 	leaves  []int32
 	leafCap int
 	rootBox geom.AABB
+
+	// keys holds the Morton key of each slot for Morton-built trees
+	// (nil otherwise); UpdateTracked keeps it current, the untracked
+	// Update invalidates it. builder/pool let incremental rebuilds
+	// reconstruct with the same algorithm and parallelism as Build.
+	keys    []uint64
+	builder Builder
+	pool    *sched.Pool
 }
 
 // Options configures construction.
@@ -66,8 +75,16 @@ type Options struct {
 	// LeafCap is the maximum number of points in a leaf (default 8).
 	LeafCap int
 	// MaxDepth bounds the recursion for degenerate (coincident) inputs
-	// (default 32).
+	// (default 32). BuilderMorton caps it at geom.MortonBits, the key
+	// lattice resolution.
 	MaxDepth int
+	// Builder selects the construction algorithm (default
+	// BuilderRecursive, the reference implementation).
+	Builder Builder
+	// Pool, when non-nil, parallelizes BuilderMorton's key computation,
+	// radix sort and permutation. A nil Pool runs serially. The
+	// recursive builder ignores it.
+	Pool *sched.Pool
 }
 
 func (o Options) withDefaults() Options {
@@ -107,7 +124,13 @@ func Build(pts []geom.Vec3, opts Options) (*Tree, error) {
 	// rebuild.
 	root := inflate(geom.Bound(pts).Cube(), 1.25)
 	t.rootBox = root
-	t.build(root, 0, int32(len(pts)), 0, opts)
+	t.builder = opts.Builder
+	t.pool = opts.Pool
+	if opts.Builder == BuilderMorton {
+		t.buildMorton(root, opts)
+	} else {
+		t.build(root, 0, int32(len(pts)), 0, opts)
+	}
 	t.finalize()
 	return t, nil
 }
