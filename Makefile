@@ -1,6 +1,13 @@
 GO ?= go
 
-.PHONY: check build test vet race faults bench-warm obs perfgate
+# GOAMD64 microarchitecture level for benchmark builds (bench-lanes).
+# The hot near-block kernels carry their own runtime-dispatched AVX2+FMA
+# assembly, so this only affects compiler-generated code; v3 (AVX2 ISA
+# baseline) shaves a few percent off the scalar exact tier on modern
+# hosts. Usage: make bench-lanes GOAMD64=v3
+GOAMD64 ?=
+
+.PHONY: check build test vet race faults bench-warm bench-lanes obs perfgate
 
 ## check: the tier-1 gate — vet, build, full test suite, race detector,
 ## the fault-injection matrix, the observability suite, and the perf
@@ -55,6 +62,12 @@ perfgate:
 ## bench-warm: the warm-engine pose-scan pair (EXPERIMENTS.md extD).
 bench-warm:
 	$(GO) test -run '^$$' -bench 'BenchmarkComputeWarm' -benchtime 3x -count 2 .
+
+## bench-lanes: the kernel ablation — scalar vs laned x exact vs approx
+## vs f32 precision tiers on the 40k-atom warm pose scan (EXPERIMENTS.md
+## kernel ablation section). Honors GOAMD64 (see above).
+bench-lanes:
+	GOAMD64=$(GOAMD64) $(GO) run ./cmd/gbbench -exp lanes -reps 3
 
 ## bench-cold: the cold-path pair — octree construction benchmarks
 ## (recursive vs Morton at 1k/10k/100k points) and the coldstart

@@ -44,6 +44,7 @@ func main() {
 		builder  = flag.String("builder", "recursive", "octree construction algorithm: recursive | morton")
 		epsEpol  = flag.Float64("eps-epol", 0.9, "E_pol approximation parameter")
 		approx   = flag.Bool("approx-math", false, "enable fast sqrt/exp kernels")
+		prec     = flag.String("precision", "exact", "compiled-kernel arithmetic tier: exact | lanes | f32")
 		naive    = flag.Bool("naive", false, "also run the exact reference and report the error")
 		modeled  = flag.Bool("modeled", true, "distributed runners: virtual-clock accounting")
 		radiiOut = flag.String("radii-out", "", "write Born radii (one per line) to this file")
@@ -115,6 +116,7 @@ func main() {
 		EpsBorn:         *epsBorn,
 		EpsEpol:         *epsEpol,
 		ApproximateMath: *approx,
+		Precision:       *prec,
 		Builder:         *builder,
 	})
 	if err != nil {
@@ -228,6 +230,7 @@ func main() {
 			"in": *inPath, "gen": *gen, "runner": *runner,
 			"procs": *procs, "threads": *threads,
 			"eps_born": *epsBorn, "eps_epol": *epsEpol, "approx_math": *approx,
+			"precision": *prec, "kernel_isa": gbpolar.KernelISA(),
 		})
 		if err := man.WriteFile(*manifestOut); err != nil {
 			log.Fatal(err)

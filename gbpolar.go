@@ -63,6 +63,12 @@ type Options struct {
 	// ApproximateMath enables the paper's fast sqrt/exp kernels
 	// (≈1.4× faster, shifts the energy by a few percent).
 	ApproximateMath bool
+	// Precision selects the compiled-kernel arithmetic tier: "" or
+	// "exact" (float64, today's semantics), "lanes" (width-4 laned
+	// approximate float64 — the paper's approximate-math accuracy class,
+	// vectorized), or "f32" (float32 lanes with float64 row reduction,
+	// ≤1e-4 relative error budget). See core.Precision.
+	Precision string
 	// SurfaceLevel overrides the icosphere subdivision level (0 = auto).
 	SurfaceLevel int
 	// QuadratureDegree selects the Dunavant rule, 1–5 (0 = degree 2).
@@ -95,6 +101,10 @@ func (o Options) params() core.Params {
 	}
 	return p
 }
+
+// KernelISA reports the instruction set the non-exact precision tiers'
+// kernels execute on ("avx2+fma" or "portable").
+func KernelISA() string { return core.KernelISA() }
 
 // Observer re-exports the observability bundle: a hierarchical trace
 // (per-rank phase and collective spans on both wall and virtual clocks,
@@ -159,6 +169,13 @@ func NewEngineWithSurface(mol *Molecule, surf *Surface, opts Options) (*Engine, 
 			return nil, fmt.Errorf("gbpolar: %w", err)
 		}
 		params.Builder = b
+	}
+	if opts.Precision != "" {
+		prec, err := core.ParsePrecision(opts.Precision)
+		if err != nil {
+			return nil, fmt.Errorf("gbpolar: %w", err)
+		}
+		params.Precision = prec
 	}
 	sys, err := core.NewSystem(mol, surf, params)
 	if err != nil {

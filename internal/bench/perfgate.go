@@ -158,6 +158,13 @@ func GateSamples(atoms, reps int, seed int64) ([]map[string]float64, error) {
 		for k, v := range builds {
 			s[k] = v
 		}
+		kernels, err := gateKernelStats(p)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range kernels {
+			s[k] = v
+		}
 		samples = append(samples, s)
 	}
 	return samples, nil

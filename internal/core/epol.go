@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"gbpolar/internal/gbmodels"
+	"gbpolar/internal/mathx"
 	"gbpolar/internal/octree"
 )
 
@@ -41,6 +42,17 @@ type EpolContext struct {
 	farFactor float64
 	lnBase    float64
 	tau       float64
+	// kern holds the scalar math kernels resolved ONCE at context build —
+	// the recursive path hoists these function values into locals at row
+	// start instead of re-resolving (and indirect-calling) per pair.
+	kern mathx.Kernels
+	// tier is the compiled-kernel arithmetic resolved from the system
+	// parameters (precision.go); epolRow dispatches on it once per row.
+	tier kernelTier
+	// radii32/rr32 are float32 narrows of Radii and rr for the f32 tier
+	// (radii32 lane-padded like the System mirrors); nil on other tiers.
+	radii32 []float32
+	rr32    []float32
 }
 
 // epolFarFactor is the E_pol opening multiplier (1 + 2/ε) of Figure 3's
@@ -172,6 +184,12 @@ func NewEpolContext(sys *System, slotRadii []float64) *EpolContext {
 	for i, r := range slotRadii {
 		ctx.invRadii[i] = 1 / r
 	}
+	ctx.kern = sys.kern()
+	ctx.tier = sys.Params.tier()
+	if ctx.tier == tierF32 {
+		ctx.radii32 = narrow(nil, slotRadii)
+		ctx.rr32 = narrow(nil, ctx.rr)
+	}
 	return ctx
 }
 
@@ -196,12 +214,15 @@ func ApproxEpol(ctx *EpolContext, uNode, vLeaf int32, acc *epolAccum) {
 	t := sys.Atoms
 	u := &t.Nodes[uNode]
 	v := &t.Nodes[vLeaf]
-	k := sys.kern()
 	acc.ops++
 
 	if u.IsLeaf {
 		// Exact value: every ordered pair (u-atom, v-atom), including the
-		// diagonal when U == V (f_GB(a,a) = R_a).
+		// diagonal when U == V (f_GB(a,a) = R_a). The kernel function
+		// values are hoisted out of the pair loops: ctx.kern is resolved
+		// once per context, and the locals let the approximate path spend
+		// its per-pair cost on arithmetic, not interface dispatch.
+		exp, rsqrt := ctx.kern.Exp, ctx.kern.RSqrt
 		for ui := u.Start; ui < u.End; ui++ {
 			pu := t.Pts[ui]
 			qu := sys.Charge[ui]
@@ -210,8 +231,8 @@ func ApproxEpol(ctx *EpolContext, uNode, vLeaf int32, acc *epolAccum) {
 			for vi := v.Start; vi < v.End; vi++ {
 				r2 := pu.Dist2(t.Pts[vi])
 				rr := ru * ctx.Radii[vi]
-				f2 := r2 + rr*k.Exp(-r2/(4*rr))
-				s += sys.Charge[vi] * k.RSqrt(f2)
+				f2 := r2 + rr*exp(-r2/(4*rr))
+				s += sys.Charge[vi] * rsqrt(f2)
 			}
 			acc.energy += qu * s
 		}
@@ -223,6 +244,7 @@ func ApproxEpol(ctx *EpolContext, uNode, vLeaf int32, acc *epolAccum) {
 	if far {
 		// Far enough: interact the charge histograms bin-by-bin, using
 		// R_min²(1+ε)^{i+j} as the R_u·R_v surrogate.
+		exp, rsqrt := ctx.kern.Exp, ctx.kern.RSqrt
 		hu, hv := ctx.hist[uNode], ctx.hist[vLeaf]
 		var s float64
 		for i, qi := range hu {
@@ -234,8 +256,8 @@ func ApproxEpol(ctx *EpolContext, uNode, vLeaf int32, acc *epolAccum) {
 					continue
 				}
 				rr := ctx.rr[i+j]
-				f2 := d2 + rr*k.Exp(-d2/(4*rr))
-				s += qi * qj * k.RSqrt(f2)
+				f2 := d2 + rr*exp(-d2/(4*rr))
+				s += qi * qj * rsqrt(f2)
 				acc.ops++
 			}
 		}

@@ -400,6 +400,11 @@ func (s *System) Lists(pool *sched.Pool) *CompiledLists {
 // the rigid-transform reuse invariant. With no cached lists it is a
 // no-op. It returns a descriptive error on the first divergence.
 func (s *System) RecheckLists(pool *sched.Pool) error {
+	// The lane-padding invariant of the SoA arrays is part of the same
+	// "nothing drifted" contract the list recheck guards.
+	if err := s.checkSoAPadding(); err != nil {
+		return err
+	}
 	s.listsMu.Lock()
 	cached := s.lists
 	s.listsMu.Unlock()

@@ -41,6 +41,16 @@ import (
 // acc: far entries contribute the pseudo-q-point term to the node field
 // s_A, near entries get exact per-atom/per-q-point sums (Figure 2).
 func bornRow(sys *System, il *InteractionLists, row int, acc *bornAccum) {
+	tier := sys.Params.tier()
+	if tier == tierF32 {
+		bornRowF32(sys, il, row, acc)
+		return
+	}
+	// The exact and approximate tiers share this float64 row: the Born
+	// kernel is pure divide/multiply (no transcendentals), so keeping one
+	// row preserves the portable laned tier's bit-compatibility with the
+	// scalar path for free. The laned tier's near entries dispatch to the
+	// width-4 divide kernel on AVX2 hosts (R6 only — the default).
 	leaf := il.Rows[row]
 	q := &sys.QPts.Nodes[leaf]
 	wn := sys.QNodeWN[leaf]
@@ -68,8 +78,14 @@ func bornRow(sys *System, il *InteractionLists, row int, acc *bornAccum) {
 	qy, qz = qy[:len(qx)], qz[:len(qx)]
 	wx, wy, wz = wx[:len(qx)], wy[:len(qx)], wz[:len(qx)]
 	near := il.Near[il.NearOff[row]:il.NearOff[row+1]]
+	asmR6 := useAsmKernels && !r4 && tier == tierLanes
 	for _, al := range near {
 		an := &sys.Atoms.Nodes[al]
+		if asmR6 {
+			bornNearBlockAsmR6(sys, an.Start, an.End, acc.atom, qx, qy, qz, wx, wy, wz)
+			acc.ops += float64(an.Count()*q.Count()) + 1
+			continue
+		}
 		for ai := an.Start; ai < an.End; ai++ {
 			pax, pay, paz := sys.AtomX[ai], sys.AtomY[ai], sys.AtomZ[ai]
 			var s float64
@@ -115,11 +131,19 @@ const expSkip = 160.0
 // for the far-field convolution; it must start zeroed and is returned
 // zeroed.
 func epolRow(ctx *EpolContext, il *InteractionLists, row int, conv []float64, acc *epolAccum) {
+	switch ctx.tier {
+	case tierLanes:
+		epolRowLanes(ctx, il, row, conv, acc)
+		return
+	case tierF32:
+		epolRowF32(ctx, il, row, conv, acc)
+		return
+	}
 	sys := ctx.sys
 	t := sys.Atoms
 	leaf := il.Rows[row]
 	v := &t.Nodes[leaf]
-	exact := sys.Params.Math != mathx.Approximate
+	exact := ctx.tier == tierExact
 
 	vlo, vhi := v.Start, v.End
 	vx, vy, vz := sys.AtomX[vlo:vhi], sys.AtomY[vlo:vhi], sys.AtomZ[vlo:vhi]

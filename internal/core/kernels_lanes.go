@@ -1,0 +1,191 @@
+package core
+
+import "gbpolar/internal/mathx"
+
+// The laned-approximate precision tier (PrecisionLanes): the E_pol row
+// sweeps restructured into fixed width-4 blocks that batch the
+// transcendental work through mathx.ExpLanes4/RSqrtLanes4, with the
+// sub-width remainder peeled through the scalar mathx kernels.
+//
+// The PORTABLE lane path in this file carries the tier's
+// BIT-COMPATIBILITY invariant with the scalar approximate-math compiled
+// path (Params.Math = Approximate, PrecisionExact): each lane performs
+// exactly the scalar operation sequence (the mathx lane helpers pin this
+// per element) and the block epilogue adds the four terms in scalar
+// index order, so a single-threaded sweep produces the identical float64
+// sum bit for bit (TestLanesTierBitCompatible, which forces this path).
+// On hosts with AVX2+FMA the near blocks instead dispatch to the
+// assembly kernels (simd_amd64.s), which use FMA contraction and
+// pairwise lane reduction — not bit-identical, but pinned to the
+// portable path at ~1e-12 relative by TestAsmKernelsMatchPortable, far
+// inside the tier's approximate-math accuracy class. The speedup comes
+// from four f_GB evaluations per instruction chain — data parallelism
+// the one-term-at-a-time scalar loop cannot expose — plus the absence of
+// any per-pair call.
+//
+// The Born phase on this tier: the portable path reuses bornRow's
+// scalar float64 loops unchanged (the kernel is pure multiply/divide,
+// so the tier's Born radii are bitwise those of the scalar approximate
+// path by construction); the asm path sweeps near entries with the
+// width-4 divide kernel.
+//
+// Op accounting matches epolRow/farField entry for entry.
+
+// epolRowLanes is epolRow for the laned tier: same row scaffolding,
+// lane-blocked near/sym/far kernels.
+func epolRowLanes(ctx *EpolContext, il *InteractionLists, row int, conv []float64, acc *epolAccum) {
+	sys := ctx.sys
+	t := sys.Atoms
+	leaf := il.Rows[row]
+	v := &t.Nodes[leaf]
+
+	vlo, vhi := v.Start, v.End
+	vx, vy, vz := sys.AtomX[vlo:vhi], sys.AtomY[vlo:vhi], sys.AtomZ[vlo:vhi]
+	cv := sys.Charge[vlo:vhi]
+	rv := ctx.Radii[vlo:vhi]
+	irv := ctx.invRadii[vlo:vhi]
+
+	near := il.Near[il.NearOff[row]:il.NearOff[row+1]]
+	for _, ul := range near {
+		if useAsmKernels {
+			epolNearBlockLanesAsm(ctx, sys, ul, vx, vy, vz, cv, rv, irv, 1, acc)
+		} else {
+			epolNearBlockLanes(ctx, sys, ul, vx, vy, vz, cv, rv, 1, acc)
+		}
+		acc.ops += float64(t.Nodes[ul].Count()*v.Count()) + 1
+	}
+	sym := il.Sym[il.SymOff[row]:il.SymOff[row+1]]
+	for _, ul := range sym {
+		if useAsmKernels {
+			epolNearBlockLanesAsm(ctx, sys, ul, vx, vy, vz, cv, rv, irv, 2, acc)
+		} else {
+			epolNearBlockLanes(ctx, sys, ul, vx, vy, vz, cv, rv, 2, acc)
+		}
+		acc.ops += float64(2*t.Nodes[ul].Count()*v.Count()) + 1
+	}
+
+	far := il.Far[il.FarOff[row]:il.FarOff[row+1]]
+	if len(far) == 0 {
+		return
+	}
+	farFieldLanes(ctx, sys, leaf, far, conv, acc)
+}
+
+// epolNearBlockLanes sweeps one near block in width-4 lanes: distances
+// and f_GB exponents are gathered into lane buffers, the exponential and
+// reciprocal square root run as four independent chains, and the four
+// charge-weighted terms are added in scalar index order.
+func epolNearBlockLanes(ctx *EpolContext, sys *System, ul int32, vx, vy, vz, cv, rv []float64, w float64, acc *epolAccum) {
+	// Equal-length hints so the inner loops run bounds-check free.
+	vy, vz = vy[:len(vx)], vz[:len(vx)]
+	cv, rv = cv[:len(vx)], rv[:len(vx)]
+	n := len(vx)
+	nb := n &^ (mathx.LaneWidth - 1)
+	u := &sys.Atoms.Nodes[ul]
+	for ui := u.Start; ui < u.End; ui++ {
+		pux, puy, puz := sys.AtomX[ui], sys.AtomY[ui], sys.AtomZ[ui]
+		qu := w * sys.Charge[ui]
+		ru := ctx.Radii[ui]
+		var s float64
+		var r2l, rrl, fl [mathx.LaneWidth]float64
+		for j := 0; j < nb; j += mathx.LaneWidth {
+			for l := 0; l < mathx.LaneWidth; l++ {
+				dx, dy, dz := pux-vx[j+l], puy-vy[j+l], puz-vz[j+l]
+				r2 := dx*dx + dy*dy + dz*dz
+				rr := ru * rv[j+l]
+				r2l[l], rrl[l] = r2, rr
+				fl[l] = -r2 / (4 * rr)
+			}
+			mathx.ExpLanes4(&fl)
+			for l := 0; l < mathx.LaneWidth; l++ {
+				fl[l] = r2l[l] + rrl[l]*fl[l]
+			}
+			mathx.RSqrtLanes4(&fl)
+			// Sequential adds in lane order keep the sum bit-identical to
+			// the scalar sweep.
+			s += cv[j] * fl[0]
+			s += cv[j+1] * fl[1]
+			s += cv[j+2] * fl[2]
+			s += cv[j+3] * fl[3]
+		}
+		for j := nb; j < n; j++ {
+			dx, dy, dz := pux-vx[j], puy-vy[j], puz-vz[j]
+			r2 := dx*dx + dy*dy + dz*dz
+			rr := ru * rv[j]
+			f2 := r2 + rr*mathx.Exp(-r2/(4*rr))
+			s += cv[j] * mathx.RSqrt(f2)
+		}
+		acc.energy += qu * s
+	}
+}
+
+// farFieldLanes is the far-field convolution with the per-occupied-k
+// kernel evaluations streamed through width-4 lane buffers (ascending k,
+// scalar-order epilogue — the same bit-compatibility argument as the
+// near blocks). The occupied-k runs are short (a handful of bins), so
+// most of the work lands in the scalar peel; the lanes matter for wide
+// Born-radius spectra where M_ε grows.
+func farFieldLanes(ctx *EpolContext, sys *System, leaf int32, far []int32, conv []float64, acc *epolAccum) {
+	vcx, vcy, vcz := sys.ANodeX[leaf], sys.ANodeY[leaf], sys.ANodeZ[leaf]
+	vb := ctx.nzBin[ctx.nzOff[leaf]:ctx.nzOff[leaf+1]]
+	vq := ctx.nzQ[ctx.nzOff[leaf]:ctx.nzOff[leaf+1]]
+	if len(vb) == 0 {
+		acc.ops += float64(len(far))
+		return
+	}
+	for _, un := range far {
+		dx := sys.ANodeX[un] - vcx
+		dy := sys.ANodeY[un] - vcy
+		dz := sys.ANodeZ[un] - vcz
+		d2 := dx*dx + dy*dy + dz*dz
+		ub := ctx.nzBin[ctx.nzOff[un]:ctx.nzOff[un+1]]
+		uq := ctx.nzQ[ctx.nzOff[un]:ctx.nzOff[un+1]]
+		if len(ub) == 0 {
+			acc.ops++
+			continue
+		}
+		klo := ub[0] + vb[0]
+		khi := ub[len(ub)-1] + vb[len(vb)-1]
+		for i := range ub {
+			qi, bi := uq[i], ub[i]
+			for j := range vb {
+				conv[bi+vb[j]] += qi * vq[j]
+			}
+		}
+		var s float64
+		var wl, rrl, fl [mathx.LaneWidth]float64
+		nl := 0
+		for k := klo; k <= khi; k++ {
+			w := conv[k]
+			if w == 0 {
+				continue
+			}
+			rr := ctx.rr[k]
+			wl[nl], rrl[nl] = w, rr
+			fl[nl] = -d2 / (4 * rr)
+			nl++
+			if nl < mathx.LaneWidth {
+				continue
+			}
+			nl = 0
+			mathx.ExpLanes4(&fl)
+			for l := 0; l < mathx.LaneWidth; l++ {
+				fl[l] = d2 + rrl[l]*fl[l]
+			}
+			mathx.RSqrtLanes4(&fl)
+			s += wl[0] * fl[0]
+			s += wl[1] * fl[1]
+			s += wl[2] * fl[2]
+			s += wl[3] * fl[3]
+		}
+		for l := 0; l < nl; l++ {
+			f2 := d2 + rrl[l]*mathx.Exp(fl[l])
+			s += wl[l] * mathx.RSqrt(f2)
+		}
+		for k := klo; k <= khi; k++ {
+			conv[k] = 0
+		}
+		acc.energy += s
+		acc.ops += float64(len(ub)*len(vb)) + 1
+	}
+}

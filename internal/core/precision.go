@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"gbpolar/internal/mathx"
+)
+
+// Precision selects the arithmetic tier of the compiled-list batch
+// kernels (kernels.go / kernels_lanes.go) — the paper's approximate-math
+// lever (Section V.E's 1.42×) generalized into three selectable tiers.
+// It restructures the COMPILED warm path; selecting a non-exact tier
+// additionally switches the scalar kernels (Params.mathMode) to the
+// approximate family so the Born-radius inversion and the recursive
+// traversals sit in the same accuracy class. With the default
+// PrecisionExact nothing changes anywhere.
+type Precision int
+
+const (
+	// PrecisionExact is the default float64 path with stdlib math —
+	// today's semantics, unchanged results: the compiled kernels keep
+	// pinning the recursive reference at 1e-12 relative.
+	PrecisionExact Precision = iota
+	// PrecisionLanes evaluates the E_pol transcendentals through the
+	// width-4 mathx batch kernels (ExpLanes4/RSqrtLanes4) in float64,
+	// accumulating in scalar order. Per-term arithmetic and summation
+	// order are IDENTICAL to the scalar approximate-math compiled path
+	// (Params.Math = Approximate), so single-threaded results are
+	// bit-for-bit equal to it — the paper's approximate-math accuracy
+	// class (~1e-4), laned for speed.
+	PrecisionLanes
+	// PrecisionF32 evaluates pair kernels in float32 (positions, charges
+	// and Born radii mirrored to padded float32 SoA arrays, float32
+	// Exp32/RSqrt32) with float64 row-level reduction: block sums stay in
+	// float32, every per-atom / per-row accumulator is float64. Its
+	// measured error budget — ≤1e-4 relative on total E_pol and per-atom
+	// Born radii versus the exact tier — is asserted by
+	// TestF32TierErrorBudget.
+	PrecisionF32
+)
+
+// String implements fmt.Stringer.
+func (p Precision) String() string {
+	switch p {
+	case PrecisionLanes:
+		return "lanes"
+	case PrecisionF32:
+		return "f32"
+	default:
+		return "exact"
+	}
+}
+
+// ParsePrecision parses a -precision flag value ("" and "exact" mean the
+// default exact tier).
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "", "exact":
+		return PrecisionExact, nil
+	case "lanes", "approx-lanes":
+		return PrecisionLanes, nil
+	case "f32":
+		return PrecisionF32, nil
+	}
+	return 0, fmt.Errorf("core: unknown precision %q (want exact|lanes|f32)", s)
+}
+
+// KernelISA reports the instruction set the non-exact precision tiers'
+// near-block kernels execute on: "avx2+fma" when the runtime-detected
+// assembly kernels (simd_amd64.s) are active, "portable" otherwise.
+func KernelISA() string {
+	if useAsmKernels {
+		return "avx2+fma"
+	}
+	return "portable"
+}
+
+// kernelTier is the resolved arithmetic of one compiled kernel sweep:
+// Params.Precision overrides Params.Math on the compiled path (the two
+// non-exact tiers are both in the approximate-math accuracy class), while
+// PrecisionExact preserves the historical Math toggle.
+type kernelTier int
+
+const (
+	tierExact kernelTier = iota
+	tierApprox
+	tierLanes
+	tierF32
+)
+
+// tier resolves the compiled-kernel arithmetic from the parameters.
+func (p Params) tier() kernelTier {
+	switch p.Precision {
+	case PrecisionLanes:
+		return tierLanes
+	case PrecisionF32:
+		return tierF32
+	}
+	if p.Math == mathx.Approximate {
+		return tierApprox
+	}
+	return tierExact
+}
+
+// mathMode is the scalar-kernel mode consistent with the tier: the
+// non-exact precision tiers belong to the approximate-math class, so the
+// Born-radius inversion (k.Cbrt in PushIntegralsToAtoms) and any scalar
+// remainder work use the fast kernels with them.
+func (p Params) mathMode() mathx.Mode {
+	if p.Precision != PrecisionExact {
+		return mathx.Approximate
+	}
+	return p.Math
+}

@@ -1,0 +1,94 @@
+//go:build amd64
+
+package core
+
+// Runtime dispatch for the AVX2+FMA near-block kernels (simd_amd64.s).
+// The assembly serves only the non-exact precision tiers: the exact tier
+// keeps the scalar float64 loops (its contract is "today's semantics,
+// unchanged results"), and the portable lane code in kernels_lanes.go /
+// kernels_f32.go remains the reference implementation — the tests force
+// useAsmKernels off to pin the laned tier's bit-compatibility claim, and
+// TestAsmKernelsMatchPortable bounds the asm path against the portable
+// one far inside the tiers' 1e-4 accuracy class.
+
+// cpuidex and xgetbv0 are the CPUID/XGETBV primitives behind feature
+// detection (implemented in simd_amd64.s).
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+//go:noescape
+func epolNearBlock4(ax, ay, az, ch, rad, irad, vx, vy, vz, cv, rv, irv []float64) float64
+
+//go:noescape
+func epolNearBlock8x32(ax, ay, az, ch, rad, vx, vy, vz, cv, rv []float32) float64
+
+//go:noescape
+func bornNearBlock4R6(ax, ay, az, out, qx, qy, qz, wx, wy, wz []float64)
+
+//go:noescape
+func bornNearBlock8R6x32(ax, ay, az []float32, out []float64, qx, qy, qz, wx, wy, wz []float32)
+
+// detectAVX2FMA reports whether the host can run the YMM kernels: AVX2
+// and FMA present, and the OS saving XMM+YMM state across context
+// switches (OSXSAVE + XCR0).
+func detectAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const osxsave, avx, fma = 1 << 27, 1 << 28, 1 << 12
+	_, _, ecx1, _ := cpuidex(1, 0)
+	if ecx1&osxsave == 0 || ecx1&avx == 0 || ecx1&fma == 0 {
+		return false
+	}
+	if xlo, _ := xgetbv0(); xlo&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	return ebx7&(1<<5) != 0 // AVX2
+}
+
+// useAsmKernels gates the assembly near-block kernels. Mutable only by
+// tests (which single-thread their runs); everything else treats it as
+// a constant resolved at startup.
+var useAsmKernels = detectAVX2FMA()
+
+// epolNearBlockLanesAsm sweeps one near block of the laned tier through
+// the width-4 AVX2 kernel: the whole u-leaf × row-slice block in one
+// call, sym weight applied to the returned block energy.
+func epolNearBlockLanesAsm(ctx *EpolContext, sys *System, ul int32, vx, vy, vz, cv, rv, irv []float64, w float64, acc *epolAccum) {
+	u := &sys.Atoms.Nodes[ul]
+	lo, hi := u.Start, u.End
+	e := epolNearBlock4(
+		sys.AtomX[lo:hi], sys.AtomY[lo:hi], sys.AtomZ[lo:hi],
+		sys.Charge[lo:hi], ctx.Radii[lo:hi], ctx.invRadii[lo:hi],
+		vx, vy, vz, cv, rv, irv)
+	acc.energy += w * e
+}
+
+// epolNearBlockF32Asm is the float32 width-8 variant for the f32 tier.
+func epolNearBlockF32Asm(ctx *EpolContext, f *f32SoA, sys *System, ul int32, vx, vy, vz, cv, rv []float32, w float64, acc *epolAccum) {
+	u := &sys.Atoms.Nodes[ul]
+	lo, hi := u.Start, u.End
+	e := epolNearBlock8x32(
+		f.atomX[lo:hi], f.atomY[lo:hi], f.atomZ[lo:hi],
+		f.charge[lo:hi], ctx.radii32[lo:hi],
+		vx, vy, vz, cv, rv)
+	acc.energy += w * e
+}
+
+// bornNearBlockAsmR6 sweeps one Born near entry (atom leaf lo:hi against
+// the row's q-point slices) through the width-4 R6 kernel, accumulating
+// into out (the absolute per-atom integral array).
+func bornNearBlockAsmR6(sys *System, lo, hi int32, out []float64, qx, qy, qz, wx, wy, wz []float64) {
+	bornNearBlock4R6(
+		sys.AtomX[lo:hi], sys.AtomY[lo:hi], sys.AtomZ[lo:hi], out[lo:hi],
+		qx, qy, qz, wx, wy, wz)
+}
+
+// bornNearBlockAsmR6x32 is the float32 width-8 Born variant.
+func bornNearBlockAsmR6x32(f *f32SoA, lo, hi int32, out []float64, qx, qy, qz, wx, wy, wz []float32) {
+	bornNearBlock8R6x32(
+		f.atomX[lo:hi], f.atomY[lo:hi], f.atomZ[lo:hi], out[lo:hi],
+		qx, qy, qz, wx, wy, wz)
+}

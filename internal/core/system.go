@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"gbpolar/internal/geom"
 	"gbpolar/internal/mathx"
@@ -71,8 +72,14 @@ type Params struct {
 	// DebugCheckLists makes every compiled-list evaluation recompile the
 	// interaction lists from the current geometry and assert they match
 	// the cached ones — the paranoid mode backing the rigid-transform
-	// reuse invariant (DESIGN.md §6). Expensive; for tests and debugging.
+	// reuse invariant (DESIGN.md §6). It also re-verifies the SoA lane
+	// padding invariants. Expensive; for tests and debugging.
 	DebugCheckLists bool
+	// Precision selects the arithmetic tier of the compiled batch kernels
+	// (precision.go): exact float64 (default), laned approximate-math
+	// float64, or float32 lanes with float64 row reduction. It does not
+	// affect the interaction lists or the recursive reference paths.
+	Precision Precision
 }
 
 // DefaultParams returns the configuration of the paper's headline runs:
@@ -136,13 +143,24 @@ type System struct {
 	// surface normals, and the atoms-octree node centers. The flat
 	// component arrays let the inner loops run without Vec3 struct loads
 	// or Node pointer chasing; they are refreshed whenever the underlying
-	// geometry moves (UpdateAtoms, ApplyRigidTransform).
+	// geometry moves (UpdateAtoms, ApplyRigidTransform). Each array is
+	// allocated with its capacity rounded up to mathx.LaneWidth and the
+	// pad slots kept at zero (checkSoAPadding asserts this under
+	// DebugCheckLists), so lane-blocked sweeps and the float32 mirror
+	// conversion can run whole blocks with no bounds-check tail.
 	AtomX, AtomY, AtomZ    []float64
 	QX, QY, QZ             []float64
 	WNX, WNY, WNZ          []float64
 	ANodeX, ANodeY, ANodeZ []float64
 
 	Params Params
+
+	// soaGen counts SoA refreshes; f32view caches the lazily converted
+	// float32 mirror of the component arrays for the f32 precision tier,
+	// tagged with the generation it was built from (system32.go).
+	soaGen  atomic.Uint64
+	f32view atomic.Pointer[f32SoA]
+	f32mu   sync.Mutex
 
 	// lists caches the compiled interaction lists (ilist.go), reused
 	// across Compute* calls and rigid re-poses; listsMu guards lazy
@@ -188,8 +206,8 @@ func NewSystem(mol *molecule.Molecule, surf *surface.Surface, params Params) (*S
 	s := &System{
 		Mol: mol, Surf: surf,
 		Atoms: ta, QPts: tq,
-		Charge: make([]float64, mol.NumAtoms()),
-		Radius: make([]float64, mol.NumAtoms()),
+		Charge: make([]float64, mol.NumAtoms(), padLanes(mol.NumAtoms())),
+		Radius: make([]float64, mol.NumAtoms(), padLanes(mol.NumAtoms())),
 		WN:     make([]geom.Vec3, surf.NumPoints()),
 		Params: params,
 	}
@@ -212,16 +230,19 @@ func NewSystem(mol *molecule.Molecule, surf *surface.Surface, params Params) (*S
 func (s *System) refreshAtomSoA() {
 	s.AtomX, s.AtomY, s.AtomZ = splitVecs(s.Atoms.Pts, s.AtomX, s.AtomY, s.AtomZ)
 	n := s.Atoms.NumNodes()
-	if cap(s.ANodeX) < n {
-		s.ANodeX = make([]float64, n)
-		s.ANodeY = make([]float64, n)
-		s.ANodeZ = make([]float64, n)
+	p := padLanes(n)
+	if cap(s.ANodeX) < p {
+		s.ANodeX = make([]float64, p)
+		s.ANodeY = make([]float64, p)
+		s.ANodeZ = make([]float64, p)
 	}
 	s.ANodeX, s.ANodeY, s.ANodeZ = s.ANodeX[:n], s.ANodeY[:n], s.ANodeZ[:n]
+	zeroPad(s.ANodeX, s.ANodeY, s.ANodeZ)
 	for i := range s.Atoms.Nodes {
 		c := s.Atoms.Nodes[i].Center
 		s.ANodeX[i], s.ANodeY[i], s.ANodeZ[i] = c.X, c.Y, c.Z
 	}
+	s.soaGen.Add(1)
 }
 
 // refreshQPointSoA rebuilds the flat q-point position and weighted-normal
@@ -229,21 +250,77 @@ func (s *System) refreshAtomSoA() {
 func (s *System) refreshQPointSoA() {
 	s.QX, s.QY, s.QZ = splitVecs(s.QPts.Pts, s.QX, s.QY, s.QZ)
 	s.WNX, s.WNY, s.WNZ = splitVecs(s.WN, s.WNX, s.WNY, s.WNZ)
+	s.soaGen.Add(1)
+}
+
+// padLanes rounds a SoA length up to the next lane-width multiple — the
+// padded capacity every component array is allocated with.
+func padLanes(n int) int {
+	return (n + mathx.LaneWidth - 1) &^ (mathx.LaneWidth - 1)
+}
+
+// zeroPad clears the pad slots between len and the padded capacity of
+// equally-sized component arrays, keeping the padding invariant across
+// capacity reuse (a shrinking node count would otherwise leave stale
+// values in the pad).
+func zeroPad(arrs ...[]float64) {
+	for _, a := range arrs {
+		for i, p := len(a), padLanes(len(a)); i < p; i++ {
+			a[:p][i] = 0
+		}
+	}
 }
 
 // splitVecs scatters an AoS Vec3 slice into three component arrays,
-// reusing the destination capacity when possible.
+// reusing the destination capacity when possible. Arrays are allocated
+// with lane-padded capacity and zeroed pad slots (see padLanes).
 func splitVecs(src []geom.Vec3, x, y, z []float64) (ox, oy, oz []float64) {
-	if cap(x) < len(src) {
-		x = make([]float64, len(src))
-		y = make([]float64, len(src))
-		z = make([]float64, len(src))
+	p := padLanes(len(src))
+	if cap(x) < p {
+		x = make([]float64, p)
+		y = make([]float64, p)
+		z = make([]float64, p)
 	}
 	x, y, z = x[:len(src)], y[:len(src)], z[:len(src)]
+	zeroPad(x, y, z)
 	for i, v := range src {
 		x[i], y[i], z[i] = v.X, v.Y, v.Z
 	}
 	return x, y, z
+}
+
+// checkSoAPadding asserts the lane-padding invariant of every SoA
+// component array: capacity rounded up to mathx.LaneWidth with zeroed
+// pad slots. Run by RecheckLists, i.e. under Params.DebugCheckLists.
+func (s *System) checkSoAPadding() error {
+	check := func(name string, a []float64) error {
+		p := padLanes(len(a))
+		if cap(a) < p {
+			return fmt.Errorf("core: SoA array %s has cap %d < padded len %d (lane width %d)",
+				name, cap(a), p, mathx.LaneWidth)
+		}
+		for i := len(a); i < p; i++ {
+			if a[:p][i] != 0 {
+				return fmt.Errorf("core: SoA array %s pad slot %d is %g, want 0", name, i, a[:p][i])
+			}
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		name string
+		a    []float64
+	}{
+		{"Charge", s.Charge}, {"Radius", s.Radius},
+		{"AtomX", s.AtomX}, {"AtomY", s.AtomY}, {"AtomZ", s.AtomZ},
+		{"QX", s.QX}, {"QY", s.QY}, {"QZ", s.QZ},
+		{"WNX", s.WNX}, {"WNY", s.WNY}, {"WNZ", s.WNZ},
+		{"ANodeX", s.ANodeX}, {"ANodeY", s.ANodeY}, {"ANodeZ", s.ANodeZ},
+	} {
+		if err := check(c.name, c.a); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ApplyRigidTransform rigidly moves the whole system — both octrees, the
@@ -320,8 +397,10 @@ func (s *System) MemoryBytes() int64 {
 		int64(len(s.WN)+len(s.QNodeWN))*24
 }
 
-// kern returns the scalar kernels for the system's math mode.
-func (s *System) kern() mathx.Kernels { return mathx.ForMode(s.Params.Math) }
+// kern returns the scalar kernels for the system's effective math mode
+// (Params.mathMode — the non-exact precision tiers imply approximate
+// scalar kernels so the whole pipeline stays in one accuracy class).
+func (s *System) kern() mathx.Kernels { return mathx.ForMode(s.Params.mathMode()) }
 
 // UpdateAtoms moves the atoms to new positions (original atom order) and
 // incrementally repairs the atoms octree (octree.Tree.Update — the

@@ -1,0 +1,78 @@
+package core
+
+// The float32 SoA mirror backing the f32 precision tier (precision.go):
+// a lazily maintained copy of the System's component arrays narrowed to
+// float32, in the same tree-slot order, with every array's LENGTH (not
+// just capacity) rounded up to mathx.LaneWidth and the pad slots zero —
+// lane loops over whole mirrors never need a remainder.
+//
+// The mirror is cache-invalidated by generation counting rather than
+// eagerly rebuilt: refreshAtomSoA/refreshQPointSoA bump System.soaGen,
+// and f32() reconverts only when the cached view's generation is stale.
+// Exact-tier workloads therefore never pay for the mirror, and a warm
+// f32 pose scan pays one conversion sweep per pose (a fraction of one
+// kernel sweep). Concurrent ranks share one view: the atomic pointer
+// publish/load pairs give the necessary happens-before, and the mirror
+// only mutates while no kernels run (geometry refreshes already require
+// that).
+
+// f32SoA is the float32 mirror of the System SoA arrays.
+type f32SoA struct {
+	gen                    uint64
+	atomX, atomY, atomZ    []float32
+	qX, qY, qZ             []float32
+	wnX, wnY, wnZ          []float32
+	aNodeX, aNodeY, aNodeZ []float32
+	charge                 []float32
+}
+
+// f32 returns the current float32 mirror, reconverting if the SoA
+// generation moved. Safe for concurrent use by ranks sharing the System.
+func (s *System) f32() *f32SoA {
+	gen := s.soaGen.Load()
+	if v := s.f32view.Load(); v != nil && v.gen == gen {
+		return v
+	}
+	s.f32mu.Lock()
+	defer s.f32mu.Unlock()
+	v := s.f32view.Load()
+	if v != nil && v.gen == gen {
+		return v
+	}
+	if v == nil {
+		v = &f32SoA{}
+	}
+	v.gen = gen
+	v.atomX = narrow(v.atomX, s.AtomX)
+	v.atomY = narrow(v.atomY, s.AtomY)
+	v.atomZ = narrow(v.atomZ, s.AtomZ)
+	v.qX = narrow(v.qX, s.QX)
+	v.qY = narrow(v.qY, s.QY)
+	v.qZ = narrow(v.qZ, s.QZ)
+	v.wnX = narrow(v.wnX, s.WNX)
+	v.wnY = narrow(v.wnY, s.WNY)
+	v.wnZ = narrow(v.wnZ, s.WNZ)
+	v.aNodeX = narrow(v.aNodeX, s.ANodeX)
+	v.aNodeY = narrow(v.aNodeY, s.ANodeY)
+	v.aNodeZ = narrow(v.aNodeZ, s.ANodeZ)
+	v.charge = narrow(v.charge, s.Charge)
+	s.f32view.Store(v)
+	return v
+}
+
+// narrow converts src to float32 into dst (reusing capacity), returning
+// a slice of lane-padded length with zeroed pad slots.
+func narrow(dst []float32, src []float64) []float32 {
+	p := padLanes(len(src))
+	if cap(dst) < p {
+		dst = make([]float32, p)
+	}
+	dst = dst[:p]
+	for i := len(src); i < p; i++ {
+		dst[i] = 0
+	}
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+	return dst
+}
