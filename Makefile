@@ -7,7 +7,7 @@ GO ?= go
 # hosts. Usage: make bench-lanes GOAMD64=v3
 GOAMD64 ?=
 
-.PHONY: check build test vet race faults bench-warm bench-lanes obs perfgate
+.PHONY: check build test vet race faults bench-warm bench-lanes obs perfgate net
 
 ## check: the tier-1 gate — vet, build, full test suite, race detector,
 ## the fault-injection matrix, the observability suite, and the perf
@@ -19,6 +19,7 @@ check:
 	$(MAKE) race
 	$(MAKE) faults
 	$(MAKE) obs
+	$(MAKE) net
 	$(MAKE) perfgate
 
 build:
@@ -46,6 +47,14 @@ faults:
 obs:
 	$(GO) test -race ./internal/obs/
 	$(GO) test -run 'TestSharedRunTrace|TestResilientTraceTimeline|TestKernelHotLoopZeroAllocs|TestDisabledObsOverhead' -v ./internal/core/
+
+## net: the real multi-process transport under the race detector — wire
+## protocol, death/heal/rejoin, sentinel parity across transports, and
+## the acceptance runs (5k-atom TCP parity, SIGKILL chaos with real
+## worker processes, coordinator restart from checkpoint, cancellation).
+net:
+	$(GO) test -race -count=1 ./internal/cluster/net/
+	$(GO) test -race -count=1 -run 'TestNet|TestRunContext|TestElasticSpans' ./internal/core/ ./internal/cluster/
 
 ## perfgate: the performance regression gate (DESIGN.md §9). Compares
 ## the gate workload against results/baseline.json and fails on any

@@ -10,10 +10,19 @@
 //
 // Runners: shared (OCT_CILK), mpi (OCT_MPI), hybrid (OCT_MPI+CILK),
 // resilient (OCT_MPI with fault injection + self-healing recovery),
-// naive (exact quadratic reference).
+// net (real multi-process cluster over TCP with checkpoint/restart and
+// elastic membership), naive (exact quadratic reference).
+//
+// The net runner launches Procs-1 worker processes (gbpol re-executed
+// with -net-worker), rendezvouses them through a TCP coordinator and
+// computes as rank 0 itself. Chaos demo — SIGKILL rank 2 entering its
+// second collective, respawn it, and still match the fault-free energy:
+//
+//	gbpol -gen 5000 -runner net -procs 4 -net-kill-rank 2 -net-kill-collective 2
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -22,8 +31,12 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"sync"
 	"time"
 
 	"gbpolar"
@@ -62,6 +75,16 @@ func main() {
 		chaosN     = flag.Int("chaos-faults", 2, "resilient: number of random faults for -chaos-seed")
 		chaosHzn   = flag.Float64("chaos-horizon", 0.01, "resilient: virtual-time horizon (s) for random crash/delay scheduling")
 
+		// Real multi-process cluster transport (net runner + worker mode).
+		netWorker     = flag.Bool("net-worker", false, "run as a worker process of a net run (joins the cluster in -net-membership)")
+		netRank       = flag.Int("net-rank", -1, "worker: this process's rank")
+		netMembership = flag.String("net-membership", "", "net: cluster membership file (default <tmp>/gbpol-cluster.json)")
+		netCheckpoint = flag.String("net-checkpoint", "", "net: engine snapshot path workers load and restarts resume from (default <tmp>/gbpol.ckpt)")
+		netStall      = flag.Duration("net-stall", 2*time.Minute, "net: per-collective stall budget")
+		netRespawn    = flag.Bool("net-respawn", true, "net: respawn each crashed worker once (elastic re-admission)")
+		netKillRank   = flag.Int("net-kill-rank", -1, "net chaos demo: worker rank to SIGKILL (-1 = none)")
+		netKillColl   = flag.Int("net-kill-collective", 0, "chaos: SIGKILL the process (worker: this one; net: -net-kill-rank's first launch) entering its Nth collective")
+
 		// Observability and profiling.
 		verbose     = flag.Bool("v", false, "stream structured per-span progress lines (rank, phase, virtual clock) and print the span/metrics tables after the run")
 		traceOut    = flag.String("trace", "", "write the span/event timeline as JSONL to this file")
@@ -73,6 +96,24 @@ func main() {
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *netWorker {
+		// Worker mode: no molecule building, no flags beyond the cluster
+		// ones — everything (data, parameters, compiled lists) comes from
+		// the coordinator's checkpoint.
+		if *netRank < 0 || *netMembership == "" {
+			log.Fatal("-net-worker needs -net-rank and -net-membership")
+		}
+		completed, err := gbpolar.RunNetWorker(*netMembership, *netRank, gbpolar.NetWorkerOptions{
+			StallTimeout:     *netStall,
+			KillAtCollective: *netKillColl,
+		})
+		if err != nil {
+			log.Fatalf("worker rank %d: %v", *netRank, err)
+		}
+		fmt.Printf("worker rank %d: done (completed=%v)\n", *netRank, completed)
+		return
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -156,12 +197,19 @@ func main() {
 		res, err = eng.ComputeDistributedResilient(gbpolar.Cluster{
 			Procs: *procs, ThreadsPerProc: th, RanksPerNode: min(*procs, 12), Modeled: true,
 		}, plan)
+	case "net":
+		th := *threads
+		if th == 0 {
+			th = 1
+		}
+		res, err = runNet(eng, *procs, th, *netMembership, *netCheckpoint,
+			*netStall, *netRespawn, *netKillRank, *netKillColl)
 	case "naive":
 		start := time.Now()
 		e, radii := eng.ComputeNaive()
 		res = &gbpolar.Result{Epol: e, BornRadii: radii, WallSeconds: time.Since(start).Seconds()}
 	default:
-		log.Fatalf("unknown runner %q (want shared|mpi|hybrid|resilient|naive)", *runner)
+		log.Fatalf("unknown runner %q (want shared|mpi|hybrid|resilient|net|naive)", *runner)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -251,6 +299,60 @@ func main() {
 		}
 		fmt.Printf("heap profile written to %s\n", *memProfile)
 	}
+}
+
+// runNet drives the multi-process TCP runner: it re-executes this binary
+// as Procs-1 worker processes, optionally SIGKILLs one mid-run (the
+// chaos demo) and respawns crashed workers for elastic re-admission.
+func runNet(eng *gbpolar.Engine, procs, threads int, membership, checkpoint string,
+	stall time.Duration, respawn bool, killRank, killColl int) (*gbpolar.Result, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	if membership == "" {
+		membership = filepath.Join(os.TempDir(), fmt.Sprintf("gbpol-cluster-%d.json", os.Getpid()))
+	}
+	if checkpoint == "" {
+		checkpoint = filepath.Join(os.TempDir(), fmt.Sprintf("gbpol-%d.ckpt", os.Getpid()))
+	}
+	var mu sync.Mutex
+	killArmed := killRank > 0 && killColl > 0
+	spawn := func(rank int) error {
+		args := []string{
+			"-net-worker",
+			"-net-rank", strconv.Itoa(rank),
+			"-net-membership", membership,
+			"-net-stall", stall.String(),
+		}
+		mu.Lock()
+		if killArmed && rank == killRank {
+			// Only the first launch carries the kill: the respawned
+			// incarnation must survive to demonstrate re-admission.
+			killArmed = false
+			args = append(args, "-net-kill-collective", strconv.Itoa(killColl))
+		}
+		mu.Unlock()
+		cmd := exec.Command(exe, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		go cmd.Wait()
+		return nil
+	}
+	fmt.Printf("net: coordinator + %d worker processes, membership %s, checkpoint %s\n",
+		procs-1, membership, checkpoint)
+	return eng.ComputeNet(context.Background(), gbpolar.NetRun{
+		Procs:          procs,
+		ThreadsPerProc: threads,
+		MembershipPath: membership,
+		CheckpointPath: checkpoint,
+		Spawn:          spawn,
+		RespawnDead:    respawn,
+		StallTimeout:   stall,
+	})
 }
 
 // writeTo creates path and streams emit into it, failing fatally on any

@@ -19,8 +19,10 @@
 package gbpolar
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"time"
 
 	"gbpolar/internal/cluster"
 	"gbpolar/internal/core"
@@ -303,6 +305,95 @@ func (e *Engine) ComputeDistributedResilient(cl Cluster, plan *FaultPlan) (*Resu
 		Faults:         plan,
 		Obs:            e.obs,
 	})
+}
+
+// SaveSnapshot writes a versioned, parameter-stamped binary checkpoint
+// of the engine's full compiled state — molecule, surface, both octrees
+// and (when already compiled) the interaction lists — with a CRC-32C
+// trailer. A snapshot restores with NewEngineFromSnapshot without
+// resampling, rebuilding or recompiling anything.
+func (e *Engine) SaveSnapshot(path string) error {
+	return core.SaveSnapshot(path, e.sys)
+}
+
+// NewEngineFromSnapshot restores an Engine from a SaveSnapshot file.
+// Corruption, truncation, a future format version and a parameter
+// mismatch each fail with their typed sentinel (core.ErrSnapshotCorrupt,
+// core.ErrSnapshotVersion, core.ErrSnapshotParams).
+func NewEngineFromSnapshot(path string) (*Engine, error) {
+	sys, err := core.LoadSnapshot(path, core.Params{})
+	if err == nil {
+		return &Engine{sys: sys, mol: sys.Mol, surf: sys.Surf}, nil
+	}
+	// The zero Params fingerprint matches only the default configuration;
+	// for any other stamp, decode without the caller-side check (the
+	// snapshot's own stamp self-consistency was already verified).
+	sys, derr := core.LoadSnapshotAnyParams(path)
+	if derr != nil {
+		return nil, fmt.Errorf("gbpolar: %w", derr)
+	}
+	return &Engine{sys: sys, mol: sys.Mol, surf: sys.Surf}, nil
+}
+
+// NetRun configures a real multi-process cluster run over TCP: the
+// coordinator process rendezvouses Procs ranks (itself computing as rank
+// 0), publishes a membership file and a checkpoint that worker processes
+// load, and survives real worker deaths — a SIGKILLed rank's rows are
+// re-divided among survivors, and a respawned rank is re-admitted at the
+// next collective boundary. See DESIGN.md §12.
+type NetRun struct {
+	// Procs is the rank count; Procs-1 worker processes join over TCP.
+	Procs int
+	// ThreadsPerProc is the intra-rank worker count (0 = 1).
+	ThreadsPerProc int
+	// ListenAddr binds the coordinator ("" = ephemeral loopback port).
+	ListenAddr string
+	// MembershipPath is where the cluster bootstrap JSON is published.
+	MembershipPath string
+	// CheckpointPath is where the engine snapshot is written; workers
+	// load it instead of rebuilding, and a restarted coordinator resumes
+	// from it without recompiling the interaction lists.
+	CheckpointPath string
+	// Spawn, when non-nil, launches the worker process for a rank.
+	Spawn func(rank int) error
+	// RespawnDead relaunches each crashed worker once via Spawn.
+	RespawnDead bool
+	// StallTimeout bounds every collective round (0 = 2 minutes).
+	StallTimeout time.Duration
+}
+
+// ComputeNet runs the distributed algorithm across real OS processes
+// (see NetRun). Cancelling ctx aborts the run. When too few ranks
+// survive the run degrades to the shared-memory runner and reports the
+// reason in Result.Report.Faults.
+func (e *Engine) ComputeNet(ctx context.Context, nr NetRun) (*Result, error) {
+	return core.RunNetCoordinator(ctx, e.sys, core.NetOptions{
+		Procs:          nr.Procs,
+		Threads:        nr.ThreadsPerProc,
+		ListenAddr:     nr.ListenAddr,
+		MembershipPath: nr.MembershipPath,
+		CheckpointPath: nr.CheckpointPath,
+		Spawn:          nr.Spawn,
+		RespawnDead:    nr.RespawnDead,
+		StallTimeout:   nr.StallTimeout,
+		Obs:            e.obs,
+	})
+}
+
+// NetWorkerOptions re-exports the worker-process configuration.
+type NetWorkerOptions = core.NetWorkerOptions
+
+// RunNetWorker is the worker-process entry point for ComputeNet runs:
+// it loads the membership file and checkpoint published by the
+// coordinator, joins as the given rank and computes until the protocol
+// completes (or this process is the one the chaos hook kills). It
+// reports whether this rank completed the protocol.
+func RunNetWorker(membershipPath string, rank int, opts NetWorkerOptions) (completed bool, err error) {
+	out, err := core.RunNetWorker(membershipPath, rank, opts)
+	if err != nil {
+		return false, err
+	}
+	return out.Completed, nil
 }
 
 // DynStats re-exports the inter-rank stealing statistics.

@@ -15,6 +15,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -359,6 +360,16 @@ func (c *Comm) TrackMemory(bytes int64) {
 // section records the deaths. On error the report is still returned
 // (best effort) so fault accounting survives failed runs.
 func Run(cfg Config, fn func(c *Comm) error) (*Report, error) {
+	return RunContext(context.Background(), cfg, fn)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the run
+// aborts — every rank blocked in a communication call returns ErrAborted,
+// and RunContext returns once ALL rank goroutines have exited (it joins
+// them, so cancellation cannot leak goroutines). A rank that is busy in a
+// pure compute section notices the abort at its next communication call;
+// ranks that already finished successfully are unaffected.
+func RunContext(ctx context.Context, cfg Config, fn func(c *Comm) error) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -388,6 +399,17 @@ func Run(cfg Config, fn func(c *Comm) error) (*Report, error) {
 	var wg sync.WaitGroup
 	wg.Add(cfg.Procs)
 	start := time.Now()
+	if ctx != nil && ctx.Done() != nil {
+		watcherDone := make(chan struct{})
+		defer close(watcherDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				w.abort()
+			case <-watcherDone:
+			}
+		}()
+	}
 	for r := 0; r < cfg.Procs; r++ {
 		go func(r int) {
 			defer wg.Done()

@@ -103,8 +103,8 @@ func (c *Comm) rendezvous(kind string, contrib []float64,
 		w.depEpoch = make([]uint64, len(w.ranks))
 		w.curMaxClock = entry
 	} else if w.kind != kind {
-		err := fmt.Errorf("cluster: collective mismatch: rank %d called %s while round is %s",
-			c.rank, kind, w.kind)
+		err := fmt.Errorf("cluster: collective mismatch: rank %d called %s while round is %s: %w",
+			c.rank, kind, w.kind, ErrProtocol)
 		w.aborted = true
 		w.cond.Broadcast()
 		return nil, err
@@ -316,11 +316,12 @@ func (c *Comm) Bcast(root int, data []float64) ([]float64, error) {
 // Allreduce-style recovery instead).
 func (c *Comm) Allgatherv(contrib []float64, counts []int) ([]float64, error) {
 	if len(counts) != c.Size() {
-		return nil, fmt.Errorf("cluster: allgatherv needs %d counts, got %d", c.Size(), len(counts))
+		return nil, fmt.Errorf("cluster: allgatherv needs %d counts, got %d: %w",
+			c.Size(), len(counts), ErrProtocol)
 	}
 	if len(contrib) != counts[c.rank] {
-		return nil, fmt.Errorf("cluster: rank %d contributes %d values, counts says %d",
-			c.rank, len(contrib), counts[c.rank])
+		return nil, fmt.Errorf("cluster: rank %d contributes %d values, counts says %d: %w",
+			c.rank, len(contrib), counts[c.rank], ErrProtocol)
 	}
 	for r, n := range counts {
 		if n > 0 {

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Cancelling the context while every rank is blocked in communication
+// aborts all of them with ErrAborted, returns from RunContext, and leaks
+// no goroutines.
+func TestRunContextCancelUnblocksAndDoesNotLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var aborted atomic.Int32
+	done := make(chan struct{})
+	var rep *Report
+	var err error
+	go func() {
+		defer close(done)
+		rep, err = RunContext(ctx, Config{Procs: 4}, func(c *Comm) error {
+			// Nobody ever sends: every rank parks in Recv until the abort.
+			_, _, rerr := c.Recv(AnySource, AnyTag)
+			if errors.Is(rerr, ErrAborted) {
+				aborted.Add(1)
+			}
+			return rerr
+		})
+	}()
+
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunContext did not return after cancel")
+	}
+
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("want ErrAborted in chain, got %v", err)
+	}
+	if got := aborted.Load(); got != 4 {
+		t.Fatalf("want all 4 ranks to observe ErrAborted, got %d", got)
+	}
+	if rep == nil {
+		t.Fatal("aborted run returned no best-effort report")
+	}
+
+	// Leak check: rank goroutines and the ctx watcher must all be gone.
+	// Poll — goroutine teardown is asynchronous after wg.Wait returns.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after cancelled RunContext: baseline %d, now %d",
+				baseline, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// A context that is never cancelled changes nothing: RunContext behaves
+// exactly like Run.
+func TestRunContextNilAndBackground(t *testing.T) {
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		rep, err := RunContext(ctx, Config{Procs: 2}, func(c *Comm) error {
+			_, err := c.Allreduce([]float64{1}, Sum)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep == nil {
+			t.Fatal("nil report from successful run")
+		}
+	}
+}
+
+// An already-cancelled context aborts the run before any rank makes
+// progress past its first communication call.
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, Config{Procs: 2}, func(c *Comm) error {
+		for {
+			if _, err := c.Allreduce([]float64{1}, Sum); err != nil {
+				return err
+			}
+		}
+	})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("want ErrAborted, got %v", err)
+	}
+}

@@ -33,6 +33,13 @@ var (
 	// exhausted, or the real-time stall backstop (Config.StallTimeout)
 	// fired. Nothing blocks forever once a fault plan is active.
 	ErrTimeout = errors.New("cluster: communication timed out")
+
+	// ErrProtocol reports a misuse of the communication protocol itself —
+	// mismatched collective kinds across ranks, inconsistent Allgatherv
+	// counts, a reply to a nil request, or a malformed frame on the wire
+	// transport. Unlike the fault sentinels it signals a programming or
+	// framing error, never a recoverable machine failure.
+	ErrProtocol = errors.New("cluster: protocol violation")
 )
 
 // RankDeadError reports dead ranks to a communication caller. Dead is

@@ -196,6 +196,10 @@ type FaultReport struct {
 	// RecomputedRows counts interaction-list rows survivors re-evaluated
 	// to cover dead ranks' work.
 	RecomputedRows int
+	// Rejoins counts ranks re-admitted mid-run by an elastic transport
+	// (always 0 on the modeled in-process transport, which has no join
+	// path).
+	Rejoins int
 	// RecoverySeconds is the virtual time charged to detection latency
 	// plus recomputation across all survivors.
 	RecoverySeconds float64
@@ -209,6 +213,9 @@ type FaultReport struct {
 func (r *FaultReport) String() string {
 	s := fmt.Sprintf("faults: %d crashes, %d drops (%d retries), %d delays; %d detections, %d rows recomputed, recovery %.3gs",
 		r.Crashes, r.Drops, r.Retries, r.Delays, len(r.Detections), r.RecomputedRows, r.RecoverySeconds)
+	if r.Rejoins > 0 {
+		s += fmt.Sprintf("; %d rejoins", r.Rejoins)
+	}
 	if r.Degraded {
 		s += "; DEGRADED: " + r.DegradedReason
 	}

@@ -1,0 +1,79 @@
+package net
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"gbpolar/internal/cluster"
+)
+
+// Membership is the cluster bootstrap record the coordinator writes and
+// workers read: where to connect and the fixed run shape. It lives in a
+// small JSON file so operators (and the chaos tests) can launch workers
+// out-of-band of the coordinator process.
+type Membership struct {
+	// Addr is the coordinator's host:port.
+	Addr string `json:"addr"`
+	// Size is the number of ranks (P).
+	Size int `json:"size"`
+	// Threads is the thread count per rank (p).
+	Threads int `json:"threads"`
+	// Checkpoint is the path of the coordinator's snapshot file — the
+	// replicated System every worker loads instead of rebuilding (and
+	// the state a restarted coordinator resumes from).
+	Checkpoint string `json:"checkpoint,omitempty"`
+}
+
+// WriteMembership atomically writes the membership file (temp + rename,
+// so a worker polling for it never reads a partial record).
+func WriteMembership(path string, m Membership) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("net: encode membership: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("net: write membership: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("net: publish membership: %w", err)
+	}
+	return nil
+}
+
+// ReadMembership reads and validates a membership file.
+func ReadMembership(path string) (Membership, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Membership{}, fmt.Errorf("net: read membership: %w", err)
+	}
+	var m Membership
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Membership{}, fmt.Errorf("net: parse membership %s: %w", path, err)
+	}
+	if m.Addr == "" || m.Size < 1 {
+		return Membership{}, fmt.Errorf("net: membership %s missing addr or size: %w", path, cluster.ErrProtocol)
+	}
+	return m, nil
+}
+
+// WaitMembership polls for the membership file until it appears or the
+// budget is spent — workers are typically launched concurrently with the
+// coordinator and must ride out the window before it publishes.
+func WaitMembership(path string, budget time.Duration) (Membership, error) {
+	deadline := time.Now().Add(budget)
+	for {
+		m, err := ReadMembership(path)
+		if err == nil {
+			return m, nil
+		}
+		if time.Now().After(deadline) {
+			return Membership{}, fmt.Errorf("net: membership %s never appeared (last: %v): %w",
+				path, err, cluster.ErrTimeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

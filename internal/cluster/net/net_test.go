@@ -1,0 +1,513 @@
+package net
+
+import (
+	"errors"
+	"fmt"
+	gonet "net"
+	"sync"
+	"testing"
+	"time"
+
+	"gbpolar/internal/cluster"
+	"gbpolar/internal/wire"
+)
+
+func testCoordinator(t *testing.T, size int, mut func(*Config)) *Coordinator {
+	t.Helper()
+	cfg := Config{
+		Size:              size,
+		Threads:           1,
+		OpsPerSecond:      1e9,
+		StallTimeout:      20 * time.Second,
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout:  10 * time.Second,
+		JoinDeadline:      20 * time.Second,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	co, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(co.Close)
+	return co
+}
+
+// runRanks hosts size worker goroutines over real loopback sockets, each
+// running body, and returns their errors by rank.
+func runRanks(t *testing.T, co *Coordinator, size int, opts func(rank int) Options, body func(c *Comm) error) []error {
+	t.Helper()
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			o := Options{StallTimeout: 20 * time.Second}
+			if opts != nil {
+				o = opts(r)
+			}
+			c, err := Dial(co.Addr(), r, o)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			errs[r] = body(c)
+			if errs[r] == nil {
+				c.Bye()
+			} else {
+				c.Close()
+			}
+		}(r)
+	}
+	wg.Wait()
+	return errs
+}
+
+func expectSlice(what string, got, want []float64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s: got %v, want %v", what, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("%s: got %v, want %v", what, got, want)
+		}
+	}
+	return nil
+}
+
+// Every collective and the p2p relay produce the same results over
+// sockets as the in-process transport's definitions.
+func TestNetCollectivesParity(t *testing.T) {
+	const P = 4
+	co := testCoordinator(t, P, nil)
+	errs := runRanks(t, co, P, nil, func(c *Comm) error {
+		r := float64(c.Rank())
+		sum, err := c.Allreduce([]float64{r + 1, 2 * r}, cluster.Sum)
+		if err != nil {
+			return err
+		}
+		if err := expectSlice("allreduce sum", sum, []float64{10, 12}); err != nil {
+			return err
+		}
+		mn, err := c.Allreduce([]float64{r}, cluster.Min)
+		if err != nil {
+			return err
+		}
+		if err := expectSlice("allreduce min", mn, []float64{0}); err != nil {
+			return err
+		}
+		mx, err := c.Allreduce([]float64{r}, cluster.Max)
+		if err != nil {
+			return err
+		}
+		if err := expectSlice("allreduce max", mx, []float64{3}); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		var bcData []float64
+		if c.Rank() == 1 {
+			bcData = []float64{42, 43}
+		}
+		bc, err := c.Bcast(1, bcData)
+		if err != nil {
+			return err
+		}
+		if err := expectSlice("bcast", bc, []float64{42, 43}); err != nil {
+			return err
+		}
+		rd, err := c.Reduce(2, []float64{r + 1}, cluster.Sum)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 2 {
+			if err := expectSlice("reduce root", rd, []float64{10}); err != nil {
+				return err
+			}
+		} else if len(rd) != 0 {
+			return fmt.Errorf("reduce non-root got %v", rd)
+		}
+		counts := []int{1, 2, 3, 4}
+		contrib := make([]float64, c.Rank()+1)
+		for i := range contrib {
+			contrib[i] = r
+		}
+		all, err := c.Allgatherv(contrib, counts)
+		if err != nil {
+			return err
+		}
+		if err := expectSlice("allgatherv", all, []float64{0, 1, 1, 2, 2, 2, 3, 3, 3, 3}); err != nil {
+			return err
+		}
+		// p2p ring through the relay.
+		if err := c.Send((c.Rank()+1)%P, 7, []float64{r}); err != nil {
+			return err
+		}
+		data, src, err := c.Recv((c.Rank()+P-1)%P, 7)
+		if err != nil {
+			return err
+		}
+		if src != (c.Rank()+P-1)%P {
+			return fmt.Errorf("recv src %d", src)
+		}
+		if err := expectSlice("recv", data, []float64{float64(src)}); err != nil {
+			return err
+		}
+		if len(c.MemberEvents()) != 0 {
+			return fmt.Errorf("unexpected events %v", c.MemberEvents())
+		}
+		return nil
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	fr := co.FaultReport()
+	if fr.Crashes != 0 || fr.Rejoins != 0 {
+		t.Fatalf("clean run metered faults: %+v", fr)
+	}
+}
+
+// A worker whose socket dies mid-collective is declared dead; survivors
+// get ErrRankDead with the consensus dead list and heal by retrying.
+func TestNetDeathDetectionAndHeal(t *testing.T) {
+	const P = 3
+	co := testCoordinator(t, P, nil)
+	opts := func(rank int) Options {
+		o := Options{StallTimeout: 20 * time.Second}
+		if rank == 2 {
+			o.CloseAtCollective = 2 // crash entering the second collective
+		}
+		return o
+	}
+	errs := runRanks(t, co, P, opts, func(c *Comm) error {
+		r := float64(c.Rank())
+		sum, err := c.Allreduce([]float64{r + 1}, cluster.Sum)
+		if err != nil {
+			return err
+		}
+		if err := expectSlice("round 1", sum, []float64{6}); err != nil {
+			return err
+		}
+		sum, err = c.Allreduce([]float64{r + 1}, cluster.Sum)
+		if errors.Is(err, cluster.ErrRankDead) {
+			// Heal: the retry after observing the death must succeed.
+			rd, ok := cluster.AsRankDead(err)
+			if !ok || len(rd.Dead) != 1 || rd.Dead[0] != 2 {
+				return fmt.Errorf("dead list %v", err)
+			}
+			sum, err = c.Allreduce([]float64{r + 1}, cluster.Sum)
+		}
+		if err != nil {
+			return err
+		}
+		return expectSlice("healed round", sum, []float64{3})
+	})
+	for r, err := range errs[:2] {
+		if err != nil {
+			t.Fatalf("survivor rank %d: %v", r, err)
+		}
+	}
+	if errs[2] == nil {
+		t.Fatal("crashed rank reported success")
+	}
+	fr := co.FaultReport()
+	if fr.Crashes != 1 {
+		t.Fatalf("crashes = %d, want 1", fr.Crashes)
+	}
+	evs := co.Events()
+	if len(evs) != 1 || evs[0].Rank != 2 || evs[0].Join {
+		t.Fatalf("events = %v", evs)
+	}
+}
+
+// A crashed worker that redials is queued and admitted exactly at the
+// survivors' next successful collective: its welcome carries the
+// completed-round count and the last reduction as seed, and the join
+// event lands in every participant's log.
+func TestNetRejoin(t *testing.T) {
+	const P = 2
+	co := testCoordinator(t, P, nil)
+	done := make(chan error, 2)
+
+	// Rank 1: crashes entering collective 2, then redials.
+	go func() {
+		c, err := Dial(co.Addr(), 1, Options{StallTimeout: 20 * time.Second, CloseAtCollective: 2})
+		if err != nil {
+			done <- err
+			return
+		}
+		if _, err := c.Allreduce([]float64{2}, cluster.Sum); err != nil {
+			done <- err
+			return
+		}
+		c.Allreduce([]float64{2}, cluster.Sum) // dies here
+		// Respawn: rejoin blocks until rank 0 completes its healed retry.
+		c2, err := Dial(co.Addr(), 1, Options{StallTimeout: 20 * time.Second, DialTimeout: 20 * time.Second})
+		if err != nil {
+			done <- err
+			return
+		}
+		if c2.CompletedRounds() != 2 {
+			done <- fmt.Errorf("rejoin at round %d, want 2", c2.CompletedRounds())
+			return
+		}
+		if err := expectSlice("join seed", c2.JoinSeed(), []float64{1}); err != nil {
+			done <- err
+			return
+		}
+		_, err = c2.Allreduce([]float64{20}, cluster.Sum)
+		if err == nil {
+			c2.Bye()
+		}
+		done <- err
+	}()
+
+	// Rank 0: observes the death, waits for the rejoin attempt to queue,
+	// heals, then runs one more collective with the rejoined rank.
+	go func() {
+		c, err := Dial(co.Addr(), 0, Options{StallTimeout: 20 * time.Second})
+		if err != nil {
+			done <- err
+			return
+		}
+		if _, err := c.Allreduce([]float64{1}, cluster.Sum); err != nil {
+			done <- err
+			return
+		}
+		_, err = c.Allreduce([]float64{1}, cluster.Sum)
+		if !errors.Is(err, cluster.ErrRankDead) {
+			done <- fmt.Errorf("expected rank-dead, got %v", err)
+			return
+		}
+		// Hold the healed retry until the rejoiner is pending, so the
+		// admission boundary is deterministic.
+		deadline := time.Now().Add(10 * time.Second)
+		for co.PendingJoins() == 0 {
+			if time.Now().After(deadline) {
+				done <- fmt.Errorf("rejoiner never queued")
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		res, err := c.Allreduce([]float64{1}, cluster.Sum) // healed: alone
+		if err != nil {
+			done <- err
+			return
+		}
+		if err := expectSlice("healed", res, []float64{1}); err != nil {
+			done <- err
+			return
+		}
+		evs := c.MemberEvents()
+		if len(evs) != 2 || evs[0].Rank != 1 || evs[0].Join || evs[1].Rank != 1 || !evs[1].Join {
+			done <- fmt.Errorf("events after admission: %v", evs)
+			return
+		}
+		res, err = c.Allreduce([]float64{10}, cluster.Sum) // with the joiner
+		if err != nil {
+			done <- err
+			return
+		}
+		if err := expectSlice("post-rejoin", res, []float64{30}); err != nil {
+			done <- err
+			return
+		}
+		c.Bye()
+		done <- nil
+	}()
+
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := co.FaultReport()
+	if fr.Crashes != 1 || fr.Rejoins != 1 {
+		t.Fatalf("fault report: %+v", fr)
+	}
+}
+
+// The coordinator's round stall backstop fires without declaring a
+// death: a straggler is a timeout (the caller's degradation decision),
+// not a crash.
+func TestNetStallTimeout(t *testing.T) {
+	const P = 2
+	co := testCoordinator(t, P, nil)
+	release := make(chan struct{})
+	errs := runRanks(t, co, P,
+		func(rank int) Options {
+			o := Options{StallTimeout: 20 * time.Second}
+			if rank == 1 {
+				o.StallTimeout = 300 * time.Millisecond
+			}
+			return o
+		},
+		func(c *Comm) error {
+			if c.Rank() == 0 {
+				<-release // never deposits while rank 1 waits
+				return nil
+			}
+			_, err := c.Allreduce([]float64{1}, cluster.Sum)
+			close(release)
+			if !errors.Is(err, cluster.ErrTimeout) {
+				return fmt.Errorf("want ErrTimeout, got %v", err)
+			}
+			return nil
+		})
+	if errs[1] != nil {
+		t.Fatalf("rank 1: %v", errs[1])
+	}
+	if got := co.FaultReport().Crashes; got != 0 {
+		t.Fatalf("timeout was metered as %d crashes", got)
+	}
+}
+
+// Founding members that never connect are declared dead at the join
+// deadline so the connected ranks can proceed (or degrade).
+func TestNetJoinDeadline(t *testing.T) {
+	co := testCoordinator(t, 2, func(cfg *Config) {
+		cfg.JoinDeadline = 250 * time.Millisecond
+	})
+	c, err := Dial(co.Addr(), 0, Options{StallTimeout: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Allreduce([]float64{1}, cluster.Sum)
+	if !errors.Is(err, cluster.ErrRankDead) {
+		t.Fatalf("want ErrRankDead for the no-show founder, got %v", err)
+	}
+	res, err := c.Allreduce([]float64{1}, cluster.Sum)
+	if err != nil || len(res) != 1 || res[0] != 1 {
+		t.Fatalf("healed collective: %v %v", res, err)
+	}
+	c.Bye()
+	evs := co.Events()
+	if len(evs) != 1 || evs[0].Rank != 1 || evs[0].Join {
+		t.Fatalf("events = %v", evs)
+	}
+}
+
+// A connected worker that stops answering heartbeats (hung process, not
+// a closed socket) is killed by the heartbeat timeout.
+func TestNetHeartbeatDeath(t *testing.T) {
+	co := testCoordinator(t, 2, func(cfg *Config) {
+		cfg.HeartbeatInterval = 25 * time.Millisecond
+		cfg.HeartbeatTimeout = 250 * time.Millisecond
+	})
+	// Rank 1 is a raw connection that completes the handshake and then
+	// goes silent — connected but never ponging.
+	conn, err := gonet.Dial("tcp", co.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fc := newFrameConn(conn)
+	var hello wire.Writer
+	hello.I32(1)
+	if err := fc.writeFrame(mHello, hello.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, err := fc.readFrame(); err != nil || typ != mWelcome {
+		t.Fatalf("handshake: %d %v", typ, err)
+	}
+
+	c, err := Dial(co.Addr(), 0, Options{StallTimeout: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Allreduce([]float64{1}, cluster.Sum)
+	if !errors.Is(err, cluster.ErrRankDead) {
+		t.Fatalf("want ErrRankDead from the hung peer, got %v", err)
+	}
+	if _, err := c.Allreduce([]float64{1}, cluster.Sum); err != nil {
+		t.Fatalf("healed collective: %v", err)
+	}
+	c.Bye()
+}
+
+// The typed sentinels behave identically through the in-process and the
+// TCP transports: one table, both implementations.
+func TestSentinelParityAcrossTransports(t *testing.T) {
+	cases := []struct {
+		name string
+		body func(c cluster.Transport) error
+		want error
+	}{
+		{"self send", func(c cluster.Transport) error {
+			return c.Send(c.Rank(), 0, []float64{1})
+		}, cluster.ErrSelfSend},
+		{"send invalid rank", func(c cluster.Transport) error {
+			return c.Send(c.Size(), 0, []float64{1})
+		}, cluster.ErrInvalidRank},
+		{"reduce invalid root", func(c cluster.Transport) error {
+			_, err := c.Reduce(-1, []float64{1}, cluster.Sum)
+			return err
+		}, cluster.ErrInvalidRank},
+		{"bcast invalid root", func(c cluster.Transport) error {
+			_, err := c.Bcast(c.Size(), []float64{1})
+			return err
+		}, cluster.ErrInvalidRank},
+		{"allgatherv bad counts length", func(c cluster.Transport) error {
+			_, err := c.Allgatherv([]float64{1}, make([]int, c.Size()+2))
+			return err
+		}, cluster.ErrProtocol},
+		{"allgatherv contrib mismatch", func(c cluster.Transport) error {
+			counts := make([]int, c.Size())
+			counts[c.Rank()] = 3
+			_, err := c.Allgatherv([]float64{1}, counts)
+			return err
+		}, cluster.ErrProtocol},
+	}
+	check := func(t *testing.T, transport string, got, want error) {
+		if !errors.Is(got, want) {
+			t.Errorf("%s transport: got %v, want %v", transport, got, want)
+		}
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// In-process modeled transport, single rank (all cases are
+			// client-side validations, no communication needed).
+			_, err := cluster.Run(cluster.Config{Procs: 1, ThreadsPerProc: 1}, func(c *cluster.Comm) error {
+				check(t, "in-process", tc.body(c), tc.want)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// TCP transport.
+			co := testCoordinator(t, 1, nil)
+			errs := runRanks(t, co, 1, nil, func(c *Comm) error {
+				check(t, "tcp", tc.body(c), tc.want)
+				return nil
+			})
+			if errs[0] != nil {
+				t.Fatal(errs[0])
+			}
+		})
+	}
+}
+
+// The membership file round-trips and is published atomically.
+func TestMembershipFile(t *testing.T) {
+	path := t.TempDir() + "/cluster.json"
+	want := Membership{Addr: "127.0.0.1:9999", Size: 4, Threads: 2}
+	if err := WriteMembership(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMembership(path)
+	if err != nil || got != want {
+		t.Fatalf("round trip: %+v %v", got, err)
+	}
+	if _, err := ReadMembership(path + ".missing"); err == nil {
+		t.Fatal("read of missing file succeeded")
+	}
+	got, err = WaitMembership(path, time.Second)
+	if err != nil || got != want {
+		t.Fatalf("wait: %+v %v", got, err)
+	}
+}

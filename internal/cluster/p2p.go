@@ -175,7 +175,7 @@ func (c *Comm) RecvMsg(src, tag int, block bool) (*Message, error) {
 // would not have. The sender is charged one startup latency.
 func (c *Comm) ReplyStamped(req *Message, tag int, data []float64) error {
 	if req == nil {
-		return fmt.Errorf("cluster: ReplyStamped with nil request")
+		return fmt.Errorf("cluster: ReplyStamped with nil request: %w", ErrProtocol)
 	}
 	if err := c.requireAlive(req.Src); err != nil {
 		return fmt.Errorf("cluster: reply to rank %d: %w", req.Src, err)

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gbpolar/internal/cluster"
+)
+
+// Property test: for ANY valid membership event log (deaths of live
+// ranks, rejoins of dead ranks, in any order), ElasticSpans partitions
+// [0, n) exactly — every row owned by exactly one live rank, dead ranks
+// own nothing. This is the invariant that makes a collective's event-log
+// consensus sufficient for correctness: ranks that agree on the log
+// compute disjoint, exhaustive assignments independently.
+func TestElasticSpansPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(2000)
+		P := 1 + rng.Intn(12)
+		dead := make([]bool, P)
+		var events []cluster.MemberEvent
+		for e := rng.Intn(16); e > 0; e-- {
+			r := rng.Intn(P)
+			if dead[r] {
+				events = append(events, cluster.MemberEvent{Rank: r, Join: true})
+				dead[r] = false
+			} else {
+				// Never kill the last live rank: the protocol cannot
+				// reach that state (the survivor observing it is alive).
+				live := 0
+				for _, d := range dead {
+					if !d {
+						live++
+					}
+				}
+				if live <= 1 {
+					continue
+				}
+				events = append(events, cluster.MemberEvent{Rank: r, Join: false})
+				dead[r] = true
+			}
+		}
+
+		asgn := ElasticSpans(n, P, events)
+		owner := make([]int, n)
+		for i := range owner {
+			owner[i] = -1
+		}
+		for r, spans := range asgn {
+			if dead[r] && len(spans) > 0 {
+				t.Fatalf("trial %d (n=%d P=%d events=%v): dead rank %d owns %v",
+					trial, n, P, events, r, spans)
+			}
+			for _, sp := range spans {
+				if sp.Lo < 0 || sp.Hi > n || sp.Lo >= sp.Hi {
+					t.Fatalf("trial %d (n=%d P=%d events=%v): rank %d invalid span %+v",
+						trial, n, P, events, r, sp)
+				}
+				for i := sp.Lo; i < sp.Hi; i++ {
+					if owner[i] != -1 {
+						t.Fatalf("trial %d (n=%d P=%d events=%v): row %d owned by both %d and %d",
+							trial, n, P, events, i, owner[i], r)
+					}
+					owner[i] = r
+				}
+			}
+		}
+		for i, r := range owner {
+			if r == -1 {
+				t.Fatalf("trial %d (n=%d P=%d events=%v): row %d unowned", trial, n, P, events, i)
+			}
+		}
+	}
+}
+
+// Determinism: two replays of the same log agree span for span — the
+// consensus property the TCP transport's event log relies on.
+func TestElasticSpansDeterministic(t *testing.T) {
+	events := []cluster.MemberEvent{
+		{Rank: 2, Join: false},
+		{Rank: 1, Join: false},
+		{Rank: 2, Join: true},
+		{Rank: 3, Join: false},
+		{Rank: 1, Join: true},
+	}
+	a := ElasticSpans(1234, 4, events)
+	b := ElasticSpans(1234, 4, events)
+	for r := range a {
+		if len(a[r]) != len(b[r]) {
+			t.Fatalf("rank %d span count differs", r)
+		}
+		for i := range a[r] {
+			if a[r][i] != b[r][i] {
+				t.Fatalf("rank %d span %d differs: %+v vs %+v", r, i, a[r][i], b[r][i])
+			}
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"gbpolar/internal/cluster"
+	"gbpolar/internal/cluster/net"
+	"gbpolar/internal/obs"
+)
+
+// This file is the multi-process runner: the elastic rank body of
+// elastic.go executed over the real TCP transport (internal/cluster/net)
+// instead of goroutines. The coordinator process hosts the rendezvous
+// point, publishes a membership file and a binary checkpoint of the
+// compiled System, and itself computes as rank 0 over loopback (so every
+// rank takes the same code path); worker processes load the checkpoint,
+// dial in and run the identical self-healing protocol. A SIGKILLed
+// worker is a real death — survivors re-divide its rows exactly as the
+// modeled transport's recovery does — and a respawned worker is
+// re-admitted at the next collective boundary, seeded with the last
+// completed reduction.
+
+// NetOptions configures RunNetCoordinator.
+type NetOptions struct {
+	// Procs is the rank count P (coordinator itself is rank 0, so
+	// Procs-1 worker processes are expected).
+	Procs int
+	// Threads is the intra-rank worker count p (0 = 1).
+	Threads int
+	// ListenAddr is the coordinator bind address ("" = ephemeral
+	// loopback port).
+	ListenAddr string
+	// MembershipPath is where the cluster bootstrap file is published.
+	MembershipPath string
+	// CheckpointPath is where the System snapshot is written; workers
+	// load it instead of rebuilding, and a restarted coordinator resumes
+	// from it without recompiling the interaction lists.
+	CheckpointPath string
+	// Spawn, when non-nil, launches the worker process for a rank
+	// (ranks 1..Procs-1 at startup; dead ranks again when RespawnDead).
+	Spawn func(rank int) error
+	// RespawnDead relaunches each crashed worker rank once via Spawn, so
+	// the elastic re-admission path heals real process kills.
+	RespawnDead bool
+	// StallTimeout bounds every collective round (0 = 2 minutes); see
+	// net.Config.StallTimeout.
+	StallTimeout time.Duration
+	// HeartbeatInterval/HeartbeatTimeout/JoinDeadline tune liveness
+	// detection (0 = net.Config defaults).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	JoinDeadline      time.Duration
+	// Obs receives the coordinator-side trace and metrics.
+	Obs *obs.Obs
+}
+
+// RunNetCoordinator runs the full multi-process protocol from the
+// coordinator side: checkpoint, publish, rendezvous, compute as rank 0,
+// and degrade to the shared runner when too few ranks survive.
+// Cancelling ctx aborts the run (every rank observes ErrAborted through
+// its dying connection).
+func RunNetCoordinator(ctx context.Context, sys *System, opts NetOptions) (*Result, error) {
+	if opts.Procs < 1 {
+		return nil, fmt.Errorf("core: net run needs Procs >= 1, got %d", opts.Procs)
+	}
+	if opts.MembershipPath == "" || opts.CheckpointPath == "" {
+		return nil, fmt.Errorf("core: net run needs MembershipPath and CheckpointPath")
+	}
+	if opts.Threads <= 0 {
+		opts.Threads = 1
+	}
+	start := time.Now()
+
+	// Compile the lists once on the coordinator so the checkpoint ships
+	// them: workers and a restarted coordinator deserialize instead of
+	// recompiling (EncodeSnapshot embeds lists only when present).
+	sys.Lists(nil)
+	if err := SaveSnapshot(opts.CheckpointPath, sys); err != nil {
+		return nil, fmt.Errorf("core: net checkpoint: %w", err)
+	}
+
+	co, err := net.Start(net.Config{
+		Size:              opts.Procs,
+		ListenAddr:        opts.ListenAddr,
+		Threads:           opts.Threads,
+		OpsPerSecond:      CalibratedOpsPerSecond(),
+		StallTimeout:      opts.StallTimeout,
+		HeartbeatInterval: opts.HeartbeatInterval,
+		HeartbeatTimeout:  opts.HeartbeatTimeout,
+		JoinDeadline:      opts.JoinDeadline,
+		Obs:               opts.Obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer co.Close()
+	if err := net.WriteMembership(opts.MembershipPath, net.Membership{
+		Addr:       co.Addr(),
+		Size:       opts.Procs,
+		Threads:    opts.Threads,
+		Checkpoint: opts.CheckpointPath,
+	}); err != nil {
+		return nil, err
+	}
+
+	// Cancellation: closing the coordinator severs every connection, so
+	// all ranks (including rank 0 below) unblock with ErrAborted.
+	runDone := make(chan struct{})
+	defer close(runDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			co.Close()
+		case <-runDone:
+		}
+	}()
+
+	if opts.Spawn != nil {
+		for r := 1; r < opts.Procs; r++ {
+			if err := opts.Spawn(r); err != nil {
+				return nil, fmt.Errorf("core: spawn rank %d: %w", r, err)
+			}
+		}
+	}
+	if opts.RespawnDead && opts.Spawn != nil {
+		go respawnLoop(co, opts, runDone)
+	}
+
+	// The coordinator computes as rank 0 over loopback: same transport,
+	// same rank body, no privileged path.
+	var out *ElasticOut
+	c, err := net.Dial(co.Addr(), 0, net.Options{
+		StallTimeout: opts.StallTimeout,
+		DialTimeout:  opts.JoinDeadline,
+		Obs:          opts.Obs,
+	})
+	if err == nil {
+		out, err = RunElasticRank(sys, c, 1, nil)
+		if err == nil {
+			c.Bye()
+		} else {
+			c.Close()
+		}
+	}
+	fr := co.FaultReport()
+	if err == nil && out != nil && out.Completed {
+		// Per-rank rows: wall time is the run's (processes ran
+		// concurrently); ranks still dead at the end are marked.
+		perRank := make([]cluster.RankStats, opts.Procs)
+		dead := make(map[int]bool)
+		for _, r := range cluster.DeadFromEvents(opts.Procs, co.Events()) {
+			dead[r] = true
+		}
+		for r := range perRank {
+			perRank[r] = cluster.RankStats{Rank: r, Died: dead[r]}
+		}
+		res := &Result{
+			Epol:        out.Epol,
+			BornRadii:   sys.BornRadiiToOriginalOrder(out.Radii),
+			Ops:         out.Ops,
+			WallSeconds: time.Since(start).Seconds(),
+			Report: &cluster.Report{
+				WallSeconds: time.Since(start).Seconds(),
+				PerRank:     perRank,
+				Mode:        cluster.Real,
+				Faults:      &fr,
+			},
+		}
+		return res, nil
+	}
+	if err == nil {
+		err = fmt.Errorf("core: rank 0 joined after the final collective: %w", ErrDegraded)
+	}
+	if ctx.Err() != nil {
+		return nil, fmt.Errorf("core: net run cancelled: %w", ctx.Err())
+	}
+	if !errors.Is(err, ErrDegraded) && !errors.Is(err, cluster.ErrRankDead) &&
+		!errors.Is(err, cluster.ErrTimeout) {
+		return nil, err
+	}
+	// Degradation: the distributed run cannot continue (too few live
+	// ranks or a stalled protocol); fall back to the shared runner and
+	// report why, exactly like RunDistributedResilient.
+	shared, serr := RunShared(sys, SharedOptions{
+		Threads:      opts.Threads,
+		OpsPerSecond: CalibratedOpsPerSecond(),
+		Obs:          opts.Obs,
+	})
+	if serr != nil {
+		return nil, serr
+	}
+	fr.Degraded = true
+	fr.DegradedReason = err.Error()
+	shared.Report = &cluster.Report{
+		WallSeconds: time.Since(start).Seconds(),
+		Mode:        cluster.Real,
+		Faults:      &fr,
+	}
+	shared.WallSeconds = time.Since(start).Seconds()
+	return shared, nil
+}
+
+// respawnLoop relaunches each dead worker rank once, so the elastic
+// transport's re-admission path converts a process kill into a rejoin.
+func respawnLoop(co *net.Coordinator, opts NetOptions, done <-chan struct{}) {
+	respawned := make([]bool, opts.Procs)
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+		}
+		for _, r := range cluster.DeadFromEvents(opts.Procs, co.Events()) {
+			if r == 0 || respawned[r] {
+				continue
+			}
+			respawned[r] = true
+			if err := opts.Spawn(r); err != nil && opts.Obs != nil {
+				opts.Obs.Counter("net.respawn_failures").Inc()
+			}
+		}
+	}
+}
+
+// NetWorkerOptions configures RunNetWorker.
+type NetWorkerOptions struct {
+	// StallTimeout bounds every collective (0 = 2 minutes).
+	StallTimeout time.Duration
+	// JoinBudget bounds waiting for the membership file plus dialing
+	// (0 = 30s). A respawned worker spends most of it blocked on
+	// admission at the survivors' next collective boundary.
+	JoinBudget time.Duration
+	// KillAtCollective is the chaos hook: SIGKILL this process entering
+	// its Nth collective (0 = off). See net.Options.KillAtCollective.
+	KillAtCollective int
+	// Obs receives the worker-side trace and metrics.
+	Obs *obs.Obs
+}
+
+// RunNetWorker is the worker-process entry point: it waits for the
+// membership file, loads the checkpointed System (no surface resampling,
+// no tree rebuild, no list recompilation), dials the coordinator as the
+// given rank and runs the elastic rank body — from phase 1 as a founding
+// member, or mid-protocol (seeded with the last completed reduction)
+// when re-admitted after a crash.
+func RunNetWorker(membershipPath string, rank int, opts NetWorkerOptions) (*ElasticOut, error) {
+	if opts.JoinBudget <= 0 {
+		opts.JoinBudget = 30 * time.Second
+	}
+	m, err := net.WaitMembership(membershipPath, opts.JoinBudget)
+	if err != nil {
+		return nil, err
+	}
+	if rank < 0 || rank >= m.Size {
+		return nil, fmt.Errorf("core: worker rank %d outside [0,%d): %w", rank, m.Size, cluster.ErrInvalidRank)
+	}
+	if m.Checkpoint == "" {
+		return nil, fmt.Errorf("core: membership %s carries no checkpoint path", membershipPath)
+	}
+	data, err := os.ReadFile(m.Checkpoint)
+	if err != nil {
+		return nil, fmt.Errorf("core: worker checkpoint: %w", err)
+	}
+	sys, err := DecodeSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: worker checkpoint: %w", err)
+	}
+	c, err := net.Dial(m.Addr, rank, net.Options{
+		StallTimeout:     opts.StallTimeout,
+		DialTimeout:      opts.JoinBudget,
+		Obs:              opts.Obs,
+		KillAtCollective: opts.KillAtCollective,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var seed []float64
+	if len(c.JoinSeed()) > 0 {
+		seed = c.JoinSeed()
+	}
+	out, err := RunElasticRank(sys, c, c.CompletedRounds()+1, seed)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.Bye()
+	return out, nil
+}

@@ -6,8 +6,6 @@ import (
 	"time"
 
 	"gbpolar/internal/cluster"
-	"gbpolar/internal/obs"
-	"gbpolar/internal/sched"
 )
 
 // This file is the self-healing distributed runner: RunDistributed's
@@ -40,52 +38,28 @@ func (s Span) Len() int { return s.Hi - s.Lo }
 // on the ordered dead list through the failed collective — computes the
 // identical partition; spans only ever move from dead ranks to live
 // ones, so a survivor's assignment grows monotonically.
+//
+// It is the death-only special case of ElasticSpans (elastic.go), which
+// additionally replays rejoin events for the elastic transports.
 func RedivideSpans(n, P int, deadOrder []int) [][]Span {
-	asgn := make([][]Span, P)
-	for r := 0; r < P; r++ {
-		lo, hi := segment(n, P, r)
-		if hi > lo {
-			asgn[r] = []Span{{lo, hi}}
-		}
+	events := make([]cluster.MemberEvent, len(deadOrder))
+	for i, d := range deadOrder {
+		events[i] = cluster.MemberEvent{Rank: d}
 	}
-	dead := make([]bool, P)
-	for _, d := range deadOrder {
-		if d < 0 || d >= P || dead[d] {
-			continue
-		}
-		dead[d] = true
-		var live []int
-		for r := 0; r < P; r++ {
-			if !dead[r] {
-				live = append(live, r)
-			}
-		}
-		if len(live) == 0 {
-			asgn[d] = nil
-			break
-		}
-		for _, sp := range asgn[d] {
-			for i, r := range live {
-				l, h := segment(sp.Len(), len(live), i)
-				if h > l {
-					asgn[r] = append(asgn[r], Span{sp.Lo + l, sp.Lo + h})
-				}
-			}
-		}
-		asgn[d] = nil
-	}
-	return asgn
+	return ElasticSpans(n, P, events)
 }
 
-// ownedRows expands rank's assignment after deaths into the row indices
-// not yet marked done, marking them done, and counts how many of them
-// are inherited — outside the rank's original fault-free segment, i.e.
-// recovered work from dead ranks. The monotone-growth property of
-// RedivideSpans makes "newly owned = owned minus done" exactly the dead
-// ranks' lost work.
-func ownedRows(n, P, rank int, deadOrder []int, done []bool) (rows []int, inherited int) {
+// ownedRows expands rank's assignment after the membership event log
+// into the row indices not yet marked done, marking them done, and
+// counts how many of them are inherited — outside the rank's original
+// fault-free segment, i.e. recovered work from dead ranks. Within one
+// phase the log grows by deaths alone (joins are admitted only at
+// successful collectives), so ElasticSpans' monotone-growth property
+// makes "newly owned = owned minus done" exactly the dead ranks' lost
+// work.
+func ownedRows(n, P, rank int, events []cluster.MemberEvent, done []bool) (rows []int, inherited int) {
 	origLo, origHi := segment(n, P, rank)
-	for _, sp := range RedivideSpans(n, P, deadOrder)[rank] {
+	for _, sp := range ElasticSpans(n, P, events)[rank] {
 		for i := sp.Lo; i < sp.Hi; i++ {
 			if !done[i] {
 				rows = append(rows, i)
@@ -99,212 +73,12 @@ func ownedRows(n, P, rank int, deadOrder []int, done []bool) (rows []int, inheri
 	return rows, inherited
 }
 
-// resilientRank is the per-rank body of the self-healing runner.
+// resilientRank is the per-rank body of the self-healing runner: the
+// elastic rank body (elastic.go) started from phase 1. Over the
+// in-process transport the membership event log contains deaths only, so
+// this computes exactly what the pre-elastic resilient runner did.
 func resilientRank(sys *System, c *Comm, out *rankOut) error {
-	P, rank := c.Size(), c.Rank()
-	p := c.Threads()
-	pool := sched.NewPool(p)
-	defer pool.Close()
-	c.TrackMemory(sys.MemoryBytes())
-
-	o := c.Obs()
-	bsp := o.Begin(rank, "phase", "build", c.Clock())
-	lists := sys.Lists(pool)
-	bsp.End(c.Clock())
-	if rank == 0 {
-		lists.RecordMetrics(o)
-	}
-	qLeaves := sys.QPts.Leaves()
-	aLeaves := sys.Atoms.Leaves()
-	nNodes := sys.Atoms.NumNodes()
-	nAtoms := sys.Mol.NumAtoms()
-	rate := c.OpsPerSecond()
-
-	// allreduce runs one collective of the retry protocol: build
-	// re-assembles this rank's contribution (it must reflect all work done
-	// so far, since a failed round discards every deposit), and heal
-	// redoes the newly-inherited work after a death. Fewer than 2
-	// survivors aborts the protocol with ErrDegraded.
-	allreduce := func(build func() []float64, heal func(dead []int) error) ([]float64, error) {
-		for {
-			res, err := c.Allreduce(build(), cluster.Sum)
-			if err == nil {
-				return res, nil
-			}
-			if _, ok := cluster.AsRankDead(err); !ok {
-				return nil, err
-			}
-			dead := c.DeadRanks()
-			if P-len(dead) < 2 {
-				return nil, fmt.Errorf("core: %d of %d ranks survive: %w", P-len(dead), P, ErrDegraded)
-			}
-			if rerr := heal(dead); rerr != nil {
-				return nil, rerr
-			}
-		}
-	}
-
-	// Phase 1 (Figure 4 step 2): Born integrals over owned q-point leaf
-	// rows. bornDone records which compiled Born rows this rank has
-	// evaluated into merged.
-	merged := newBornAccum(sys)
-	bornDone := make([]bool, len(qLeaves))
-	computeBorn := func(dead []int) {
-		rows, inherited := ownedRows(len(qLeaves), P, rank, dead, bornDone)
-		if len(rows) == 0 {
-			return
-		}
-		// Each pass gets its own span, so post-crash re-executions show
-		// up as extra born/push/epol intervals on the timeline.
-		sp := o.Begin(rank, "phase", "born", c.Clock())
-		accs := make([]*bornAccum, p)
-		for i := range accs {
-			accs[i] = newBornAccum(sys)
-		}
-		sched.ParallelFor(pool, len(rows), rowGrain(len(rows), p), func(l, h, w int) {
-			for k := l; k < h; k++ {
-				before := accs[w].ops
-				bornRow(sys, lists.Born, rows[k], accs[w])
-				if d := accs[w].ops - before; d > accs[w].maxTask {
-					accs[w].maxTask = d
-				}
-			}
-		})
-		var total float64
-		for _, a := range accs {
-			merged.add(a)
-			total += a.ops
-		}
-		out.ops += total
-		charged := modelPhaseOps(total, maxOps(accs), merged.maxTask, p)
-		c.ChargeOps(charged)
-		sp.End(c.Clock(), obs.F("rows", float64(len(rows))), obs.F("inherited", float64(inherited)))
-		o.Counter("kernel.born.batches").Add(int64(len(rows)))
-		if inherited > 0 {
-			// Recovery metering: the share of this pass spent on rows
-			// inherited from dead ranks (row-proportional attribution).
-			c.NoteRecovery(inherited, charged/rate*float64(inherited)/float64(len(rows)))
-		}
-	}
-	computeBorn(c.DeadRanks())
-	sum, err := allreduce(func() []float64 {
-		vec := make([]float64, nNodes+nAtoms)
-		copy(vec, merged.node)
-		copy(vec[nNodes:], merged.atom)
-		return vec
-	}, func(dead []int) error {
-		computeBorn(dead)
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	copy(merged.node, sum[:nNodes])
-	copy(merged.atom, sum[nNodes:])
-
-	// Phase 2 (steps 4–5): Born radii for owned atom slots, shared via an
-	// Allreduce of a zero-padded full vector. Each slot is written by
-	// exactly one live rank (RedivideSpans partitions the slots), so the
-	// sum reproduces each value exactly — and, unlike Allgatherv, it
-	// tolerates the non-contiguous ownership recovery creates.
-	slotRadii := make([]float64, nAtoms)
-	slotDone := make([]bool, nAtoms)
-	computePush := func(dead []int) {
-		slots, inherited := ownedRows(nAtoms, P, rank, dead, slotDone)
-		if len(slots) == 0 {
-			return
-		}
-		sp := o.Begin(rank, "phase", "push", c.Clock())
-		var ops float64
-		// PushIntegralsToAtoms takes [lo,hi) ranges; sweep maximal runs.
-		for i := 0; i < len(slots); {
-			j := i + 1
-			for j < len(slots) && slots[j] == slots[j-1]+1 {
-				j++
-			}
-			ops += PushIntegralsToAtoms(sys, merged, slots[i], slots[j-1]+1, slotRadii)
-			i = j
-		}
-		out.ops += ops
-		c.ChargeOps(ops / float64(p))
-		sp.End(c.Clock(), obs.F("rows", float64(len(slots))), obs.F("inherited", float64(inherited)))
-		if inherited > 0 {
-			c.NoteRecovery(inherited, ops/float64(p)/rate*float64(inherited)/float64(len(slots)))
-		}
-	}
-	computePush(c.DeadRanks())
-	radii, err := allreduce(func() []float64 {
-		vec := make([]float64, nAtoms)
-		for i, done := range slotDone {
-			if done {
-				vec[i] = slotRadii[i]
-			}
-		}
-		return vec
-	}, func(dead []int) error {
-		computePush(dead)
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	copy(slotRadii, radii)
-
-	// Phase 3 (step 6): E_pol over owned atom-leaf rows.
-	ctx := NewEpolContext(sys, slotRadii)
-	conv := newConvScratch(ctx, p)
-	epolDone := make([]bool, len(aLeaves))
-	var raw float64
-	computeEpol := func(dead []int) {
-		rows, inherited := ownedRows(len(aLeaves), P, rank, dead, epolDone)
-		if len(rows) == 0 {
-			return
-		}
-		sp := o.Begin(rank, "phase", "epol", c.Clock())
-		eaccs := make([]epolAccum, p)
-		sched.ParallelFor(pool, len(rows), rowGrain(len(rows), p), func(l, h, w int) {
-			for k := l; k < h; k++ {
-				before := eaccs[w].ops
-				epolRow(ctx, lists.Epol, rows[k], conv[w], &eaccs[w])
-				if d := eaccs[w].ops - before; d > eaccs[w].maxTask {
-					eaccs[w].maxTask = d
-				}
-			}
-		})
-		var total, maxW, maxTask float64
-		for i := range eaccs {
-			raw += eaccs[i].energy
-			total += eaccs[i].ops
-			if eaccs[i].ops > maxW {
-				maxW = eaccs[i].ops
-			}
-			if eaccs[i].maxTask > maxTask {
-				maxTask = eaccs[i].maxTask
-			}
-		}
-		out.ops += total
-		charged := modelPhaseOps(total, maxW, maxTask, p)
-		c.ChargeOps(charged)
-		sp.End(c.Clock(), obs.F("rows", float64(len(rows))), obs.F("inherited", float64(inherited)))
-		o.Counter("kernel.epol.batches").Add(int64(len(rows)))
-		if inherited > 0 {
-			c.NoteRecovery(inherited, charged/rate*float64(inherited)/float64(len(rows)))
-		}
-	}
-	computeEpol(c.DeadRanks())
-	total, err := allreduce(func() []float64 { return []float64{raw} },
-		func(dead []int) error {
-			computeEpol(dead)
-			return nil
-		})
-	if err != nil {
-		return err
-	}
-	out.epol = ctx.Finish(total[0])
-	out.radii = slotRadii
-	out.ok = true
-	o.Counter("sched.steals").Add(pool.Steals())
-	return nil
+	return elasticRank(sys, c, out, 1, nil)
 }
 
 // RunDistributedResilient is RunDistributed hardened against the fault

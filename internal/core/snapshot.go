@@ -1,0 +1,515 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"math"
+	"os"
+
+	"gbpolar/internal/geom"
+	"gbpolar/internal/mathx"
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/octree"
+	"gbpolar/internal/surface"
+	"gbpolar/internal/wire"
+)
+
+// This file is the checkpoint format of the multi-process runner: a
+// versioned, parameter-stamped binary snapshot of a System — molecule,
+// surface, both octrees and (when compiled) the interaction lists — so a
+// crashed-and-restarted coordinator resumes from the preprocessed state
+// instead of rebuilding trees and recompiling lists. The format is
+// deliberately hostile-input safe: every array length is validated
+// against the bytes remaining before allocation (internal/wire), the
+// whole payload is covered by a CRC-32C trailer, and every structural
+// invariant the kernels rely on (CSR shape, index bounds, permutation
+// and geometry consistency) is re-checked on load, so a truncated,
+// bit-flipped or adversarial snapshot fails with a typed error and can
+// never panic the kernels downstream.
+
+// Typed snapshot failures, distinguishable with errors.Is.
+var (
+	// ErrSnapshotCorrupt reports a snapshot that is truncated, fails its
+	// checksum, or violates a structural invariant.
+	ErrSnapshotCorrupt = errors.New("core: snapshot corrupt")
+	// ErrSnapshotVersion reports a snapshot written by an incompatible
+	// format version.
+	ErrSnapshotVersion = errors.New("core: snapshot version unsupported")
+	// ErrSnapshotParams reports a well-formed snapshot whose parameter
+	// stamp does not match the parameters the caller is running under.
+	ErrSnapshotParams = errors.New("core: snapshot parameter mismatch")
+)
+
+const (
+	snapshotMagic   = "GBPSNAP1"
+	snapshotVersion = 1
+)
+
+var snapshotCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// appendParams writes the canonical parameter encoding — the bytes the
+// fingerprint hashes and the file stores. DebugCheckLists is excluded:
+// it is a runtime verification knob that does not affect any computed
+// state, so toggling it must not invalidate checkpoints.
+func appendParams(w *wire.Writer, p Params) {
+	w.F64(p.EpsBorn)
+	w.F64(p.EpsEpol)
+	w.F64(p.EpsSolv)
+	w.U8(uint8(p.Math))
+	w.U8(uint8(p.Kernel))
+	w.U8(uint8(p.Precision))
+	w.U8(uint8(p.Builder))
+	w.Bool(p.StrictBornMAC)
+	w.U32(uint32(p.LeafCap))
+}
+
+// ParamsFingerprint hashes the result-determining parameters (after
+// defaulting) to the 64-bit stamp embedded in snapshots: two runs agree
+// on the fingerprint exactly when a snapshot from one is a valid
+// checkpoint for the other.
+func ParamsFingerprint(p Params) uint64 {
+	var w wire.Writer
+	appendParams(&w, p.withDefaults())
+	h := fnv.New64a()
+	h.Write(w.Bytes())
+	return h.Sum64()
+}
+
+// EncodeSnapshot serializes the system. It refuses a system whose octree
+// geometry has diverged from its molecule/surface (a re-posed System
+// transforms the trees in place but not the input structures), since the
+// loader re-derives payloads from the inputs and would silently restore
+// pre-transform state.
+func EncodeSnapshot(sys *System) ([]byte, error) {
+	if err := checkGeometryConsistent(sys.Mol, sys.Surf, sys.Atoms, sys.QPts); err != nil {
+		return nil, fmt.Errorf("core: snapshot of transformed system: %v", err)
+	}
+	var w wire.Writer
+	w.Raw([]byte(snapshotMagic))
+	w.U16(snapshotVersion)
+	w.U64(ParamsFingerprint(sys.Params))
+	appendParams(&w, sys.Params)
+
+	w.Str(sys.Mol.Name)
+	atoms := make([]float64, 0, 5*len(sys.Mol.Atoms))
+	for _, a := range sys.Mol.Atoms {
+		atoms = append(atoms, a.Pos.X, a.Pos.Y, a.Pos.Z, a.Charge, a.Radius)
+	}
+	w.F64s(atoms)
+
+	w.I32(int32(sys.Surf.Level))
+	w.I32(int32(sys.Surf.Degree))
+	w.F64(sys.Surf.Area)
+	pts := make([]float64, 0, 7*len(sys.Surf.Points))
+	for _, p := range sys.Surf.Points {
+		pts = append(pts, p.Pos.X, p.Pos.Y, p.Pos.Z, p.Normal.X, p.Normal.Y, p.Normal.Z, p.Weight)
+	}
+	w.F64s(pts)
+
+	sys.Atoms.AppendTo(&w)
+	sys.QPts.AppendTo(&w)
+
+	sys.listsMu.Lock()
+	lists := sys.lists
+	sys.listsMu.Unlock()
+	if lists.matches(sys) {
+		w.Bool(true)
+		w.F64(lists.bornMAC)
+		w.F64(lists.epolFar)
+		appendIL(&w, lists.Born)
+		appendIL(&w, lists.Epol)
+		nodeC := make([]float64, 0, 3*len(lists.nodeC))
+		for _, c := range lists.nodeC {
+			nodeC = append(nodeC, c.X, c.Y, c.Z)
+		}
+		w.F64s(nodeC)
+		w.F64s(lists.nodeR)
+	} else {
+		w.Bool(false)
+	}
+
+	w.U32(crc32.Checksum(w.Bytes(), snapshotCRC))
+	return w.Bytes(), nil
+}
+
+// DecodeSnapshot reconstructs a System from EncodeSnapshot's output,
+// restoring the stamped parameters. Check order: magic/size and CRC
+// (ErrSnapshotCorrupt), version (ErrSnapshotVersion), parameter-stamp
+// self-consistency (ErrSnapshotParams), then structure. The octrees are
+// NOT rebuilt and the interaction lists (when present) NOT recompiled —
+// that is the point of checkpointing.
+func DecodeSnapshot(data []byte) (*System, error) {
+	if len(data) < len(snapshotMagic)+2+4 || string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrSnapshotCorrupt)
+	}
+	body := data[:len(data)-4]
+	r := wire.NewReader(data[len(snapshotMagic) : len(data)-4])
+	if v := r.U16(); v != snapshotVersion {
+		return nil, fmt.Errorf("%w: version %d, this build reads %d", ErrSnapshotVersion, v, snapshotVersion)
+	}
+	// CRC after the version gate: a future-version snapshot should report
+	// "too new", not "corrupt", even though its layout is unknown here.
+	stored := uint32(data[len(data)-4]) | uint32(data[len(data)-3])<<8 |
+		uint32(data[len(data)-2])<<16 | uint32(data[len(data)-1])<<24
+	if crc32.Checksum(body, snapshotCRC) != stored {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrSnapshotCorrupt)
+	}
+
+	stamp := r.U64()
+	params, err := decodeParams(r)
+	if err != nil {
+		return nil, err
+	}
+	if got := ParamsFingerprint(params); got != stamp {
+		return nil, fmt.Errorf("%w: stamp %016x does not cover stored parameters (%016x)",
+			ErrSnapshotParams, stamp, got)
+	}
+
+	mol, err := decodeMolecule(r)
+	if err != nil {
+		return nil, err
+	}
+	surf, err := decodeSurface(r)
+	if err != nil {
+		return nil, err
+	}
+
+	ta, err := octree.DecodeTree(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: atoms octree: %v", ErrSnapshotCorrupt, err)
+	}
+	tq, err := octree.DecodeTree(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: q-points octree: %v", ErrSnapshotCorrupt, err)
+	}
+	if err := checkGeometryConsistent(mol, surf, ta, tq); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+
+	var lists *CompiledLists
+	if r.Bool() {
+		cl := &CompiledLists{bornMAC: r.F64(), epolFar: r.F64()}
+		cl.Born = decodeIL(r)
+		cl.Epol = decodeIL(r)
+		nodeC := r.F64s()
+		cl.nodeR = r.F64s()
+		if r.Err() != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, r.Err())
+		}
+		if len(nodeC) != 3*ta.NumNodes() || len(cl.nodeR) != ta.NumNodes() {
+			return nil, fmt.Errorf("%w: node geometry arrays sized %d/%d for %d nodes",
+				ErrSnapshotCorrupt, len(nodeC), len(cl.nodeR), ta.NumNodes())
+		}
+		cl.nodeC = make([]geom.Vec3, ta.NumNodes())
+		for i := range cl.nodeC {
+			cl.nodeC[i] = geom.Vec3{X: nodeC[3*i], Y: nodeC[3*i+1], Z: nodeC[3*i+2]}
+		}
+		if err := validateIL("born", cl.Born, tq, ta); err != nil {
+			return nil, err
+		}
+		if err := validateIL("epol", cl.Epol, ta, ta); err != nil {
+			return nil, err
+		}
+		lists = cl
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, r.Err())
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSnapshotCorrupt, r.Remaining())
+	}
+
+	sys := assembleSystem(mol, surf, ta, tq, params)
+	if lists != nil {
+		// A list block whose opening criteria disagree with the stamped
+		// parameters can only be a crafted inconsistency: reject rather
+		// than silently recompiling on first use.
+		if !lists.matches(sys) {
+			return nil, fmt.Errorf("%w: list block compiled under bornMAC=%g epolFar=%g, parameters imply %g/%g",
+				ErrSnapshotCorrupt, lists.bornMAC, lists.epolFar, sys.bornMAC(), epolFarFactor(sys.Params.EpsEpol))
+		}
+		sys.lists = lists
+	}
+	return sys, nil
+}
+
+// decodeParams reads and range-checks the parameter section.
+func decodeParams(r *wire.Reader) (Params, error) {
+	var p Params
+	p.EpsBorn = r.F64()
+	p.EpsEpol = r.F64()
+	p.EpsSolv = r.F64()
+	p.Math = mathx.Mode(r.U8())
+	p.Kernel = BornKernel(r.U8())
+	p.Precision = Precision(r.U8())
+	p.Builder = octree.Builder(r.U8())
+	p.StrictBornMAC = r.Bool()
+	p.LeafCap = int(r.U32())
+	if r.Err() != nil {
+		return Params{}, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, r.Err())
+	}
+	if p.Math != mathx.Exact && p.Math != mathx.Approximate {
+		return Params{}, fmt.Errorf("%w: math mode %d", ErrSnapshotCorrupt, p.Math)
+	}
+	if p.Kernel != R6 && p.Kernel != R4 {
+		return Params{}, fmt.Errorf("%w: born kernel %d", ErrSnapshotCorrupt, p.Kernel)
+	}
+	if p.Precision < PrecisionExact || p.Precision > PrecisionF32 {
+		return Params{}, fmt.Errorf("%w: precision tier %d", ErrSnapshotCorrupt, p.Precision)
+	}
+	if p.Builder != octree.BuilderRecursive && p.Builder != octree.BuilderMorton {
+		return Params{}, fmt.Errorf("%w: octree builder %d", ErrSnapshotCorrupt, p.Builder)
+	}
+	if p.LeafCap <= 0 || p.LeafCap > 1<<20 {
+		return Params{}, fmt.Errorf("%w: leaf cap %d", ErrSnapshotCorrupt, p.LeafCap)
+	}
+	if err := p.Validate(); err != nil {
+		return Params{}, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	return p, nil
+}
+
+// decodeMolecule reads and validates the molecule section.
+func decodeMolecule(r *wire.Reader) (*molecule.Molecule, error) {
+	name := r.Str()
+	flat := r.F64s()
+	if r.Err() != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, r.Err())
+	}
+	if len(flat) == 0 || len(flat)%5 != 0 {
+		return nil, fmt.Errorf("%w: molecule payload of %d values", ErrSnapshotCorrupt, len(flat))
+	}
+	mol := &molecule.Molecule{Name: name, Atoms: make([]molecule.Atom, len(flat)/5)}
+	for i := range mol.Atoms {
+		f := flat[5*i:]
+		mol.Atoms[i] = molecule.Atom{
+			Pos:    geom.Vec3{X: f[0], Y: f[1], Z: f[2]},
+			Charge: f[3],
+			Radius: f[4],
+		}
+	}
+	if err := mol.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	return mol, nil
+}
+
+// decodeSurface reads and validates the surface section.
+func decodeSurface(r *wire.Reader) (*surface.Surface, error) {
+	s := &surface.Surface{
+		Level:  int(r.I32()),
+		Degree: int(r.I32()),
+		Area:   r.F64(),
+	}
+	flat := r.F64s()
+	if r.Err() != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, r.Err())
+	}
+	if len(flat) == 0 || len(flat)%7 != 0 {
+		return nil, fmt.Errorf("%w: surface payload of %d values", ErrSnapshotCorrupt, len(flat))
+	}
+	if !finite(s.Area) {
+		return nil, fmt.Errorf("%w: surface area %g", ErrSnapshotCorrupt, s.Area)
+	}
+	s.Points = make([]surface.Point, len(flat)/7)
+	for i := range s.Points {
+		f := flat[7*i:]
+		p := surface.Point{
+			Pos:    geom.Vec3{X: f[0], Y: f[1], Z: f[2]},
+			Normal: geom.Vec3{X: f[3], Y: f[4], Z: f[5]},
+			Weight: f[6],
+		}
+		if !p.Pos.IsFinite() || !p.Normal.IsFinite() || !finite(p.Weight) {
+			return nil, fmt.Errorf("%w: q-point %d not finite", ErrSnapshotCorrupt, i)
+		}
+		s.Points[i] = p
+	}
+	return s, nil
+}
+
+// validateIL re-establishes every structural invariant the batch kernels
+// rely on: rows are exactly the row tree's leaves in order, each CSR
+// offset array brackets its entry array, entries index atoms-tree nodes,
+// and every margin array has the length its entry array implies. A list
+// that passes cannot make any kernel index out of bounds.
+func validateIL(phase string, il *InteractionLists, rowTree, atomTree *octree.Tree) error {
+	leaves := rowTree.Leaves()
+	if len(il.Rows) != len(leaves) {
+		return fmt.Errorf("%w: %s lists have %d rows for %d leaves",
+			ErrSnapshotCorrupt, phase, len(il.Rows), len(leaves))
+	}
+	for i, row := range il.Rows {
+		if row != leaves[i] {
+			return fmt.Errorf("%w: %s list row %d is node %d, leaf order says %d",
+				ErrSnapshotCorrupt, phase, i, row, leaves[i])
+		}
+	}
+	nNodes := int32(atomTree.NumNodes())
+	checkCSR := func(name string, off, entries []int32) error {
+		if len(off) != len(il.Rows)+1 {
+			return fmt.Errorf("%w: %s %s offsets sized %d for %d rows",
+				ErrSnapshotCorrupt, phase, name, len(off), len(il.Rows))
+		}
+		if off[0] != 0 || int(off[len(off)-1]) != len(entries) {
+			return fmt.Errorf("%w: %s %s offsets span [%d,%d] over %d entries",
+				ErrSnapshotCorrupt, phase, name, off[0], off[len(off)-1], len(entries))
+		}
+		for i := 1; i < len(off); i++ {
+			if off[i] < off[i-1] {
+				return fmt.Errorf("%w: %s %s offsets decrease at row %d",
+					ErrSnapshotCorrupt, phase, name, i-1)
+			}
+		}
+		for k, e := range entries {
+			if e < 0 || e >= nNodes {
+				return fmt.Errorf("%w: %s %s entry %d references node %d of %d",
+					ErrSnapshotCorrupt, phase, name, k, e, nNodes)
+			}
+		}
+		return nil
+	}
+	if err := checkCSR("far", il.FarOff, il.Far); err != nil {
+		return err
+	}
+	if err := checkCSR("near", il.NearOff, il.Near); err != nil {
+		return err
+	}
+	if err := checkCSR("sym", il.SymOff, il.Sym); err != nil {
+		return err
+	}
+	if err := checkCSR("cede", il.CedeOff, il.Cede); err != nil {
+		return err
+	}
+	for _, m := range []struct {
+		name     string
+		got      int
+		want     int
+		optional bool
+	}{
+		{"far margins", len(il.FarMargin), len(il.Far), false},
+		{"far paths", len(il.FarPath), len(il.Far), false},
+		{"near margins", len(il.NearMargin), len(il.Near), true},
+		{"near paths", len(il.NearPath), len(il.Near), false},
+		{"sym paths", len(il.SymPath), len(il.Sym), false},
+		{"cede paths", len(il.CedePath), len(il.Cede), false},
+	} {
+		if m.got != m.want && !(m.optional && m.got == 0) {
+			return fmt.Errorf("%w: %s %s sized %d for %d entries",
+				ErrSnapshotCorrupt, phase, m.name, m.got, m.want)
+		}
+	}
+	return nil
+}
+
+// decodeIL reads one interaction-list structure.
+func decodeIL(r *wire.Reader) *InteractionLists {
+	return &InteractionLists{
+		Rows:       r.I32s(),
+		FarOff:     r.I32s(),
+		Far:        r.I32s(),
+		NearOff:    r.I32s(),
+		Near:       r.I32s(),
+		SymOff:     r.I32s(),
+		Sym:        r.I32s(),
+		CedeOff:    r.I32s(),
+		Cede:       r.I32s(),
+		FarMargin:  r.F64s(),
+		FarPath:    r.F64s(),
+		NearMargin: r.F64s(),
+		NearPath:   r.F64s(),
+		SymPath:    r.F64s(),
+		CedePath:   r.F64s(),
+	}
+}
+
+// appendIL writes one interaction-list structure.
+func appendIL(w *wire.Writer, il *InteractionLists) {
+	w.I32s(il.Rows)
+	w.I32s(il.FarOff)
+	w.I32s(il.Far)
+	w.I32s(il.NearOff)
+	w.I32s(il.Near)
+	w.I32s(il.SymOff)
+	w.I32s(il.Sym)
+	w.I32s(il.CedeOff)
+	w.I32s(il.Cede)
+	w.F64s(il.FarMargin)
+	w.F64s(il.FarPath)
+	w.F64s(il.NearMargin)
+	w.F64s(il.NearPath)
+	w.F64s(il.SymPath)
+	w.F64s(il.CedePath)
+}
+
+// checkGeometryConsistent verifies the trees index exactly the
+// molecule/surface geometry (slot s holds input point Index[s]).
+func checkGeometryConsistent(mol *molecule.Molecule, surf *surface.Surface, ta, tq *octree.Tree) error {
+	if ta.NumPoints() != mol.NumAtoms() {
+		return fmt.Errorf("atoms tree has %d points for %d atoms", ta.NumPoints(), mol.NumAtoms())
+	}
+	if tq.NumPoints() != surf.NumPoints() {
+		return fmt.Errorf("q-points tree has %d points for %d q-points", tq.NumPoints(), surf.NumPoints())
+	}
+	for slot, orig := range ta.Index {
+		if ta.Pts[slot] != mol.Atoms[orig].Pos {
+			return fmt.Errorf("atoms tree slot %d diverged from atom %d", slot, orig)
+		}
+	}
+	for slot, orig := range tq.Index {
+		if tq.Pts[slot] != surf.Points[orig].Pos {
+			return fmt.Errorf("q-points tree slot %d diverged from q-point %d", slot, orig)
+		}
+	}
+	return nil
+}
+
+// SaveSnapshot writes the system's snapshot to path atomically (tmp file
+// + rename), so a coordinator killed mid-checkpoint never leaves a
+// half-written file where the restart logic looks.
+func SaveSnapshot(path string, sys *System) error {
+	data, err := EncodeSnapshot(sys)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadSnapshot reads path and decodes it, verifying the stamp against
+// the parameters the caller is running under (ErrSnapshotParams on
+// mismatch — a checkpoint from a differently-configured run must not be
+// silently resumed).
+func LoadSnapshot(path string, want Params) (*System, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := DecodeSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	if ParamsFingerprint(sys.Params) != ParamsFingerprint(want) {
+		return nil, fmt.Errorf("%w: snapshot stamped %016x, run wants %016x",
+			ErrSnapshotParams, ParamsFingerprint(sys.Params), ParamsFingerprint(want))
+	}
+	return sys, nil
+}
+
+// LoadSnapshotAnyParams reads path and decodes it under whatever
+// parameters it was stamped with — for restore paths (worker processes,
+// engine reload) where the snapshot itself is the parameter source. The
+// stamp's self-consistency is still verified by DecodeSnapshot.
+func LoadSnapshotAnyParams(path string) (*System, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSnapshot(data)
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gbpolar/internal/geom"
+	"gbpolar/internal/mathx"
+)
+
+// restamp recomputes the CRC trailer after a deliberate patch, so table
+// tests can reach the checks BEHIND the checksum.
+func restamp(b []byte) []byte {
+	binary.LittleEndian.PutUint32(b[len(b)-4:], crc32.Checksum(b[:len(b)-4], crc32.MakeTable(crc32.Castagnoli)))
+	return b
+}
+
+func snapshotFixture(t testing.TB, withLists bool) (*System, []byte) {
+	t.Helper()
+	sys, _, _ := testSystem(t, 150, 7, DefaultParams())
+	if withLists {
+		sys.Lists(nil)
+	}
+	data, err := EncodeSnapshot(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, data
+}
+
+// A snapshot round-trips to a System that computes the bit-identical
+// energy — and when lists were compiled, they come back verbatim (pinned
+// by RecheckLists, which recompiles from geometry and diffs).
+func TestSnapshotRoundTrip(t *testing.T) {
+	sys, data := snapshotFixture(t, true)
+	got, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.lists == nil {
+		t.Fatal("decoded snapshot lost the compiled lists")
+	}
+	if err := got.RecheckLists(nil); err != nil {
+		t.Fatalf("decoded lists differ from a fresh compile: %v", err)
+	}
+	want, err := RunShared(sys, SharedOptions{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunShared(got, SharedOptions{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epol != want.Epol {
+		t.Fatalf("E_pol drifted through the snapshot: %.17g vs %.17g", res.Epol, want.Epol)
+	}
+	for i := range want.BornRadii {
+		if res.BornRadii[i] != want.BornRadii[i] {
+			t.Fatalf("Born radius %d drifted: %.17g vs %.17g", i, res.BornRadii[i], want.BornRadii[i])
+		}
+	}
+}
+
+// Without compiled lists the snapshot still restores the trees and
+// payloads; the first Compute call recompiles lists as usual.
+func TestSnapshotRoundTripNoLists(t *testing.T) {
+	sys, data := snapshotFixture(t, false)
+	got, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.lists != nil {
+		t.Fatal("snapshot without lists decoded with lists")
+	}
+	if got.Atoms.NumPoints() != sys.Atoms.NumPoints() || got.QPts.NumPoints() != sys.QPts.NumPoints() {
+		t.Fatalf("tree sizes drifted: %d/%d vs %d/%d",
+			got.Atoms.NumPoints(), got.QPts.NumPoints(), sys.Atoms.NumPoints(), sys.QPts.NumPoints())
+	}
+}
+
+// A snapshot of a re-posed system is refused: the trees no longer match
+// the stored molecule, so a restore would silently revert the pose.
+func TestSnapshotRefusesTransformedSystem(t *testing.T) {
+	sys, _, _ := testSystem(t, 80, 3, DefaultParams())
+	sys.ApplyRigidTransform(geom.Translate(geom.Vec3{X: 1, Y: 2, Z: 3}))
+	if _, err := EncodeSnapshot(sys); err == nil {
+		t.Fatal("EncodeSnapshot accepted a re-posed system")
+	}
+}
+
+// Every malformed input fails with the right sentinel and never panics.
+func TestSnapshotCorruptions(t *testing.T) {
+	_, data := snapshotFixture(t, true)
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"empty", func(b []byte) []byte { return nil }, ErrSnapshotCorrupt},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }, ErrSnapshotCorrupt},
+		{"truncated header", func(b []byte) []byte { return b[:10] }, ErrSnapshotCorrupt},
+		{"truncated half", func(b []byte) []byte { return b[:len(b)/2] }, ErrSnapshotCorrupt},
+		{"truncated tail", func(b []byte) []byte { return b[:len(b)-5] }, ErrSnapshotCorrupt},
+		{"bit flip", func(b []byte) []byte { b[len(b)/3] ^= 0x10; return b }, ErrSnapshotCorrupt},
+		{"crc flip", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }, ErrSnapshotCorrupt},
+		{"future version", func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[8:10], 99)
+			return restamp(b)
+		}, ErrSnapshotVersion},
+		{"stamp mismatch", func(b []byte) []byte {
+			b[10] ^= 0xff // first byte of the u64 parameter stamp
+			return restamp(b)
+		}, ErrSnapshotParams},
+		{"param out of range", func(b []byte) []byte {
+			// Math mode byte (after magic+version+stamp+3 float64 params).
+			b[8+2+8+24] = 7
+			return restamp(b)
+		}, ErrSnapshotCorrupt},
+		{"trailing garbage", func(b []byte) []byte {
+			b = append(b[:len(b)-4], 0xde, 0xad, 0xbe, 0xef)
+			b = append(b, 0, 0, 0, 0)
+			return restamp(b)
+		}, ErrSnapshotCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := append([]byte(nil), data...)
+			_, err := DecodeSnapshot(tc.mut(buf))
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// Save/Load round-trips through a file; loading under different
+// parameters is refused with ErrSnapshotParams.
+func TestSnapshotSaveLoadParams(t *testing.T) {
+	sys, _, _ := testSystem(t, 100, 11, DefaultParams())
+	path := filepath.Join(t.TempDir(), "ckpt.gbpsnap")
+	if err := SaveSnapshot(path, sys); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(path, sys.Params); err != nil {
+		t.Fatalf("load with matching params: %v", err)
+	}
+	other := DefaultParams()
+	other.EpsBorn = 0.5
+	if _, err := LoadSnapshot(path, other); !errors.Is(err, ErrSnapshotParams) {
+		t.Fatalf("load with different params: got %v, want ErrSnapshotParams", err)
+	}
+	// Parameters that default to the same values are the same run config.
+	if _, err := LoadSnapshot(path, Params{}); err != nil {
+		t.Fatalf("load with zero (defaulted) params: %v", err)
+	}
+	// A partial tmp file left by a killed writer is not the checkpoint.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("tmp file left behind: %v", err)
+	}
+	// The worker/reload path takes the snapshot's own parameters verbatim
+	// (the stamp still guards integrity; only the caller-side match is
+	// skipped).
+	got, err := LoadSnapshotAnyParams(path)
+	if err != nil {
+		t.Fatalf("LoadSnapshotAnyParams: %v", err)
+	}
+	if ParamsFingerprint(got.Params) != ParamsFingerprint(sys.Params) {
+		t.Fatal("LoadSnapshotAnyParams restored different parameters")
+	}
+}
+
+// The parameter fingerprint covers every result-determining knob and
+// ignores the debug recheck toggle.
+func TestParamsFingerprint(t *testing.T) {
+	base := DefaultParams()
+	if ParamsFingerprint(base) != ParamsFingerprint(Params{}) {
+		t.Fatal("defaulted params fingerprint differently from explicit defaults")
+	}
+	dbg := base
+	dbg.DebugCheckLists = true
+	if ParamsFingerprint(dbg) != ParamsFingerprint(base) {
+		t.Fatal("DebugCheckLists must not change the fingerprint")
+	}
+	muts := []func(*Params){
+		func(p *Params) { p.EpsBorn = 0.5 },
+		func(p *Params) { p.EpsEpol = 0.3 },
+		func(p *Params) { p.EpsSolv = 40 },
+		func(p *Params) { p.Math = mathx.Approximate },
+		func(p *Params) { p.Kernel = R4 },
+		func(p *Params) { p.StrictBornMAC = true },
+		func(p *Params) { p.LeafCap = 16 },
+		func(p *Params) { p.Precision = PrecisionLanes },
+	}
+	for i, mut := range muts {
+		p := base
+		mut(&p)
+		if ParamsFingerprint(p) == ParamsFingerprint(base) {
+			t.Fatalf("mutation %d not covered by the fingerprint", i)
+		}
+	}
+}
+
+// FuzzDecodeSnapshot pins the no-panic, no-overallocation property on
+// arbitrary input. Run with `go test -fuzz=FuzzDecodeSnapshot` to
+// explore; the seeds alone cover the interesting prefixes in CI.
+func FuzzDecodeSnapshot(f *testing.F) {
+	_, data := snapshotFixture(f, true)
+	f.Add([]byte{})
+	f.Add([]byte(snapshotMagic))
+	f.Add(data)
+	f.Add(data[:len(data)/2])
+	f.Add(data[:len(data)-4])
+	trunc := append([]byte(nil), data[:40]...)
+	f.Add(restamp(append(trunc, make([]byte, 4)...)))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		sys, err := DecodeSnapshot(b)
+		if err != nil {
+			if sys != nil {
+				t.Fatal("non-nil system alongside error")
+			}
+			return
+		}
+		if sys.Mol.NumAtoms() == 0 || sys.Surf.NumPoints() == 0 {
+			t.Fatal("decoded system with empty inputs")
+		}
+	})
+}

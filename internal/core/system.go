@@ -202,7 +202,16 @@ func NewSystem(mol *molecule.Molecule, surf *surface.Surface, params Params) (*S
 	if err != nil {
 		return nil, fmt.Errorf("core: q-points octree: %w", err)
 	}
+	return assembleSystem(mol, surf, ta, tq, params), nil
+}
 
+// assembleSystem derives the slot-ordered payloads, node aggregates and
+// SoA mirrors for ALREADY-BUILT octrees — the tail of NewSystem, split
+// out so the snapshot loader (snapshot.go) can reconstruct a System from
+// serialized trees without rebuilding them. params must already be
+// defaulted and validated, and the trees must index mol/surf (ta over
+// the atom positions, tq over the q-point positions).
+func assembleSystem(mol *molecule.Molecule, surf *surface.Surface, ta, tq *octree.Tree, params Params) *System {
 	s := &System{
 		Mol: mol, Surf: surf,
 		Atoms: ta, QPts: tq,
@@ -222,7 +231,7 @@ func NewSystem(mol *molecule.Molecule, surf *surface.Surface, params Params) (*S
 	s.QNodeWN = qNodeAggregates(tq, s.WN)
 	s.refreshAtomSoA()
 	s.refreshQPointSoA()
-	return s, nil
+	return s
 }
 
 // refreshAtomSoA rebuilds the flat atom-position and node-center arrays

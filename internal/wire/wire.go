@@ -1,0 +1,240 @@
+// Package wire provides the bounds-checked binary encoding shared by the
+// snapshot codec (internal/core), the octree serializer and the TCP
+// cluster transport's frame bodies (internal/cluster/net).
+//
+// All integers are little-endian; float64s travel as their IEEE-754 bit
+// patterns; variable-length arrays carry a uint32 count that the Reader
+// validates against the bytes actually remaining BEFORE allocating, so a
+// truncated, corrupted or adversarial input fails with ErrTruncated
+// instead of over-allocating or panicking — the property the snapshot
+// fuzz tests pin.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// ErrTruncated reports that a Reader ran out of input (or a length
+// prefix claimed more bytes than remain). Callers wrap it into their own
+// typed error.
+var ErrTruncated = errors.New("wire: truncated input")
+
+// Writer appends binary values to a growing buffer. The zero value is
+// ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the encoded buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Raw appends b verbatim (no length prefix).
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool appends a bool as one byte (0 or 1).
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U16 appends a little-endian uint16.
+func (w *Writer) U16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+
+// U32 appends a little-endian uint32.
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// I32 appends an int32 (two's complement over U32).
+func (w *Writer) I32(v int32) { w.U32(uint32(v)) }
+
+// I64 appends an int64 (two's complement over U64).
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// F64 appends a float64 as its IEEE-754 bits.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Str appends a uint32 length followed by the string bytes.
+func (w *Writer) Str(s string) {
+	w.U32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// F64s appends a uint32 count followed by the values.
+func (w *Writer) F64s(vs []float64) {
+	w.U32(uint32(len(vs)))
+	for _, v := range vs {
+		w.F64(v)
+	}
+}
+
+// I32s appends a uint32 count followed by the values.
+func (w *Writer) I32s(vs []int32) {
+	w.U32(uint32(len(vs)))
+	for _, v := range vs {
+		w.I32(v)
+	}
+}
+
+// U64s appends a uint32 count followed by the values.
+func (w *Writer) U64s(vs []uint64) {
+	w.U32(uint32(len(vs)))
+	for _, v := range vs {
+		w.U64(v)
+	}
+}
+
+// Reader consumes binary values from a buffer. After the first failure
+// every method returns zero values and Err reports ErrTruncated, so
+// decoders can read a whole structure and check the error once.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps b for reading. The buffer is not copied.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the sticky error (nil, or ErrTruncated).
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns how many bytes are left.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.Remaining() < n {
+		r.err = ErrTruncated
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// count reads a uint32 length prefix and validates count*elemSize against
+// the remaining bytes, the guard that keeps hostile inputs from forcing
+// huge allocations.
+func (r *Reader) count(elemSize int) int {
+	n := int(r.U32())
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n > r.Remaining()/elemSize {
+		r.err = ErrTruncated
+		return 0
+	}
+	return n
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads one byte as a bool (nonzero = true).
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// U16 reads a little-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I32 reads an int32.
+func (r *Reader) I32() int32 { return int32(r.U32()) }
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Str reads a length-prefixed string.
+func (r *Reader) Str() string {
+	n := r.count(1)
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// F64s reads a length-prefixed []float64. Returns nil for count 0.
+func (r *Reader) F64s() []float64 {
+	n := r.count(8)
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.F64()
+	}
+	return out
+}
+
+// I32s reads a length-prefixed []int32. Returns nil for count 0.
+func (r *Reader) I32s() []int32 {
+	n := r.count(4)
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = r.I32()
+	}
+	return out
+}
+
+// U64s reads a length-prefixed []uint64. Returns nil for count 0.
+func (r *Reader) U64s() []uint64 {
+	n := r.count(8)
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.U64()
+	}
+	return out
+}
