@@ -41,12 +41,14 @@ faults:
 	$(GO) test -run 'TestFaultMatrix|TestCrashAtEveryPhaseBoundary|TestChaosDeterministic' ./internal/core/
 	$(GO) test -run 'TestCrash|TestDrop|TestDelay|TestRecv|TestSend|TestBcastAndReduceDeadRoot|TestTypedSentinels|TestCollective' ./internal/cluster/
 
-## obs: the observability layer — registry under -race, span
-## nesting/ordering, timeline acceptance run, zero-alloc kernels, and
-## the <2% disabled-path overhead guard (DESIGN.md §8).
+## obs: the observability layer — registry + telemetry codec + flight
+## recorder under -race, the live endpoint smoke, span nesting/ordering,
+## timeline acceptance runs (including the merged 4-process net trace and
+## the endpoint wired through NetOptions), zero-alloc kernels, and the
+## <2% disabled-path overhead guard (DESIGN.md §8, §13).
 obs:
-	$(GO) test -race ./internal/obs/
-	$(GO) test -run 'TestSharedRunTrace|TestResilientTraceTimeline|TestKernelHotLoopZeroAllocs|TestDisabledObsOverhead' -v ./internal/core/
+	$(GO) test -race ./internal/obs/...
+	$(GO) test -run 'TestSharedRunTrace|TestResilientTraceTimeline|TestKernelHotLoopZeroAllocs|TestDisabledObsOverhead|TestNetTelemetryMergedTrace|TestNetObsEndpoint' -v ./internal/core/
 
 ## net: the real multi-process transport under the race detector — wire
 ## protocol, death/heal/rejoin, sentinel parity across transports, and

@@ -84,6 +84,7 @@ func main() {
 		netRespawn    = flag.Bool("net-respawn", true, "net: respawn each crashed worker once (elastic re-admission)")
 		netKillRank   = flag.Int("net-kill-rank", -1, "net chaos demo: worker rank to SIGKILL (-1 = none)")
 		netKillColl   = flag.Int("net-kill-collective", 0, "chaos: SIGKILL the process (worker: this one; net: -net-kill-rank's first launch) entering its Nth collective")
+		netTelemetry  = flag.Bool("net-telemetry", false, "worker: collect trace/metrics and ship telemetry batches to the coordinator (the net runner sets this on spawned workers when it is observing)")
 
 		// Observability and profiling.
 		verbose     = flag.Bool("v", false, "stream structured per-span progress lines (rank, phase, virtual clock) and print the span/metrics tables after the run")
@@ -91,6 +92,8 @@ func main() {
 		chromeOut   = flag.String("chrome", "", "write a chrome://tracing-compatible trace to this file")
 		metricsOut  = flag.String("metrics", "", "write the metrics snapshot as JSON to this file")
 		manifestOut = flag.String("manifest", "", "write the run manifest (config, seed, git, host) to this file")
+		obsAddr     = flag.String("obs-addr", "", "serve the live observability endpoint (/metrics Prometheus text, /healthz, /readyz, /debug/pprof) on this address (e.g. localhost:9090; port 0 = ephemeral)")
+		obsFlight   = flag.String("obs-flight", "", "crash flight recorder: dump the most recent trace events as JSONL into this directory on death detection, degradation, panic, or SIGTERM")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -104,9 +107,23 @@ func main() {
 		if *netRank < 0 || *netMembership == "" {
 			log.Fatal("-net-worker needs -net-rank and -net-membership")
 		}
+		// Telemetry: an observing worker ships its spans and metric
+		// deltas to the coordinator, which folds them into the merged
+		// cross-process timeline.
+		var wo *gbpolar.Observer
+		if *netTelemetry || *obsAddr != "" || *obsFlight != "" {
+			wo = gbpolar.NewObserver()
+		}
+		if wo != nil && *obsFlight != "" {
+			fr := gbpolar.NewFlightRecorder(0, *obsFlight)
+			wo.AttachFlight(fr)
+			fr.DumpOnSignal()
+		}
 		completed, err := gbpolar.RunNetWorker(*netMembership, *netRank, gbpolar.NetWorkerOptions{
 			StallTimeout:     *netStall,
 			KillAtCollective: *netKillColl,
+			Obs:              wo,
+			ObsAddr:          *obsAddr,
 		})
 		if err != nil {
 			log.Fatalf("worker rank %d: %v", *netRank, err)
@@ -135,8 +152,27 @@ func main() {
 	}
 
 	var o *gbpolar.Observer
-	if *verbose || *traceOut != "" || *chromeOut != "" || *metricsOut != "" {
+	if *verbose || *traceOut != "" || *chromeOut != "" || *metricsOut != "" ||
+		*obsAddr != "" || *obsFlight != "" {
 		o = gbpolar.NewObserver()
+	}
+	if o != nil && *obsFlight != "" {
+		fr := gbpolar.NewFlightRecorder(0, *obsFlight)
+		o.AttachFlight(fr)
+		fr.DumpOnSignal()
+		fmt.Printf("flight recorder: dumping last %d events to %s on fault or SIGTERM\n",
+			gbpolar.DefaultFlightEvents, *obsFlight)
+	}
+	if *obsAddr != "" && *runner != "net" {
+		// The net runner wires the endpoint itself (membership-backed
+		// health probes + the bound address published in the membership
+		// file); every other runner serves a standalone one here.
+		srv, err := gbpolar.ServeObs(*obsAddr, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("obs: serving http://%s/metrics (+/healthz, /readyz, /debug/pprof)\n", srv.Addr())
 	}
 	if *verbose {
 		// Stream every span close and instant as a structured progress
@@ -203,7 +239,8 @@ func main() {
 			th = 1
 		}
 		res, err = runNet(eng, *procs, th, *netMembership, *netCheckpoint,
-			*netStall, *netRespawn, *netKillRank, *netKillColl)
+			*netStall, *netRespawn, *netKillRank, *netKillColl,
+			o != nil, *obsAddr, *obsFlight)
 	case "naive":
 		start := time.Now()
 		e, radii := eng.ComputeNaive()
@@ -305,7 +342,8 @@ func main() {
 // as Procs-1 worker processes, optionally SIGKILLs one mid-run (the
 // chaos demo) and respawns crashed workers for elastic re-admission.
 func runNet(eng *gbpolar.Engine, procs, threads int, membership, checkpoint string,
-	stall time.Duration, respawn bool, killRank, killColl int) (*gbpolar.Result, error) {
+	stall time.Duration, respawn bool, killRank, killColl int,
+	telemetry bool, obsAddr, obsFlight string) (*gbpolar.Result, error) {
 	exe, err := os.Executable()
 	if err != nil {
 		return nil, err
@@ -324,6 +362,14 @@ func runNet(eng *gbpolar.Engine, procs, threads int, membership, checkpoint stri
 			"-net-rank", strconv.Itoa(rank),
 			"-net-membership", membership,
 			"-net-stall", stall.String(),
+		}
+		if telemetry {
+			// An observing coordinator wants the merged timeline, so
+			// every worker ships its telemetry too.
+			args = append(args, "-net-telemetry")
+		}
+		if obsFlight != "" {
+			args = append(args, "-obs-flight", obsFlight)
 		}
 		mu.Lock()
 		if killArmed && rank == killRank {
@@ -352,6 +398,8 @@ func runNet(eng *gbpolar.Engine, procs, threads int, membership, checkpoint stri
 		Spawn:          spawn,
 		RespawnDead:    respawn,
 		StallTimeout:   stall,
+		ObsAddr:        obsAddr,
+		FlightDir:      obsFlight,
 	})
 }
 

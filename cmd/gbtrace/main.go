@@ -8,6 +8,7 @@
 //
 //	gbtrace report trace.jsonl            # phase/imbalance breakdown
 //	gbtrace report -json trace.jsonl      # the full model as JSON
+//	gbtrace report r0.jsonl r1.jsonl ...  # merge per-process timelines
 //	gbtrace diff a.jsonl b.jsonl          # run-to-run stat deltas
 //	gbtrace diff -all a.jsonl b.jsonl     # include unchanged stats
 package main
@@ -38,10 +39,10 @@ func main() {
 		fs := flag.NewFlagSet("report", flag.ExitOnError)
 		asJSON := fs.Bool("json", false, "emit the full analysis as JSON")
 		fs.Parse(args[1:])
-		if fs.NArg() != 1 {
-			log.Fatal("usage: gbtrace report [-json] <trace.jsonl>")
+		if fs.NArg() < 1 {
+			log.Fatal("usage: gbtrace report [-json] <trace.jsonl>...")
 		}
-		a := analyzeFile(fs.Arg(0))
+		a := analyzeFiles(fs.Args())
 		var err error
 		if *asJSON {
 			err = a.WriteJSON(os.Stdout)
@@ -69,6 +70,23 @@ func main() {
 }
 
 func analyzeFile(path string) *analyze.Analysis {
+	return analyze.Analyze(readEvents(path))
+}
+
+// analyzeFiles merges one or more timelines into a single analysis.
+// A coordinator's merged trace is already multi-rank, but per-process
+// traces (one per worker) can be handed over together and are folded
+// into one model — events carry their rank, so concatenation is the
+// whole merge.
+func analyzeFiles(paths []string) *analyze.Analysis {
+	var events []obs.Event
+	for _, p := range paths {
+		events = append(events, readEvents(p)...)
+	}
+	return analyze.Analyze(events)
+}
+
+func readEvents(path string) []obs.Event {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -78,15 +96,17 @@ func analyzeFile(path string) *analyze.Analysis {
 	if err != nil {
 		log.Fatalf("%s: %v", path, err)
 	}
-	return analyze.FromTrace(t)
+	return t.Events()
 }
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `gbtrace — trace analytics for gbpolar timelines
 
 commands:
-  report [-json] <trace.jsonl>   per-phase wall/virtual breakdown, imbalance,
-                                 critical path, collective waits, recovery cost
+  report [-json] <trace.jsonl>...  per-phase wall/virtual breakdown, imbalance,
+                                   critical path, collective waits, recovery
+                                   cost; multiple files are merged into one
+                                   multi-process timeline
   diff [-all] <a.jsonl> <b.jsonl>  run-to-run stat deltas, biggest movers first
 
 produce traces with: gbpol -gen 5000 -runner resilient -procs 4 -trace run.jsonl

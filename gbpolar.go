@@ -30,6 +30,7 @@ import (
 	"gbpolar/internal/mathx"
 	"gbpolar/internal/molecule"
 	"gbpolar/internal/obs"
+	"gbpolar/internal/obs/serve"
 	"gbpolar/internal/octree"
 	"gbpolar/internal/surface"
 )
@@ -116,6 +117,34 @@ type Observer = obs.Obs
 
 // NewObserver returns an observer with tracing and metrics enabled.
 func NewObserver() *Observer { return obs.New() }
+
+// FlightRecorder re-exports the crash flight recorder: a fixed-size
+// lock-free ring of the most recent trace events, dumped to a
+// timestamped JSONL file on death detection, degradation, panic, or
+// SIGTERM. See DESIGN.md §13.
+type FlightRecorder = obs.FlightRecorder
+
+// DefaultFlightEvents is the default flight-recorder ring capacity.
+const DefaultFlightEvents = obs.DefaultFlightEvents
+
+// NewFlightRecorder returns a flight recorder keeping the last size
+// events (0 = DefaultFlightEvents), dumping into dir. Attach it with
+// Observer.AttachFlight.
+func NewFlightRecorder(size int, dir string) *FlightRecorder {
+	return obs.NewFlightRecorder(size, dir)
+}
+
+// ObsServer re-exports the live observability endpoint (/metrics in
+// Prometheus text format, /healthz, /readyz, /debug/pprof).
+type ObsServer = serve.Server
+
+// ServeObs starts the live observability endpoint for o on addr
+// (host:port; port 0 binds an ephemeral one — read it back from
+// Addr()). For net runs prefer NetRun.ObsAddr, which also wires
+// membership-backed health probes.
+func ServeObs(addr string, o *Observer) (*ObsServer, error) {
+	return serve.Start(addr, o, nil)
+}
 
 // Manifest re-exports the run manifest (config, seed, git describe, host
 // info) that makes results/ artifacts reproducible.
@@ -360,6 +389,16 @@ type NetRun struct {
 	RespawnDead bool
 	// StallTimeout bounds every collective round (0 = 2 minutes).
 	StallTimeout time.Duration
+	// ObsAddr, when non-empty, serves the live observability endpoint
+	// (/metrics, /healthz, /readyz, /debug/pprof) on this address; the
+	// bound address is published in the membership file. See DESIGN.md
+	// §13.
+	ObsAddr string
+	// FlightDir, when non-empty, attaches a crash flight recorder to the
+	// engine's observer: the most recent trace events are dumped to a
+	// timestamped JSONL file here on death detection, degradation, or
+	// panic.
+	FlightDir string
 }
 
 // ComputeNet runs the distributed algorithm across real OS processes
@@ -376,6 +415,8 @@ func (e *Engine) ComputeNet(ctx context.Context, nr NetRun) (*Result, error) {
 		Spawn:          nr.Spawn,
 		RespawnDead:    nr.RespawnDead,
 		StallTimeout:   nr.StallTimeout,
+		ObsAddr:        nr.ObsAddr,
+		FlightDir:      nr.FlightDir,
 		Obs:            e.obs,
 	})
 }

@@ -200,6 +200,10 @@ type FaultReport struct {
 	// (always 0 on the modeled in-process transport, which has no join
 	// path).
 	Rejoins int
+	// RespawnFailures counts respawn attempts that failed to launch a
+	// replacement process (elastic net transport only). A nonzero value
+	// means the run finished with fewer ranks than it could have.
+	RespawnFailures int
 	// RecoverySeconds is the virtual time charged to detection latency
 	// plus recomputation across all survivors.
 	RecoverySeconds float64
@@ -215,6 +219,9 @@ func (r *FaultReport) String() string {
 		r.Crashes, r.Drops, r.Retries, r.Delays, len(r.Detections), r.RecomputedRows, r.RecoverySeconds)
 	if r.Rejoins > 0 {
 		s += fmt.Sprintf("; %d rejoins", r.Rejoins)
+	}
+	if r.RespawnFailures > 0 {
+		s += fmt.Sprintf("; %d respawn failures", r.RespawnFailures)
 	}
 	if r.Degraded {
 		s += "; DEGRADED: " + r.DegradedReason

@@ -26,6 +26,14 @@ type Options struct {
 	DialTimeout time.Duration
 	// Obs, when non-nil, receives this worker's counters and gauges.
 	Obs *obs.Obs
+	// ShipTelemetry streams this worker's observability state (trace
+	// events plus metric deltas) to the coordinator as mTelemetry frames,
+	// flushed at every collective boundary, on Bye, and on a periodic
+	// ticker — so a SIGKILLed process has already shipped everything up
+	// to its last completed collective. Requires Obs.
+	ShipTelemetry bool
+	// TelemetryInterval is the periodic flush period (0 = 1s).
+	TelemetryInterval time.Duration
 
 	// KillAtCollective is a chaos hook: when > 0, the process SIGKILLs
 	// itself on entry to the Nth collective call (1-based) — a real,
@@ -60,6 +68,8 @@ type Comm struct {
 	opts         Options
 	fc           *frameConn
 	start        time.Time
+	// ship is the telemetry drainer (nil unless Options.ShipTelemetry).
+	ship *obs.Shipper
 
 	// Rejoin state from the welcome frame: how many collectives the run
 	// had completed when this worker was admitted, and the last
@@ -142,7 +152,7 @@ func dialOnce(addr string, rank int, opts Options, deadline time.Time) (*Comm, e
 			return nil, err
 		}
 		if typ == mPing {
-			if err := fc.writeFrame(mPong, nil); err != nil {
+			if err := fc.writeFrame(mPong, pongBody(opts.Obs)); err != nil {
 				fc.close()
 				return nil, err
 			}
@@ -182,8 +192,70 @@ func dialOnce(addr string, rank int, opts Options, deadline time.Time) (*Comm, e
 		inbox:           make(chan relayed, 1024),
 		readerDone:      make(chan struct{}),
 	}
+	if opts.ShipTelemetry && opts.Obs != nil {
+		c.ship = opts.Obs.NewShipper()
+	}
 	go c.readLoop()
+	if c.ship != nil {
+		go c.telemetryLoop()
+	}
 	return c, nil
+}
+
+// pongBody carries the worker's trace clock (µs since its trace origin)
+// so the coordinator can estimate the cross-process clock offset from
+// the heartbeat RTT midpoint; empty — and ignored by the coordinator —
+// when the worker runs without a trace.
+func pongBody(o *obs.Obs) []byte {
+	if o == nil || o.Trace == nil {
+		return nil
+	}
+	var w wire.Writer
+	w.F64(o.Trace.NowUS())
+	return w.Bytes()
+}
+
+// telemetryLoop is the periodic telemetry flush: collective boundaries
+// and Bye flush synchronously; the ticker covers a rank killed (or hung)
+// mid-phase, bounding how much observability a hard death can lose.
+func (c *Comm) telemetryLoop() {
+	iv := c.opts.TelemetryInterval
+	if iv <= 0 {
+		iv = time.Second
+	}
+	tick := time.NewTicker(iv)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.readerDone:
+			return
+		case <-tick.C:
+			c.flushTelemetry()
+		}
+	}
+}
+
+// flushTelemetry ships everything recorded since the previous flush.
+// Best effort: a write error is already surfacing through the broken
+// connection, and a frame lost with a dying socket only loses telemetry,
+// never correctness.
+func (c *Comm) flushTelemetry() {
+	if c.ship == nil {
+		return
+	}
+	payload := c.ship.Collect()
+	if len(payload) == 0 {
+		return
+	}
+	if o := c.opts.Obs; o != nil {
+		// Named distinctly from the coordinator's net.telemetry.frames:
+		// this very counter ships in the next batch and folds into the
+		// coordinator's registry, so sender and receiver tallies must not
+		// share a name.
+		o.Counter("net.telemetry.flushes").Inc()
+		o.Histogram("net.frame.telemetry_bytes").Observe(int64(len(payload)))
+	}
+	c.fc.writeFrame(mTelemetry, payload)
 }
 
 // CompletedRounds reports how many collectives the run had completed at
@@ -208,7 +280,7 @@ func (c *Comm) readLoop() {
 		}
 		switch typ {
 		case mPing:
-			if err := c.fc.writeFrame(mPong, nil); err != nil {
+			if err := c.fc.writeFrame(mPong, pongBody(c.opts.Obs)); err != nil {
 				c.markBroken(fmt.Errorf("net: rank %d: pong: %w", c.rank, cluster.ErrAborted))
 				close(c.readerDone)
 				return
@@ -243,9 +315,12 @@ func (c *Comm) brokenErr() error {
 	return c.broken
 }
 
-// Bye leaves gracefully: tells the coordinator this rank finished its
-// body (so its absence from later rounds is not a death) and closes.
+// Bye leaves gracefully: flushes any remaining telemetry, tells the
+// coordinator this rank finished its body (so its absence from later
+// rounds is not a death) and closes. Frames are delivered in order, so
+// the final telemetry batch is absorbed before the mBye is processed.
 func (c *Comm) Bye() {
+	c.flushTelemetry()
 	c.fc.writeFrame(mBye, nil)
 	c.fc.close()
 }
@@ -260,9 +335,12 @@ func (c *Comm) Rank() int    { return c.rank }
 func (c *Comm) Size() int    { return c.size }
 func (c *Comm) Threads() int { return c.threads }
 
-// Clock is wall time since admission: the real transport has no virtual
-// clock, compute charges are real elapsed time.
-func (c *Comm) Clock() float64 { return time.Since(c.start).Seconds() }
+// Clock returns obs.NoVirtual: the real transport has no virtual clock —
+// time passes by itself — so spans opened with it are wall-only, and the
+// merged cross-process timeline aligns every rank on the coordinator's
+// wall axis via the heartbeat offset estimates instead of per-process
+// since-admission pseudo-clocks.
+func (c *Comm) Clock() float64 { return obs.NoVirtual }
 
 func (c *Comm) OpsPerSecond() float64 { return c.opsPerSecond }
 func (c *Comm) Obs() *obs.Obs         { return c.opts.Obs }
@@ -332,15 +410,51 @@ func (c *Comm) hookCollective() {
 	}
 }
 
+// kindName maps a wire collective kind onto the span names the modeled
+// transport's rendezvous emits, so merged analytics attribute both
+// transports' collectives identically.
+func kindName(kind uint8) string {
+	switch kind {
+	case kindBarrier:
+		return "barrier"
+	case kindAllreduce:
+		return "allreduce"
+	case kindReduce:
+		return "reduce"
+	case kindBcast:
+		return "bcast"
+	case kindAllgatherv:
+		return "allgatherv"
+	}
+	return "collective"
+}
+
 // collective runs one deposit/response exchange. On success it adopts
 // the response's event log (which may have grown by joins admitted at
 // this boundary) and returns the combined result; on failure it adopts
-// the log (grown by deaths) and returns the mapped sentinel.
-func (c *Comm) collective(kind, op uint8, root int32, counts []int32, data []float64) ([]float64, error) {
+// the log (grown by deaths) and returns the mapped sentinel. Each
+// exchange emits a collective span (bytes, wait-vs-transfer split) and,
+// because the round boundary is where every rank's state is consistent,
+// triggers a telemetry flush on the way out.
+func (c *Comm) collective(kind, op uint8, root int32, counts []int32, data []float64) (res []float64, err error) {
 	c.hookCollective()
-	if err := c.brokenErr(); err != nil {
-		return nil, err
+	if berr := c.brokenErr(); berr != nil {
+		return nil, berr
 	}
+	o := c.opts.Obs
+	sp := o.Begin(c.rank, "collective", kindName(kind), obs.NoVirtual)
+	var nbytes, waitUS, xferUS float64
+	defer func() {
+		args := []obs.KV{obs.F("bytes", nbytes),
+			obs.F("wait_us", waitUS), obs.F("xfer_us", xferUS)}
+		if err != nil {
+			args = append(args, obs.F("error", 1))
+		}
+		sp.End(obs.NoVirtual, args...)
+		// Boundary flush: everything up to and including this collective
+		// ships before the next phase starts.
+		c.flushTelemetry()
+	}()
 	c.mu.Lock()
 	c.seq++
 	dep := deposit{
@@ -356,14 +470,25 @@ func (c *Comm) collective(kind, op uint8, root int32, counts []int32, data []flo
 	c.mu.Unlock()
 	var w wire.Writer
 	dep.append(&w)
-	if err := c.fc.writeFrame(mDeposit, w.Bytes()); err != nil {
+	nbytes = float64(len(w.Bytes()))
+	t0 := time.Now()
+	werr := c.fc.writeFrame(mDeposit, w.Bytes())
+	xferUS = float64(time.Since(t0)) / float64(time.Microsecond)
+	if o != nil {
+		o.Counter("net.frames.sent").Inc()
+		o.Counter("net.bytes.sent").Add(int64(len(w.Bytes())))
+		o.Histogram("net.frame.deposit_bytes").Observe(int64(len(w.Bytes())))
+	}
+	if werr != nil {
 		err = fmt.Errorf("net: rank %d: deposit: %w", c.rank, cluster.ErrAborted)
 		c.markBroken(err)
 		return nil, err
 	}
-	resp, err := c.await(c.roundCh, dep.seq, "collective")
-	if err != nil {
-		return nil, err
+	tWait := time.Now()
+	resp, aerr := c.await(c.roundCh, dep.seq, "collective")
+	waitUS = float64(time.Since(tWait)) / float64(time.Microsecond)
+	if aerr != nil {
+		return nil, aerr
 	}
 	r := wire.NewReader(resp.body)
 	seq := r.U64()

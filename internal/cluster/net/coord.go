@@ -83,6 +83,16 @@ type member struct {
 	pending  *frameConn // rejoin connection awaiting admission (stDead)
 	dep      *deposit   // in-flight contribution to the assembling round
 	lastPong time.Time
+
+	// Telemetry clock reconciliation: when the last heartbeat probe was
+	// written (coordinator trace-clock µs) and the best — lowest-RTT —
+	// estimate of the offset mapping this worker's trace clock onto the
+	// coordinator's (offset = probe midpoint − worker clock in the pong).
+	pingSentUS float64
+	awaitPong  bool
+	offsetUS   float64
+	bestRTTUS  float64
+	hasOffset  bool
 }
 
 // Coordinator is the rendezvous point of the TCP transport: it assembles
@@ -94,8 +104,9 @@ type member struct {
 // current event log — so a successful collective is a consensus on
 // membership.
 type Coordinator struct {
-	cfg Config
-	ln  gonet.Listener
+	cfg   Config
+	ln    gonet.Listener
+	start time.Time
 
 	mu              sync.Mutex
 	members         []*member
@@ -126,7 +137,7 @@ func Start(cfg Config) (*Coordinator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("net: coordinator listen: %w", err)
 	}
-	co := &Coordinator{cfg: cfg, ln: ln, hbStop: make(chan struct{})}
+	co := &Coordinator{cfg: cfg, ln: ln, start: time.Now(), hbStop: make(chan struct{})}
 	co.members = make([]*member, cfg.Size)
 	for r := range co.members {
 		co.members[r] = &member{rank: r}
@@ -167,6 +178,67 @@ func (co *Coordinator) FaultReport() cluster.FaultReport {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	return co.fstats
+}
+
+// NoteRespawnFailure meters a failed attempt to relaunch a dead worker
+// into the aggregated fault report — the respawner could not bring the
+// rank back, so the run continues permanently short-handed.
+func (co *Coordinator) NoteRespawnFailure(rank int) {
+	co.mu.Lock()
+	co.fstats.RespawnFailures++
+	co.mu.Unlock()
+	if o := co.cfg.Obs; o != nil {
+		o.Counter("net.respawn_failures").Inc()
+		o.Instant(rank, "fault", "respawn failed", obs.NoVirtual)
+	}
+}
+
+// ClusterState is a point-in-time membership summary — the health the
+// /readyz endpoint reports.
+type ClusterState struct {
+	// Size is the configured rank count.
+	Size int
+	// Live/Left/Dead count members by state; Ready when Live+Left ==
+	// Size (every founder joined, nobody currently dead).
+	Live, Left, Dead int
+	// Pending counts rejoin connections queued for the next boundary.
+	Pending int
+	// Rounds counts completed collectives.
+	Rounds int
+}
+
+// Ready reports whether the cluster is fully assembled and healthy.
+func (s ClusterState) Ready() bool { return s.Live+s.Left == s.Size }
+
+// State returns the current membership summary.
+func (co *Coordinator) State() ClusterState {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	st := ClusterState{Size: co.cfg.Size, Rounds: co.completedRounds}
+	for _, m := range co.members {
+		switch m.state {
+		case stUp:
+			st.Live++
+		case stLeft:
+			st.Left++
+		case stDead:
+			st.Dead++
+		}
+		if m.pending != nil {
+			st.Pending++
+		}
+	}
+	return st
+}
+
+// nowUS is the coordinator's telemetry clock: its own trace's wall axis
+// when observing, so worker offsets map absorbed events straight onto
+// the merged timeline's axis.
+func (co *Coordinator) nowUS() float64 {
+	if o := co.cfg.Obs; o != nil && o.Trace != nil {
+		return o.Trace.NowUS()
+	}
+	return float64(time.Since(co.start)) / float64(time.Microsecond)
 }
 
 // Close shuts the coordinator down: stops timers, closes the listener
@@ -297,7 +369,8 @@ func (co *Coordinator) admitLocked(m *member) {
 	co.fstats.Rejoins++
 	if o := co.cfg.Obs; o != nil {
 		o.Counter("net.rejoins").Inc()
-		o.Instant(m.rank, "membership", "rejoin", float64(co.completedRounds))
+		o.Instant(m.rank, "membership", "rejoin", obs.NoVirtual,
+			obs.F("round", float64(co.completedRounds)))
 	}
 }
 
@@ -327,14 +400,56 @@ func (co *Coordinator) serve(m *member, fc *frameConn) {
 			co.mu.Unlock()
 			return
 		}
+		if o := co.cfg.Obs; o != nil {
+			o.Counter("net.frames.recv").Inc()
+			o.Histogram("net.frame.recv_bytes").Observe(int64(len(body)))
+		}
 		r := wire.NewReader(body)
 		switch typ {
 		case mPong:
+			// The optional body is the worker's trace clock; RTT and the
+			// midpoint offset estimate feed the merged-timeline clock
+			// reconciliation (DESIGN.md §13).
+			workerClock := r.F64()
+			now := co.nowUS()
 			co.mu.Lock()
 			if m.fc == fc {
 				m.lastPong = time.Now()
+				if m.awaitPong {
+					m.awaitPong = false
+					rtt := now - m.pingSentUS
+					if o := co.cfg.Obs; o != nil {
+						o.Histogram("net.heartbeat.rtt_us").Observe(int64(rtt))
+					}
+					if r.Err() == nil && workerClock > 0 &&
+						(!m.hasOffset || rtt <= m.bestRTTUS) {
+						m.bestRTTUS = rtt
+						m.offsetUS = m.pingSentUS + rtt/2 - workerClock
+						m.hasOffset = true
+					}
+				}
 			}
 			co.mu.Unlock()
+		case mTelemetry:
+			o := co.cfg.Obs
+			if o == nil {
+				continue // plane disabled on the coordinator: drop
+			}
+			tl, terr := obs.DecodeTelemetry(body)
+			if terr != nil {
+				o.Counter("net.telemetry.decode_errors").Inc()
+				continue
+			}
+			o.Counter("net.telemetry.frames").Inc()
+			co.mu.Lock()
+			var off float64
+			if m.hasOffset {
+				off = m.offsetUS
+			}
+			co.mu.Unlock()
+			// Absorb outside co.mu: adopting events takes the trace
+			// mutex, which must stay a leaf lock.
+			o.Absorb(tl, m.rank, off)
 		case mDeposit:
 			dep, derr := decodeDeposit(r)
 			co.mu.Lock()
@@ -417,7 +532,13 @@ func (co *Coordinator) killLocked(m *member, reason string) {
 	co.fstats.Crashes++
 	if o := co.cfg.Obs; o != nil {
 		o.Counter("net.deaths").Inc()
-		o.Instant(m.rank, "membership", "death: "+reason, float64(co.completedRounds))
+		o.Instant(m.rank, "membership", "death: "+reason, obs.NoVirtual,
+			obs.F("round", float64(co.completedRounds)))
+		// Postmortem capture: a detected death dumps the flight ring —
+		// the merged recent-event record including everything the victim
+		// shipped before dying. Rare path, so the file IO under co.mu is
+		// acceptable and keeps the dump ordered before round teardown.
+		o.DumpFlight("death")
 	}
 	// Fail the round for everyone already deposited; late depositors are
 	// caught by the seenEvents staleness check.
@@ -763,6 +884,8 @@ func (co *Coordinator) heartbeatLoop() {
 				co.killLocked(m, "heartbeat timeout")
 				continue
 			}
+			m.pingSentUS = co.nowUS()
+			m.awaitPong = true
 			if err := m.fc.writeFrame(mPing, nil); err != nil {
 				co.disconnectLocked(m, m.fc)
 			}

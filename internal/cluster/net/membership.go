@@ -24,6 +24,11 @@ type Membership struct {
 	// replicated System every worker loads instead of rebuilding (and
 	// the state a restarted coordinator resumes from).
 	Checkpoint string `json:"checkpoint,omitempty"`
+	// ObsAddr is the coordinator's live observability endpoint
+	// (host:port serving /metrics, /healthz, /readyz, /debug/pprof),
+	// published here so operators and tests can find it when the
+	// coordinator bound an ephemeral port.
+	ObsAddr string `json:"obs_addr,omitempty"`
 }
 
 // WriteMembership atomically writes the membership file (temp + rename,

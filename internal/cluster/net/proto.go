@@ -47,6 +47,7 @@ const (
 	mRelayed                  // coord → worker: forwarded p2p message
 	mStats                    // worker → coord: recovery metering
 	mBye                      // worker → coord: graceful leave
+	mTelemetry                // worker → coord: encoded obs.Telemetry batch (fire-and-forget)
 )
 
 // Failure codes carried by mRoundFail/mSendErr, mapped back to the

@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"gbpolar/internal/cluster"
 	"gbpolar/internal/cluster/net"
 	"gbpolar/internal/obs"
+	"gbpolar/internal/obs/serve"
 )
 
 // This file is the multi-process runner: the elastic rank body of
@@ -56,6 +58,16 @@ type NetOptions struct {
 	JoinDeadline      time.Duration
 	// Obs receives the coordinator-side trace and metrics.
 	Obs *obs.Obs
+	// ObsAddr, when non-empty, starts the live observability endpoint
+	// (/metrics, /healthz, /readyz, /debug/pprof) on this address
+	// (host:port; port 0 binds an ephemeral one). The bound address is
+	// published in the membership file so scrapers can find it.
+	ObsAddr string
+	// FlightDir, when non-empty, attaches a crash flight recorder to Obs:
+	// the last obs.DefaultFlightEvents trace events are kept in a ring and
+	// dumped to a timestamped JSONL file in this directory on death
+	// detection, degradation, or panic.
+	FlightDir string
 }
 
 // RunNetCoordinator runs the full multi-process protocol from the
@@ -74,6 +86,22 @@ func RunNetCoordinator(ctx context.Context, sys *System, opts NetOptions) (*Resu
 		opts.Threads = 1
 	}
 	start := time.Now()
+
+	// Flight recorder: attach before any event is recorded so the ring
+	// mirrors the whole run (unless the caller attached one already), and
+	// dump it on a panic escaping the run — the postmortem an operator
+	// reads first.
+	if opts.FlightDir != "" && opts.Obs.Enabled() && opts.Obs.Flight() == nil {
+		opts.Obs.AttachFlight(obs.NewFlightRecorder(obs.DefaultFlightEvents, opts.FlightDir))
+	}
+	if opts.Obs.Flight() != nil {
+		defer func() {
+			if r := recover(); r != nil {
+				opts.Obs.DumpFlight("panic")
+				panic(r)
+			}
+		}()
+	}
 
 	// Compile the lists once on the coordinator so the checkpoint ships
 	// them: workers and a restarted coordinator deserialize instead of
@@ -98,11 +126,43 @@ func RunNetCoordinator(ctx context.Context, sys *System, opts NetOptions) (*Resu
 		return nil, err
 	}
 	defer co.Close()
+
+	// Live endpoint: membership-backed health plus the metrics registry.
+	// Started before the membership file is published so the bound
+	// address (ObsAddr may ask for port 0) rides along in it.
+	obsAddr := ""
+	if opts.ObsAddr != "" {
+		srv, serr := serve.Start(opts.ObsAddr, opts.Obs, func() serve.Health {
+			s := co.State()
+			h := serve.Health{
+				Ready:        s.Ready(),
+				Size:         s.Size,
+				LiveRanks:    s.Live,
+				Rounds:       s.Rounds,
+				PendingJoins: s.Pending,
+			}
+			switch {
+			case s.Dead > 0:
+				h.State = "degraded"
+			case !h.Ready && s.Rounds == 0:
+				h.State = "starting"
+			default:
+				h.State = "running"
+			}
+			return h
+		})
+		if serr != nil {
+			return nil, serr
+		}
+		defer srv.Close()
+		obsAddr = srv.Addr()
+	}
 	if err := net.WriteMembership(opts.MembershipPath, net.Membership{
 		Addr:       co.Addr(),
 		Size:       opts.Procs,
 		Threads:    opts.Threads,
 		Checkpoint: opts.CheckpointPath,
+		ObsAddr:    obsAddr,
 	}); err != nil {
 		return nil, err
 	}
@@ -131,7 +191,9 @@ func RunNetCoordinator(ctx context.Context, sys *System, opts NetOptions) (*Resu
 	}
 
 	// The coordinator computes as rank 0 over loopback: same transport,
-	// same rank body, no privileged path.
+	// same rank body, no privileged path. Rank 0 shares the coordinator's
+	// Obs, so it must NOT ship telemetry — its events are already in the
+	// merged trace, and shipping would duplicate every one of them.
 	var out *ElasticOut
 	c, err := net.Dial(co.Addr(), 0, net.Options{
 		StallTimeout: opts.StallTimeout,
@@ -144,6 +206,18 @@ func RunNetCoordinator(ctx context.Context, sys *System, opts NetOptions) (*Resu
 			c.Bye()
 		} else {
 			c.Close()
+		}
+	}
+	if err == nil && opts.Obs.Enabled() {
+		// Telemetry drain: workers flush their final batch right before
+		// their Bye, but those frames race the teardown below. Wait
+		// (briefly, bounded) for the surviving ranks to leave so the
+		// merged timeline is complete for clean runs. The poll is fine-
+		// grained because this wait lands inside the measured wall time
+		// of observed runs (gbbench -exp obs).
+		deadline := time.Now().Add(2 * time.Second)
+		for co.State().Live > 0 && time.Now().Before(deadline) {
+			time.Sleep(500 * time.Microsecond)
 		}
 	}
 	fr := co.FaultReport()
@@ -184,7 +258,10 @@ func RunNetCoordinator(ctx context.Context, sys *System, opts NetOptions) (*Resu
 	}
 	// Degradation: the distributed run cannot continue (too few live
 	// ranks or a stalled protocol); fall back to the shared runner and
-	// report why, exactly like RunDistributedResilient.
+	// report why, exactly like RunDistributedResilient. Dump the flight
+	// ring first — degradation is exactly the moment an operator wants
+	// the recent-event record.
+	opts.Obs.DumpFlight("degraded")
 	shared, serr := RunShared(sys, SharedOptions{
 		Threads:      opts.Threads,
 		OpsPerSecond: CalibratedOpsPerSecond(),
@@ -221,8 +298,12 @@ func respawnLoop(co *net.Coordinator, opts NetOptions, done <-chan struct{}) {
 				continue
 			}
 			respawned[r] = true
-			if err := opts.Spawn(r); err != nil && opts.Obs != nil {
-				opts.Obs.Counter("net.respawn_failures").Inc()
+			if err := opts.Spawn(r); err != nil {
+				// A failed respawn means the run finishes short-handed:
+				// always account it on the fault report and log it, not
+				// only when an observer happens to be attached.
+				co.NoteRespawnFailure(r)
+				slog.Warn("net: respawn failed", "rank", r, "err", err)
 			}
 		}
 	}
@@ -239,8 +320,16 @@ type NetWorkerOptions struct {
 	// KillAtCollective is the chaos hook: SIGKILL this process entering
 	// its Nth collective (0 = off). See net.Options.KillAtCollective.
 	KillAtCollective int
-	// Obs receives the worker-side trace and metrics.
+	// Obs receives the worker-side trace and metrics. When set, the
+	// worker ships telemetry batches (spans + metric deltas) to the
+	// coordinator for the merged cross-process timeline.
 	Obs *obs.Obs
+	// ObsAddr, when non-empty, serves this worker's own live endpoint
+	// (always-ready /readyz — a worker has no membership to wait for).
+	ObsAddr string
+	// FlightDir, when non-empty, attaches a crash flight recorder (see
+	// NetOptions.FlightDir).
+	FlightDir string
 }
 
 // RunNetWorker is the worker-process entry point: it waits for the
@@ -252,6 +341,18 @@ type NetWorkerOptions struct {
 func RunNetWorker(membershipPath string, rank int, opts NetWorkerOptions) (*ElasticOut, error) {
 	if opts.JoinBudget <= 0 {
 		opts.JoinBudget = 30 * time.Second
+	}
+	if opts.FlightDir != "" && opts.Obs.Enabled() && opts.Obs.Flight() == nil {
+		opts.Obs.AttachFlight(obs.NewFlightRecorder(obs.DefaultFlightEvents, opts.FlightDir))
+	}
+	if opts.ObsAddr != "" {
+		srv, serr := serve.Start(opts.ObsAddr, opts.Obs, func() serve.Health {
+			return serve.Health{State: "worker", Ready: true}
+		})
+		if serr != nil {
+			return nil, serr
+		}
+		defer srv.Close()
 	}
 	m, err := net.WaitMembership(membershipPath, opts.JoinBudget)
 	if err != nil {
@@ -275,6 +376,7 @@ func RunNetWorker(membershipPath string, rank int, opts NetWorkerOptions) (*Elas
 		StallTimeout:     opts.StallTimeout,
 		DialTimeout:      opts.JoinBudget,
 		Obs:              opts.Obs,
+		ShipTelemetry:    opts.Obs.Enabled(),
 		KillAtCollective: opts.KillAtCollective,
 	})
 	if err != nil {
@@ -286,6 +388,7 @@ func RunNetWorker(membershipPath string, rank int, opts NetWorkerOptions) (*Elas
 	}
 	out, err := RunElasticRank(sys, c, c.CompletedRounds()+1, seed)
 	if err != nil {
+		opts.Obs.DumpFlight("worker-error")
 		c.Close()
 		return nil, err
 	}

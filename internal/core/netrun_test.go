@@ -12,6 +12,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"gbpolar/internal/obs"
 )
 
 // netPaths returns fresh membership/checkpoint paths for one run.
@@ -100,10 +102,17 @@ func TestNetWorkerHelper(t *testing.T) {
 	}
 	rank, _ := strconv.Atoi(os.Getenv("GBPOL_NET_RANK"))
 	kill, _ := strconv.Atoi(os.Getenv("GBPOL_NET_KILL"))
+	var wo *obs.Obs
+	if os.Getenv("GBPOL_NET_TELEMETRY") == "1" {
+		// An observing worker ships telemetry; the chaos driver asserts
+		// the SIGKILLed rank's spans survive in the merged trace.
+		wo = obs.New()
+	}
 	_, err := RunNetWorker(os.Getenv("GBPOL_NET_MEMBERSHIP"), rank, NetWorkerOptions{
 		StallTimeout:     60 * time.Second,
 		JoinBudget:       30 * time.Second,
 		KillAtCollective: kill,
+		Obs:              wo,
 	})
 	if err != nil {
 		// A respawned-too-late worker (run already over) exits non-zero;
@@ -128,7 +137,9 @@ func TestNetChaosSIGKILL(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(77))
 	victim := 1 + rng.Intn(3)   // ranks 1..3 (0 is the coordinator)
-	killColl := 1 + rng.Intn(3) // one of the three collective boundaries
+	killColl := 2 + rng.Intn(2) // collective 2 or 3: the victim completes
+	// at least one collective first, so the merged trace must hold its
+	// boundary-flushed spans from before the SIGKILL.
 	t.Logf("chaos: SIGKILL rank %d entering collective %d", victim, killColl)
 
 	sys, _, _ := testSystem(t, atoms, 33, DefaultParams())
@@ -147,6 +158,7 @@ func TestNetChaosSIGKILL(t *testing.T) {
 			"GBPOL_NET_HELPER=1",
 			"GBPOL_NET_RANK="+strconv.Itoa(rank),
 			"GBPOL_NET_MEMBERSHIP="+membership,
+			"GBPOL_NET_TELEMETRY=1",
 		)
 		mu.Lock()
 		if killArmed && rank == victim {
@@ -175,6 +187,8 @@ func TestNetChaosSIGKILL(t *testing.T) {
 		}
 	})
 
+	coObs := obs.New()
+	flightDir := filepath.Join(t.TempDir(), "flight")
 	res, err := RunNetCoordinator(context.Background(), sys, NetOptions{
 		Procs:             4,
 		MembershipPath:    membership,
@@ -183,6 +197,8 @@ func TestNetChaosSIGKILL(t *testing.T) {
 		RespawnDead:       true,
 		StallTimeout:      60 * time.Second,
 		HeartbeatInterval: 50 * time.Millisecond,
+		Obs:               coObs,
+		FlightDir:         flightDir,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -201,6 +217,32 @@ func TestNetChaosSIGKILL(t *testing.T) {
 	}
 	if e := relErr(res.Epol, want.Epol); e > 1e-12 {
 		t.Fatalf("chaos E_pol %.17g vs shared %.17g (rel %g)", res.Epol, want.Epol, e)
+	}
+
+	// The observability plane under chaos: the death (or degradation)
+	// dumped the coordinator's flight ring.
+	dumps, err := filepath.Glob(filepath.Join(flightDir, "flight-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dumps) == 0 {
+		t.Fatalf("no flight-recorder dump in %s after a detected crash", flightDir)
+	}
+	// And the victim's boundary-flushed telemetry survived the SIGKILL:
+	// every phase completed before collective killColl was shipped, so
+	// the merged trace holds at least killColl-1 of the victim's phase
+	// spans (the respawned incarnation adds the rest on a clean heal).
+	if !fr.Degraded && killColl > 1 {
+		victimPhases := 0
+		for _, ev := range coObs.Trace.Events() {
+			if ev.Rank == victim && ev.Cat == "phase" {
+				victimPhases++
+			}
+		}
+		if victimPhases < killColl-1 {
+			t.Fatalf("merged trace holds %d phase spans for killed rank %d, want >= %d",
+				victimPhases, victim, killColl-1)
+		}
 	}
 }
 

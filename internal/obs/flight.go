@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// FlightRecorder keeps the most recent trace events in a fixed-size
+// lock-free ring — the crash flight recorder. Recording is a single
+// atomic fetch-add plus a pointer store, cheap enough to mirror every
+// event of a live run; Dump writes the ring to a timestamped JSONL file
+// (the same schema as Trace.WriteJSONL, readable by ReadJSONL and
+// gbtrace) when something goes wrong: a detected death, a degradation, a
+// panic, or SIGTERM. Attach to an observer with Obs.AttachFlight.
+//
+// The ring trades exactness for being wait-free: a reader racing writers
+// can observe a slot from the previous lap, so Dump output is the
+// *approximately* last N events — which is precisely what a postmortem
+// needs.
+type FlightRecorder struct {
+	dir   string
+	slots []atomic.Pointer[Event]
+	pos   atomic.Uint64
+}
+
+// DefaultFlightEvents is the ring capacity used when size <= 0.
+const DefaultFlightEvents = 4096
+
+// NewFlightRecorder returns a ring holding the last size events (size <=
+// 0 uses DefaultFlightEvents); dumps are written into dir (created on
+// first dump).
+func NewFlightRecorder(size int, dir string) *FlightRecorder {
+	if size <= 0 {
+		size = DefaultFlightEvents
+	}
+	return &FlightRecorder{dir: dir, slots: make([]atomic.Pointer[Event], size)}
+}
+
+// Record files one event into the ring, overwriting the oldest once
+// full. Safe for any number of concurrent writers; no-op on nil.
+func (f *FlightRecorder) Record(ev Event) {
+	if f == nil {
+		return
+	}
+	i := f.pos.Add(1) - 1
+	f.slots[i%uint64(len(f.slots))].Store(&ev)
+}
+
+// Events returns the ring contents, oldest first. Under concurrent
+// writers the snapshot is approximate (see the type comment); after
+// writers quiesce it is exactly the last min(recorded, size) events in
+// record order.
+func (f *FlightRecorder) Events() []Event {
+	if f == nil {
+		return nil
+	}
+	n := uint64(len(f.slots))
+	end := f.pos.Load()
+	start := uint64(0)
+	if end > n {
+		start = end - n
+	}
+	out := make([]Event, 0, end-start)
+	for i := start; i < end; i++ {
+		if p := f.slots[i%n].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out
+}
+
+// Dump writes the ring to dir/flight-<reason>-<pid>-<unixnano>.jsonl and
+// returns the path. The file is one JSON event per line — loadable with
+// ReadJSONL, analyzable with gbtrace. Nil-safe (returns "" with no
+// error).
+func (f *FlightRecorder) Dump(reason string) (string, error) {
+	if f == nil {
+		return "", nil
+	}
+	if err := os.MkdirAll(f.dir, 0o755); err != nil {
+		return "", fmt.Errorf("obs: flight dump: %w", err)
+	}
+	path := filepath.Join(f.dir, fmt.Sprintf("flight-%s-%d-%d.jsonl",
+		sanitizeReason(reason), os.Getpid(), time.Now().UnixNano()))
+	file, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("obs: flight dump: %w", err)
+	}
+	bw := bufio.NewWriter(file)
+	enc := json.NewEncoder(bw)
+	for _, ev := range f.Events() {
+		if err := enc.Encode(&ev); err != nil {
+			file.Close()
+			return "", fmt.Errorf("obs: flight dump: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		file.Close()
+		return "", fmt.Errorf("obs: flight dump: %w", err)
+	}
+	if err := file.Close(); err != nil {
+		return "", fmt.Errorf("obs: flight dump: %w", err)
+	}
+	return path, nil
+}
+
+// sanitizeReason keeps dump filenames shell- and glob-friendly.
+func sanitizeReason(s string) string {
+	if s == "" {
+		return "dump"
+	}
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			b[i] = '-'
+		}
+	}
+	return string(b)
+}
+
+// DumpOnSignal installs a handler that dumps the ring when any of the
+// given signals arrives (SIGTERM by default), then re-raises the signal
+// with the default disposition so the process still terminates with the
+// conventional exit status.
+func (f *FlightRecorder) DumpOnSignal(sigs ...os.Signal) {
+	if f == nil {
+		return
+	}
+	if len(sigs) == 0 {
+		sigs = []os.Signal{syscall.SIGTERM}
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, sigs...)
+	go func() {
+		s := <-ch
+		f.Dump(s.String())
+		signal.Stop(ch)
+		if sig, ok := s.(syscall.Signal); ok {
+			syscall.Kill(os.Getpid(), sig)
+		} else {
+			os.Exit(1)
+		}
+	}()
+}

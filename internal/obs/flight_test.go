@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// After wraparound the ring holds exactly the last size events, oldest
+// first.
+func TestFlightWraparound(t *testing.T) {
+	fr := NewFlightRecorder(8, t.TempDir())
+	for i := 0; i < 20; i++ {
+		fr.Record(Event{Name: fmt.Sprintf("e%d", i)})
+	}
+	evs := fr.Events()
+	if len(evs) != 8 {
+		t.Fatalf("ring holds %d events, want 8", len(evs))
+	}
+	for i, ev := range evs {
+		if want := fmt.Sprintf("e%d", 12+i); ev.Name != want {
+			t.Fatalf("slot %d = %q, want %q", i, ev.Name, want)
+		}
+	}
+}
+
+// Fewer events than capacity: everything is retained in order.
+func TestFlightUnderfill(t *testing.T) {
+	fr := NewFlightRecorder(64, t.TempDir())
+	for i := 0; i < 5; i++ {
+		fr.Record(Event{Name: fmt.Sprintf("e%d", i)})
+	}
+	evs := fr.Events()
+	if len(evs) != 5 || evs[0].Name != "e0" || evs[4].Name != "e4" {
+		t.Fatalf("underfilled ring: %d events, first %q", len(evs), evs[0].Name)
+	}
+}
+
+// Concurrent writers (with a racing reader) must be data-race-free and
+// the ring must be exact again once writers quiesce. Run under -race.
+func TestFlightConcurrentWriters(t *testing.T) {
+	fr := NewFlightRecorder(128, t.TempDir())
+	const writers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				fr.Record(Event{Name: "w", Rank: w, WallUS: float64(i)})
+			}
+		}(w)
+	}
+	// A reader racing the writers: the snapshot is approximate but must
+	// never crash or return more than the capacity.
+	for i := 0; i < 20; i++ {
+		if n := len(fr.Events()); n > 128 {
+			t.Fatalf("racing snapshot returned %d events (> capacity)", n)
+		}
+	}
+	wg.Wait()
+	if n := len(fr.Events()); n != 128 {
+		t.Fatalf("quiesced ring holds %d events, want 128", n)
+	}
+	// Post-quiesce writes are exact again.
+	for i := 0; i < 3; i++ {
+		fr.Record(Event{Name: fmt.Sprintf("tail%d", i)})
+	}
+	evs := fr.Events()
+	if got := evs[len(evs)-1].Name; got != "tail2" {
+		t.Fatalf("newest event %q, want tail2", got)
+	}
+}
+
+// Dump writes ReadJSONL-compatible output and sanitizes the reason into
+// the filename; events recorded via an attached observer land in the
+// ring automatically.
+func TestFlightDumpRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	o := New()
+	o.AttachFlight(NewFlightRecorder(16, dir))
+
+	sp := o.Begin(2, "phase", "born", NoVirtual)
+	sp.End(NoVirtual, F("bytes", 64))
+	o.Instant(1, "membership", "death: heartbeat timeout", NoVirtual)
+
+	path, err := o.DumpFlight("death: heartbeat timeout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Base(path)
+	if !strings.HasPrefix(base, "flight-death--heartbeat-timeout-") {
+		t.Fatalf("unsanitized dump name %q", base)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := ReadJSONL(f)
+	if err != nil {
+		t.Fatalf("dump is not ReadJSONL-compatible: %v", err)
+	}
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("dump holds %d events, want 2", len(evs))
+	}
+	var names []string
+	for _, ev := range evs {
+		names = append(names, ev.Name)
+	}
+	if !strings.Contains(strings.Join(names, ","), "born") {
+		t.Fatalf("span missing from dump: %v", names)
+	}
+}
+
+// A nil recorder and a detached observer are fully inert.
+func TestFlightNilSafe(t *testing.T) {
+	var fr *FlightRecorder
+	fr.Record(Event{})
+	if fr.Events() != nil {
+		t.Fatal("nil recorder returned events")
+	}
+	if p, err := fr.Dump("x"); p != "" || err != nil {
+		t.Fatalf("nil Dump = %q, %v", p, err)
+	}
+	var o *Obs
+	if p, err := o.DumpFlight("x"); p != "" || err != nil {
+		t.Fatalf("nil observer DumpFlight = %q, %v", p, err)
+	}
+}

@@ -99,6 +99,28 @@ func (h *Histogram) Observe(v int64) {
 	}
 }
 
+// absorb folds a shipped delta from another process's histogram into
+// this one: bucket counts, count and sum add; max folds by CAS (it ships
+// as an absolute value, so re-absorbing is idempotent).
+func (h *Histogram) absorb(d *HistogramDelta) {
+	if h == nil {
+		return
+	}
+	for _, b := range d.Buckets {
+		if int(b.Idx) < histBuckets {
+			h.buckets[b.Idx].Add(b.N)
+		}
+	}
+	h.count.Add(d.Count)
+	h.sum.Add(d.Sum)
+	for {
+		cur := h.max.Load()
+		if d.Max <= cur || h.max.CompareAndSwap(cur, d.Max) {
+			return
+		}
+	}
+}
+
 // Count returns the number of observations (0 on nil).
 func (h *Histogram) Count() int64 {
 	if h == nil {

@@ -34,6 +34,11 @@ package obs
 type Obs struct {
 	Trace   *Trace
 	Metrics *Registry
+
+	// flight is the attached crash flight recorder (see AttachFlight).
+	// Set once before the run starts; reads during the run are then safe
+	// without synchronization.
+	flight *FlightRecorder
 }
 
 // New returns an observer with both tracing and metrics enabled.
@@ -43,6 +48,34 @@ func New() *Obs {
 
 // Enabled reports whether the observer collects anything.
 func (o *Obs) Enabled() bool { return o != nil }
+
+// AttachFlight wires a flight recorder into the observer: every trace
+// event is mirrored into its ring, and DumpFlight writes the ring out.
+// Attach before the run starts. Nil-safe.
+func (o *Obs) AttachFlight(fr *FlightRecorder) {
+	if o == nil {
+		return
+	}
+	o.flight = fr
+	o.Trace.SetFlight(fr)
+}
+
+// Flight returns the attached flight recorder (nil when none).
+func (o *Obs) Flight() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.flight
+}
+
+// DumpFlight dumps the attached recorder's ring (see
+// FlightRecorder.Dump); a no-op returning "" when none is attached.
+func (o *Obs) DumpFlight(reason string) (string, error) {
+	if o == nil || o.flight == nil {
+		return "", nil
+	}
+	return o.flight.Dump(reason)
+}
 
 // Begin opens a span on the bundled trace (inert when o or o.Trace is
 // nil). virtClock is the rank's virtual clock in seconds, or NoVirtual

@@ -1,0 +1,180 @@
+// Package serve is the live endpoint of the observability plane: an
+// opt-in HTTP listener exposing the lock-free metrics registry in
+// Prometheus text exposition format (/metrics), liveness and readiness
+// probes carrying cluster membership state (/healthz, /readyz), and the
+// standard Go profiling surface (/debug/pprof). Both the coordinator and
+// workers can serve it (gbpol -obs-addr); nothing here is on a hot path —
+// every handler snapshots on demand.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	gonet "net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+
+	"gbpolar/internal/obs"
+)
+
+// Health is the cluster-state summary behind /healthz and /readyz.
+type Health struct {
+	// State names the process's phase: "starting", "running",
+	// "degraded", "worker", "done".
+	State string `json:"state"`
+	// Ready reports whether the process is fully operational — for a
+	// coordinator, every founding rank joined and none is dead.
+	Ready bool `json:"ready"`
+	// Size/LiveRanks describe membership (coordinator only).
+	Size      int `json:"size,omitempty"`
+	LiveRanks int `json:"live_ranks,omitempty"`
+	// Rounds counts completed collectives.
+	Rounds int `json:"rounds_completed"`
+	// PendingJoins counts rejoiners queued for the next boundary.
+	PendingJoins int `json:"pending_joins,omitempty"`
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	ln  gonet.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (host:port; port 0 binds an ephemeral one — read
+// the result from Addr) and serves the endpoint surface for o. health,
+// when non-nil, backs /healthz and /readyz; a nil health makes /readyz
+// always ready (a standalone process with no membership to wait for).
+func Start(addr string, o *obs.Obs, health func() Health) (*Server, error) {
+	ln, err := gonet.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: serve listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteMetrics(w, o)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeHealth(w, health, false)
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		writeHealth(w, health, true)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port) — the source of
+// truth when Start was given port 0.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// writeHealth renders /healthz (alive — always 200) and /readyz (503
+// until Ready). Both carry the JSON health body so an operator's curl
+// shows membership state, live ranks and completed rounds.
+func writeHealth(w http.ResponseWriter, health func() Health, readiness bool) {
+	h := Health{State: "running", Ready: true}
+	if health != nil {
+		h = health()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if readiness && !h.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(h)
+}
+
+// WriteMetrics renders the observer's registry in Prometheus text
+// exposition format: counters and gauges as single samples, histograms
+// as cumulative le-labeled buckets plus _sum and _count. Metric names
+// are sanitized (dots → underscores) and namespaced under gbpol_.
+func WriteMetrics(w io.Writer, o *obs.Obs) error {
+	var snap obs.MetricsSnapshot
+	if o != nil && o.Metrics != nil {
+		snap = o.Metrics.Snapshot()
+	}
+	// gbpol_up pins the scrape alive even on an empty registry.
+	if _, err := fmt.Fprintf(w, "# TYPE gbpol_up gauge\ngbpol_up 1\n"); err != nil {
+		return err
+	}
+	if o != nil && o.Trace != nil {
+		fmt.Fprintf(w, "# TYPE gbpol_trace_events gauge\ngbpol_trace_events %d\n", o.Trace.NumEvents())
+	}
+	for _, k := range sortedNames(snap.Counters) {
+		name := promName(k)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, snap.Counters[k])
+	}
+	gnames := make([]string, 0, len(snap.Gauges))
+	for k := range snap.Gauges {
+		gnames = append(gnames, k)
+	}
+	sort.Strings(gnames)
+	for _, k := range gnames {
+		name := promName(k)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, snap.Gauges[k])
+	}
+	hnames := make([]string, 0, len(snap.Histograms))
+	for k := range snap.Histograms {
+		hnames = append(hnames, k)
+	}
+	sort.Strings(hnames)
+	for _, k := range hnames {
+		h := snap.Histograms[k]
+		name := promName(k)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.N
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.Le, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum)
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a registry name ("net.heartbeat.rtt_us") onto the
+// Prometheus grammar ("gbpol_net_heartbeat_rtt_us").
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("gbpol_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		// Digits are fine anywhere here: the gbpol_ prefix already
+		// guarantees the name does not start with one.
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_',
+			c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func sortedNames(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"gbpolar/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+// The full endpoint surface against a live listener: Prometheus text on
+// /metrics, readiness toggling on /readyz, liveness always 200, pprof
+// index served.
+func TestServeEndpoint(t *testing.T) {
+	o := obs.New()
+	o.Counter("net.frames.sent").Add(9)
+	o.Gauge("net.rank_bytes").Set(1.5)
+	o.Histogram("net.heartbeat.rtt_us").Observe(100)
+	o.Histogram("net.heartbeat.rtt_us").Observe(3000)
+	sp := o.Begin(0, "phase", "build", obs.NoVirtual)
+	sp.End(obs.NoVirtual)
+
+	var ready atomic.Bool
+	s, err := Start("127.0.0.1:0", o, func() Health {
+		return Health{State: "running", Ready: ready.Load(), Size: 4, LiveRanks: 3, Rounds: 2}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	code, body, hdr := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		"gbpol_up 1",
+		"gbpol_trace_events 1",
+		"# TYPE gbpol_net_frames_sent counter",
+		"gbpol_net_frames_sent 9",
+		"gbpol_net_rank_bytes 1.5",
+		"# TYPE gbpol_net_heartbeat_rtt_us histogram",
+		`gbpol_net_heartbeat_rtt_us_bucket{le="+Inf"} 2`,
+		"gbpol_net_heartbeat_rtt_us_sum 3100",
+		"gbpol_net_heartbeat_rtt_us_count 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	if code, body, _ := get(t, base+"/healthz"); code != http.StatusOK ||
+		!strings.Contains(body, `"live_ranks": 3`) {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, _, _ := get(t, base+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while not ready = %d, want 503", code)
+	}
+	ready.Store(true)
+	if code, body, _ := get(t, base+"/readyz"); code != http.StatusOK ||
+		!strings.Contains(body, `"ready": true`) {
+		t.Fatalf("/readyz once ready = %d %q", code, body)
+	}
+	if code, _, _ := get(t, base+"/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+// A nil observer and a nil health func still serve: gbpol_up pins the
+// scrape and /readyz defaults to ready.
+func TestServeNilObserver(t *testing.T) {
+	s, err := Start("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+	if code, body, _ := get(t, base+"/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "gbpol_up 1") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if code, _, _ := get(t, base+"/readyz"); code != http.StatusOK {
+		t.Fatalf("nil-health /readyz = %d, want 200", code)
+	}
+}
+
+// Prometheus sample lines must carry sane names even for hostile metric
+// names.
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"net.heartbeat.rtt_us": "gbpol_net_heartbeat_rtt_us",
+		"9lives":               "gbpol_9lives",
+		"a b/c":                "gbpol_a_b_c",
+	} {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,402 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"gbpolar/internal/wire"
+)
+
+// This file is the wire side of the distributed observability plane: a
+// compact binary batch ("telemetry frame") of trace events plus metric
+// deltas that a worker process ships to the coordinator, and the
+// coordinator folds into its own observer. Encoding is the repo's
+// bounds-checked little-endian wire format, so truncated or corrupted
+// frames fail with a typed error instead of panicking or over-allocating
+// (the same property the snapshot codec pins). See DESIGN.md §13.
+
+// telemetryVersion is bumped on any incompatible layout change.
+const telemetryVersion = 1
+
+// CounterDelta is one counter's increment since the previous batch.
+type CounterDelta struct {
+	Name  string
+	Delta int64
+}
+
+// GaugeValue is one gauge's current value (gauges are last-write-wins,
+// so absolute values ship, not deltas).
+type GaugeValue struct {
+	Name  string
+	Value float64
+}
+
+// BucketDelta is one histogram bucket's count increment. Idx is the
+// power-of-two bucket index (see histBuckets).
+type BucketDelta struct {
+	Idx uint8
+	N   int64
+}
+
+// HistogramDelta is one histogram's growth since the previous batch:
+// per-bucket count deltas plus count/sum deltas and the absolute max
+// (max folds idempotently via compare-and-swap).
+type HistogramDelta struct {
+	Name    string
+	Count   int64
+	Sum     int64
+	Max     int64
+	Buckets []BucketDelta
+}
+
+// Telemetry is one shippable batch of observability state.
+type Telemetry struct {
+	Events     []Event
+	Counters   []CounterDelta
+	Gauges     []GaugeValue
+	Histograms []HistogramDelta
+}
+
+// Empty reports whether the batch carries nothing.
+func (tl *Telemetry) Empty() bool {
+	return tl == nil || (len(tl.Events) == 0 && len(tl.Counters) == 0 &&
+		len(tl.Gauges) == 0 && len(tl.Histograms) == 0)
+}
+
+// Encode serializes the batch. Event argument maps are emitted in sorted
+// key order, so encoding is deterministic (the round-trip property test
+// relies on it).
+func (tl *Telemetry) Encode() []byte {
+	var w wire.Writer
+	w.U8(telemetryVersion)
+	w.U32(uint32(len(tl.Events)))
+	for i := range tl.Events {
+		appendEvent(&w, &tl.Events[i])
+	}
+	w.U32(uint32(len(tl.Counters)))
+	for _, c := range tl.Counters {
+		w.Str(c.Name)
+		w.I64(c.Delta)
+	}
+	w.U32(uint32(len(tl.Gauges)))
+	for _, g := range tl.Gauges {
+		w.Str(g.Name)
+		w.F64(g.Value)
+	}
+	w.U32(uint32(len(tl.Histograms)))
+	for _, h := range tl.Histograms {
+		w.Str(h.Name)
+		w.I64(h.Count)
+		w.I64(h.Sum)
+		w.I64(h.Max)
+		w.U32(uint32(len(h.Buckets)))
+		for _, b := range h.Buckets {
+			w.U8(b.Idx)
+			w.I64(b.N)
+		}
+	}
+	return w.Bytes()
+}
+
+func appendEvent(w *wire.Writer, ev *Event) {
+	w.Str(ev.Name)
+	w.Str(ev.Cat)
+	w.Str(ev.Ph)
+	w.I32(int32(ev.Rank))
+	w.F64(ev.WallUS)
+	w.F64(ev.WallDurUS)
+	w.F64(ev.VirtUS)
+	w.F64(ev.VirtDurUS)
+	w.Bool(ev.HasVirt)
+	w.U32(uint32(len(ev.Args)))
+	keys := make([]string, 0, len(ev.Args))
+	for k := range ev.Args {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w.Str(k)
+		w.F64(ev.Args[k])
+	}
+}
+
+// Minimum encoded sizes, used to validate list counts against the bytes
+// actually remaining before allocating.
+const (
+	minEventBytes   = 4 + 4 + 4 + 4 + 4*8 + 1 + 4 // empty strings, no args
+	minArgBytes     = 4 + 8
+	minCounterBytes = 4 + 8
+	minGaugeBytes   = 4 + 8
+	minHistBytes    = 4 + 3*8 + 4
+	minBucketBytes  = 1 + 8
+)
+
+// telemetryCount reads a list length and validates it against the bytes
+// remaining (the hostile-length-prefix guard wire.Reader applies to its
+// own slice types, extended to our structs).
+func telemetryCount(r *wire.Reader, minElem int) (int, error) {
+	n := int(r.U32())
+	if r.Err() != nil {
+		return 0, r.Err()
+	}
+	if n < 0 || n > r.Remaining()/minElem {
+		return 0, wire.ErrTruncated
+	}
+	return n, nil
+}
+
+// DecodeTelemetry parses an encoded batch, rejecting version mismatches,
+// truncation, hostile length prefixes, and trailing garbage.
+func DecodeTelemetry(b []byte) (*Telemetry, error) {
+	r := wire.NewReader(b)
+	v := r.U8()
+	if r.Err() != nil {
+		return nil, fmt.Errorf("obs: telemetry frame: %w", r.Err())
+	}
+	if v != telemetryVersion {
+		return nil, fmt.Errorf("obs: telemetry version %d, want %d", v, telemetryVersion)
+	}
+	tl := &Telemetry{}
+	nEvents, err := telemetryCount(r, minEventBytes)
+	if err != nil {
+		return nil, fmt.Errorf("obs: telemetry events: %w", err)
+	}
+	for i := 0; i < nEvents; i++ {
+		ev := Event{
+			Name:      r.Str(),
+			Cat:       r.Str(),
+			Ph:        r.Str(),
+			Rank:      int(r.I32()),
+			WallUS:    r.F64(),
+			WallDurUS: r.F64(),
+			VirtUS:    r.F64(),
+			VirtDurUS: r.F64(),
+			HasVirt:   r.Bool(),
+		}
+		nArgs, aerr := telemetryCount(r, minArgBytes)
+		if aerr != nil {
+			return nil, fmt.Errorf("obs: telemetry event args: %w", aerr)
+		}
+		if nArgs > 0 {
+			ev.Args = make(map[string]float64, nArgs)
+			for j := 0; j < nArgs; j++ {
+				k := r.Str()
+				ev.Args[k] = r.F64()
+			}
+		}
+		if r.Err() != nil {
+			return nil, fmt.Errorf("obs: telemetry event: %w", r.Err())
+		}
+		tl.Events = append(tl.Events, ev)
+	}
+	nCounters, err := telemetryCount(r, minCounterBytes)
+	if err != nil {
+		return nil, fmt.Errorf("obs: telemetry counters: %w", err)
+	}
+	for i := 0; i < nCounters; i++ {
+		tl.Counters = append(tl.Counters, CounterDelta{Name: r.Str(), Delta: r.I64()})
+	}
+	nGauges, err := telemetryCount(r, minGaugeBytes)
+	if err != nil {
+		return nil, fmt.Errorf("obs: telemetry gauges: %w", err)
+	}
+	for i := 0; i < nGauges; i++ {
+		tl.Gauges = append(tl.Gauges, GaugeValue{Name: r.Str(), Value: r.F64()})
+	}
+	nHists, err := telemetryCount(r, minHistBytes)
+	if err != nil {
+		return nil, fmt.Errorf("obs: telemetry histograms: %w", err)
+	}
+	for i := 0; i < nHists; i++ {
+		h := HistogramDelta{Name: r.Str(), Count: r.I64(), Sum: r.I64(), Max: r.I64()}
+		nBuckets, berr := telemetryCount(r, minBucketBytes)
+		if berr != nil {
+			return nil, fmt.Errorf("obs: telemetry buckets: %w", berr)
+		}
+		for j := 0; j < nBuckets; j++ {
+			h.Buckets = append(h.Buckets, BucketDelta{Idx: r.U8(), N: r.I64()})
+		}
+		tl.Histograms = append(tl.Histograms, h)
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("obs: telemetry frame: %w", r.Err())
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("obs: telemetry frame: %d trailing bytes", r.Remaining())
+	}
+	return tl, nil
+}
+
+// Shipper incrementally drains an observer into encoded telemetry
+// batches: each Collect returns everything recorded since the previous
+// one. The cursor state (event high-water mark, per-metric shadows)
+// lives here, so the observer itself stays untouched and local exports
+// keep working. Counters and histograms ship as deltas — folding them on
+// the receiving side is then exact regardless of flush timing; gauges
+// ship absolute values when they change.
+type Shipper struct {
+	o        *Obs
+	mu       sync.Mutex
+	next     int
+	counters map[string]int64
+	gauges   map[string]uint64 // last shipped bit pattern
+	hists    map[string]*histCursor
+}
+
+type histCursor struct {
+	buckets [histBuckets]int64
+	count   int64
+	sum     int64
+}
+
+// NewShipper returns an incremental drainer for this observer (nil when
+// the observer is nil — a nil *Shipper collects nothing).
+func (o *Obs) NewShipper() *Shipper {
+	if o == nil {
+		return nil
+	}
+	return &Shipper{
+		o:        o,
+		counters: map[string]int64{},
+		gauges:   map[string]uint64{},
+		hists:    map[string]*histCursor{},
+	}
+}
+
+// Collect returns the encoded batch of everything new since the previous
+// Collect, or nil when nothing changed. Metric reads race ongoing
+// updates benignly: an increment missed by this batch ships with the
+// next one (deltas are computed against what was actually shipped).
+func (s *Shipper) Collect() []byte {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var tl Telemetry
+	if t := s.o.Trace; t != nil {
+		tl.Events, s.next = t.eventsSince(s.next)
+	}
+	if m := s.o.Metrics; m != nil {
+		s.collectMetrics(m, &tl)
+	}
+	if tl.Empty() {
+		return nil
+	}
+	return tl.Encode()
+}
+
+// collectMetrics appends the registry's growth since the last batch.
+// Names are emitted sorted for deterministic frames.
+func (s *Shipper) collectMetrics(m *Registry, tl *Telemetry) {
+	m.mu.Lock()
+	counters := make(map[string]*Counter, len(m.counters))
+	for k, v := range m.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(m.gauges))
+	for k, v := range m.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(m.hists))
+	for k, v := range m.hists {
+		hists[k] = v
+	}
+	m.mu.Unlock()
+
+	for _, k := range sortedKeys(counters) {
+		v := counters[k].Value()
+		if d := v - s.counters[k]; d != 0 {
+			tl.Counters = append(tl.Counters, CounterDelta{Name: k, Delta: d})
+			s.counters[k] = v
+		}
+	}
+	for _, k := range sortedKeys(gauges) {
+		v := gauges[k].Value()
+		bits := math.Float64bits(v)
+		if old, seen := s.gauges[k]; !seen || old != bits {
+			tl.Gauges = append(tl.Gauges, GaugeValue{Name: k, Value: v})
+			s.gauges[k] = bits
+		}
+	}
+	for _, k := range sortedKeys(hists) {
+		h := hists[k]
+		cur := s.hists[k]
+		if cur == nil {
+			cur = &histCursor{}
+			s.hists[k] = cur
+		}
+		count := h.Count()
+		if count == cur.count {
+			continue
+		}
+		hd := HistogramDelta{
+			Name:  k,
+			Count: count - cur.count,
+			Sum:   h.Sum() - cur.sum,
+			Max:   h.Max(),
+		}
+		for i := 0; i < histBuckets; i++ {
+			if n := h.buckets[i].Load(); n != cur.buckets[i] {
+				hd.Buckets = append(hd.Buckets, BucketDelta{Idx: uint8(i), N: n - cur.buckets[i]})
+				cur.buckets[i] = n
+			}
+		}
+		// Advance the shadow by exactly what shipped, so concurrent
+		// observations landing mid-collection ride the next batch.
+		cur.count += hd.Count
+		cur.sum += hd.Sum
+		tl.Histograms = append(tl.Histograms, hd)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Absorb folds a decoded telemetry batch from another process into this
+// observer. Events are tagged with the source rank (when srcRank >= 0),
+// shifted onto the local wall axis by wallOffsetUS (the heartbeat
+// RTT-midpoint estimate of the sender's trace-clock offset), and
+// re-sequenced into the local trace. Counters and histograms fold
+// additively — deltas make that exact. Gauges are last-write-wins
+// values, so they land namespaced per source rank ("rank3.net.rank_bytes")
+// instead of clobbering across processes. Nil-safe.
+func (o *Obs) Absorb(tl *Telemetry, srcRank int, wallOffsetUS float64) {
+	if o == nil || tl == nil {
+		return
+	}
+	if t := o.Trace; t != nil {
+		for _, ev := range tl.Events {
+			if srcRank >= 0 {
+				ev.Rank = srcRank
+			}
+			ev.WallUS += wallOffsetUS
+			t.Adopt(ev)
+		}
+	}
+	m := o.Metrics
+	if m == nil {
+		return
+	}
+	for _, c := range tl.Counters {
+		m.Counter(c.Name).Add(c.Delta)
+	}
+	for _, g := range tl.Gauges {
+		name := g.Name
+		if srcRank >= 0 {
+			name = fmt.Sprintf("rank%d.%s", srcRank, name)
+		}
+		m.Gauge(name).Set(g.Value)
+	}
+	for i := range tl.Histograms {
+		m.Histogram(tl.Histograms[i].Name).absorb(&tl.Histograms[i])
+	}
+}

@@ -84,6 +84,33 @@ type Trace struct {
 	// logger, when set, streams every recorded event as a structured log
 	// line — the live `-v` progress view. Nil costs one pointer test.
 	logger *slog.Logger
+	// flight, when set, mirrors every recorded event into a fixed-size
+	// ring for postmortem dumps (see FlightRecorder).
+	flight *FlightRecorder
+}
+
+// SetFlight mirrors every subsequently recorded event into fr's ring, so
+// a crash dump shows the process's most recent activity. Pass nil to
+// stop mirroring.
+func (t *Trace) SetFlight(fr *FlightRecorder) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.flight = fr
+	t.mu.Unlock()
+}
+
+// NowUS returns the trace's wall clock: microseconds since the trace was
+// created — the origin every event's WallUS is relative to. The
+// telemetry plane timestamps heartbeat probes with it so cross-process
+// clock offsets are estimated on the same axis the merged events use.
+// Returns 0 on a nil trace.
+func (t *Trace) NowUS() float64 {
+	if t == nil {
+		return 0
+	}
+	return float64(time.Since(t.wall0)) / float64(time.Microsecond)
 }
 
 // SetLogger streams each recorded event (span close or instant) to l as
@@ -226,17 +253,53 @@ func (t *Trace) add(ev Event, args []KV) {
 			ev.Args[a.K] = a.V
 		}
 	}
+	t.record(ev)
+}
+
+// record files a fully built event: assigns the emission sequence number
+// and feeds the streaming logger and flight ring.
+func (t *Trace) record(ev Event) {
 	t.mu.Lock()
 	ev.seq = t.seq
 	t.seq++
 	t.events = append(t.events, ev)
 	l := t.logger
+	fr := t.flight
 	t.mu.Unlock()
 	if l != nil {
 		// Emitted outside the lock so the trace mutex stays a leaf even
 		// when the slog handler blocks on its writer.
 		logEvent(l, &ev)
 	}
+	if fr != nil {
+		fr.Record(ev)
+	}
+}
+
+// Adopt records an externally produced event — a telemetry batch from
+// another process — verbatim except for a fresh local sequence number.
+// Nil-safe.
+func (t *Trace) Adopt(ev Event) {
+	if t == nil {
+		return
+	}
+	t.record(ev)
+}
+
+// eventsSince returns a copy of the recorded events from index n on (in
+// emission order) plus the new high-water mark — the telemetry shipper's
+// incremental cursor. Open spans are not included; they ship once ended.
+func (t *Trace) eventsSince(n int) ([]Event, int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(t.events) {
+		return nil, len(t.events)
+	}
+	out := append([]Event(nil), t.events[n:]...)
+	return out, len(t.events)
 }
 
 // NumEvents returns the number of events an export would emit: recorded
