@@ -13,7 +13,7 @@ GOAMD64 ?=
 ## the fault-injection matrix, the observability suite, and the perf
 ## regression gate.
 check:
-	$(GO) vet ./...
+	$(MAKE) vet
 	$(GO) build ./...
 	$(GO) test ./...
 	$(MAKE) race
@@ -42,13 +42,16 @@ faults:
 	$(GO) test -run 'TestCrash|TestDrop|TestDelay|TestRecv|TestSend|TestBcastAndReduceDeadRoot|TestTypedSentinels|TestCollective' ./internal/cluster/
 
 ## obs: the observability layer — registry + telemetry codec + flight
-## recorder under -race, the live endpoint smoke, span nesting/ordering,
-## timeline acceptance runs (including the merged 4-process net trace and
-## the endpoint wired through NetOptions), zero-alloc kernels, and the
-## <2% disabled-path overhead guard (DESIGN.md §8, §13).
+## recorder + health sampler + /events stream + anomaly watchdog under
+## -race, the gbtrace CLI (report/diff hardening, top view), span
+## nesting/ordering, timeline acceptance runs (including the merged
+## 4-process net trace, the endpoint wired through NetOptions, and the
+## watchdog straggler-localization run), zero-alloc kernels, and the
+## <2% disabled-path overhead guard (DESIGN.md §8, §13, §14).
 obs:
-	$(GO) test -race ./internal/obs/...
+	$(GO) test -race ./internal/obs/... ./cmd/gbtrace/
 	$(GO) test -run 'TestSharedRunTrace|TestResilientTraceTimeline|TestKernelHotLoopZeroAllocs|TestDisabledObsOverhead|TestNetTelemetryMergedTrace|TestNetObsEndpoint' -v ./internal/core/
+	$(GO) test -race -run 'TestNetWatchdogAcceptance' -v ./internal/core/
 
 ## net: the real multi-process transport under the race detector — wire
 ## protocol, death/heal/rejoin, sentinel parity across transports, and

@@ -85,6 +85,7 @@ func main() {
 		netKillRank   = flag.Int("net-kill-rank", -1, "net chaos demo: worker rank to SIGKILL (-1 = none)")
 		netKillColl   = flag.Int("net-kill-collective", 0, "chaos: SIGKILL the process (worker: this one; net: -net-kill-rank's first launch) entering its Nth collective")
 		netTelemetry  = flag.Bool("net-telemetry", false, "worker: collect trace/metrics and ship telemetry batches to the coordinator (the net runner sets this on spawned workers when it is observing)")
+		watchBase     = flag.String("watch-baseline", "auto", "net: perf-gate baseline JSON for the live anomaly watchdog (auto = results/baseline.json when present and observing; none = off)")
 
 		// Observability and profiling.
 		verbose     = flag.Bool("v", false, "stream structured per-span progress lines (rank, phase, virtual clock) and print the span/metrics tables after the run")
@@ -240,7 +241,7 @@ func main() {
 		}
 		res, err = runNet(eng, *procs, th, *netMembership, *netCheckpoint,
 			*netStall, *netRespawn, *netKillRank, *netKillColl,
-			o != nil, *obsAddr, *obsFlight)
+			o != nil, *obsAddr, *obsFlight, *watchBase)
 	case "naive":
 		start := time.Now()
 		e, radii := eng.ComputeNaive()
@@ -343,10 +344,27 @@ func main() {
 // chaos demo) and respawns crashed workers for elastic re-admission.
 func runNet(eng *gbpolar.Engine, procs, threads int, membership, checkpoint string,
 	stall time.Duration, respawn bool, killRank, killColl int,
-	telemetry bool, obsAddr, obsFlight string) (*gbpolar.Result, error) {
+	telemetry bool, obsAddr, obsFlight, watchBase string) (*gbpolar.Result, error) {
 	exe, err := os.Executable()
 	if err != nil {
 		return nil, err
+	}
+	// Watchdog baseline: "auto" arms the watchdog with the checked-in
+	// perf-gate baseline when one exists and the run is observed; a path
+	// arms it unconditionally; "none"/"" disables.
+	switch watchBase {
+	case "none", "":
+		watchBase = ""
+	case "auto":
+		watchBase = ""
+		if telemetry {
+			if _, serr := os.Stat("results/baseline.json"); serr == nil {
+				watchBase = "results/baseline.json"
+			}
+		}
+	}
+	if watchBase != "" {
+		fmt.Printf("net: anomaly watchdog armed with baseline %s\n", watchBase)
 	}
 	if membership == "" {
 		membership = filepath.Join(os.TempDir(), fmt.Sprintf("gbpol-cluster-%d.json", os.Getpid()))
@@ -400,6 +418,7 @@ func runNet(eng *gbpolar.Engine, procs, threads int, membership, checkpoint stri
 		StallTimeout:   stall,
 		ObsAddr:        obsAddr,
 		FlightDir:      obsFlight,
+		WatchBaseline:  watchBase,
 	})
 }
 

@@ -2,7 +2,8 @@
 // -trace (or any obs.Trace.WriteJSONL output): per-rank/per-phase cost
 // attribution on both clock axes, load-imbalance factors, the cross-rank
 // critical path, collective wait attribution, stragglers, and recovery
-// cost — plus run-to-run deltas.
+// cost — plus run-to-run deltas and a live terminal view of a running
+// cluster.
 //
 // Usage:
 //
@@ -11,96 +12,358 @@
 //	gbtrace report r0.jsonl r1.jsonl ...  # merge per-process timelines
 //	gbtrace diff a.jsonl b.jsonl          # run-to-run stat deltas
 //	gbtrace diff -all a.jsonl b.jsonl     # include unchanged stats
+//	gbtrace top 127.0.0.1:9300            # live view of gbpol -obs-addr
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"net/http"
 	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
 
 	"gbpolar/internal/obs"
 	"gbpolar/internal/obs/analyze"
+	"gbpolar/internal/obs/serve"
+	"gbpolar/internal/obs/watch"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("gbtrace: ")
-	flag.Usage = usage
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	args := flag.Args()
+// run is the whole command: it returns the process exit code instead of
+// calling os.Exit so tests can drive every path, and every failure is a
+// single "gbtrace: ..." line on stderr.
+func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) < 1 {
-		usage()
-		os.Exit(2)
+		usage(stderr)
+		return 2
 	}
 	switch args[0] {
 	case "report":
-		fs := flag.NewFlagSet("report", flag.ExitOnError)
-		asJSON := fs.Bool("json", false, "emit the full analysis as JSON")
-		fs.Parse(args[1:])
-		if fs.NArg() < 1 {
-			log.Fatal("usage: gbtrace report [-json] <trace.jsonl>...")
-		}
-		a := analyzeFiles(fs.Args())
-		var err error
-		if *asJSON {
-			err = a.WriteJSON(os.Stdout)
-		} else {
-			err = a.Fprint(os.Stdout)
-		}
-		if err != nil {
-			log.Fatal(err)
-		}
+		return runReport(args[1:], stdout, stderr)
 	case "diff":
-		fs := flag.NewFlagSet("diff", flag.ExitOnError)
-		all := fs.Bool("all", false, "include unchanged stats")
-		fs.Parse(args[1:])
-		if fs.NArg() != 2 {
-			log.Fatal("usage: gbtrace diff [-all] <a.jsonl> <b.jsonl>")
-		}
-		rows := analyze.Diff(analyzeFile(fs.Arg(0)), analyzeFile(fs.Arg(1)))
-		if err := analyze.FprintDiff(os.Stdout, rows, !*all); err != nil {
-			log.Fatal(err)
-		}
+		return runDiff(args[1:], stdout, stderr)
+	case "top":
+		return runTop(args[1:], stdout, stderr)
 	default:
-		usage()
-		os.Exit(2)
+		fmt.Fprintf(stderr, "gbtrace: unknown command %q\n", args[0])
+		usage(stderr)
+		return 2
 	}
 }
 
-func analyzeFile(path string) *analyze.Analysis {
-	return analyze.Analyze(readEvents(path))
+func fail(stderr io.Writer, format string, args ...any) int {
+	fmt.Fprintf(stderr, "gbtrace: "+format+"\n", args...)
+	return 1
+}
+
+func runReport(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit the full analysis as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() < 1 {
+		fmt.Fprintln(stderr, "usage: gbtrace report [-json] <trace.jsonl>...")
+		return 2
+	}
+	a, err := analyzeFiles(fs.Args())
+	if err != nil {
+		return fail(stderr, "%v", err)
+	}
+	if *asJSON {
+		err = a.WriteJSON(stdout)
+	} else {
+		err = a.Fprint(stdout)
+	}
+	if err != nil {
+		return fail(stderr, "%v", err)
+	}
+	return 0
+}
+
+func runDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	all := fs.Bool("all", false, "include unchanged stats")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: gbtrace diff [-all] <a.jsonl> <b.jsonl>")
+		return 2
+	}
+	a, err := analyzeFiles(fs.Args()[:1])
+	if err != nil {
+		return fail(stderr, "%v", err)
+	}
+	b, err := analyzeFiles(fs.Args()[1:])
+	if err != nil {
+		return fail(stderr, "%v", err)
+	}
+	rows := analyze.Diff(a, b)
+	if err := analyze.FprintDiff(stdout, rows, !*all); err != nil {
+		return fail(stderr, "%v", err)
+	}
+	return 0
 }
 
 // analyzeFiles merges one or more timelines into a single analysis.
 // A coordinator's merged trace is already multi-rank, but per-process
 // traces (one per worker) can be handed over together and are folded
 // into one model — events carry their rank, so concatenation is the
-// whole merge.
-func analyzeFiles(paths []string) *analyze.Analysis {
+// whole merge. An unreadable, malformed, or empty file is an error:
+// silently analyzing nothing would report a perfect run.
+func analyzeFiles(paths []string) (*analyze.Analysis, error) {
 	var events []obs.Event
 	for _, p := range paths {
-		events = append(events, readEvents(p)...)
+		evs, err := readEvents(p)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, evs...)
 	}
-	return analyze.Analyze(events)
+	return analyze.Analyze(events), nil
 }
 
-func readEvents(path string) []obs.Event {
+func readEvents(path string) ([]obs.Event, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	defer f.Close()
 	t, err := obs.ReadJSONL(f)
 	if err != nil {
-		log.Fatalf("%s: %v", path, err)
+		return nil, fmt.Errorf("%s: %v", path, err)
 	}
-	return t.Events()
+	evs := t.Events()
+	if len(evs) == 0 {
+		return nil, fmt.Errorf("%s: no trace events (not a gbpolar timeline?)", path)
+	}
+	return evs, nil
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `gbtrace — trace analytics for gbpolar timelines
+// topFrame mirrors serve.StreamFrame with the watchdog verdicts typed,
+// so one json.Unmarshal per NDJSON line decodes the whole view.
+type topFrame struct {
+	Seq      int64               `json:"seq"`
+	WallMS   float64             `json:"wall_ms"`
+	Health   serve.Health        `json:"health"`
+	Metrics  obs.MetricsSnapshot `json:"metrics"`
+	Spans    []obs.Event         `json:"spans"`
+	RTT      *serve.RTTQuantiles `json:"rtt_us"`
+	Verdicts []watch.Verdict     `json:"verdicts"`
+}
+
+func runTop(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	interval := fs.Duration("interval", time.Second, "refresh interval")
+	once := fs.Bool("once", false, "print a single frame and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: gbtrace top [-interval 1s] [-once] <host:port>")
+		return 2
+	}
+	addr := fs.Arg(0)
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	resp, err := http.Get(addr + "/events?interval=" + interval.String())
+	if err != nil {
+		return fail(stderr, "%v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fail(stderr, "%s/events: %s: %s", addr, resp.Status, strings.TrimSpace(string(body)))
+	}
+
+	view := newTopView(fs.Arg(0))
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var frame topFrame
+		if err := json.Unmarshal(line, &frame); err != nil {
+			return fail(stderr, "malformed frame: %v", err)
+		}
+		view.absorb(&frame)
+		if !*once {
+			fmt.Fprint(stdout, "\x1b[H\x1b[2J") // home + clear
+		}
+		view.render(stdout, &frame)
+		if *once {
+			return 0
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fail(stderr, "stream: %v", err)
+	}
+	fmt.Fprintln(stdout, "stream ended (run finished)")
+	return 0
+}
+
+// topView folds the span windows of successive frames into cumulative
+// per-rank/per-phase wall sums, the same axis the watchdog judges, so
+// the λ column matches what would trip it.
+type topView struct {
+	target string
+	// phaseWallUS[phase][rank] accumulates closed span wall time.
+	phaseWallUS map[string]map[int]float64
+	ranks       map[int]bool
+}
+
+func newTopView(target string) *topView {
+	return &topView{
+		target:      target,
+		phaseWallUS: map[string]map[int]float64{},
+		ranks:       map[int]bool{},
+	}
+}
+
+func (v *topView) absorb(f *topFrame) {
+	for _, ev := range f.Spans {
+		if ev.Cat != "phase" || ev.Ph != "X" {
+			continue
+		}
+		per := v.phaseWallUS[ev.Name]
+		if per == nil {
+			per = map[int]float64{}
+			v.phaseWallUS[ev.Name] = per
+		}
+		per[ev.Rank] += ev.WallDurUS
+		v.ranks[ev.Rank] = true
+	}
+	for r := 0; r < f.Health.Size; r++ {
+		v.ranks[r] = true
+	}
+}
+
+// rankGauge reads a per-rank health gauge: the coordinator's own gauges
+// are un-namespaced, absorbed worker gauges carry the rank<r>. prefix.
+func rankGauge(g map[string]float64, rank int, name string) (float64, bool) {
+	if rank == 0 {
+		val, ok := g[name]
+		return val, ok
+	}
+	val, ok := g[fmt.Sprintf("rank%d.%s", rank, name)]
+	return val, ok
+}
+
+var openGaugeRE = regexp.MustCompile(`^(?:rank(\d+)\.)?health\.open\.phase\.(.+)_us$`)
+
+func (v *topView) render(w io.Writer, f *topFrame) {
+	h := f.Health
+	fmt.Fprintf(w, "gbtrace top — %s    wall %.1fs    state %s    ranks %d/%d    rounds %d",
+		v.target, f.WallMS/1e3, h.State, h.LiveRanks, h.Size, h.Rounds)
+	if h.Anomalies > 0 {
+		fmt.Fprintf(w, "    anomalies %d", h.Anomalies)
+	}
+	fmt.Fprintln(w)
+	if f.RTT != nil {
+		fmt.Fprintf(w, "heartbeat rtt µs    p50 %.0f    p95 %.0f    p99 %.0f\n", f.RTT.P50, f.RTT.P95, f.RTT.P99)
+	}
+	fmt.Fprintln(w)
+
+	ranks := make([]int, 0, len(v.ranks))
+	for r := range v.ranks {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+
+	// Per-rank runtime health, from the sampler gauges that rode in on
+	// telemetry — plus any phase the rank is currently stuck inside.
+	open := map[int]string{}
+	for name, val := range f.Metrics.Gauges {
+		m := openGaugeRE.FindStringSubmatch(name)
+		if m == nil || val <= 0 {
+			continue
+		}
+		r := 0
+		if m[1] != "" {
+			fmt.Sscanf(m[1], "%d", &r)
+		}
+		open[r] = fmt.Sprintf("%s %.0fms", m[2], val/1e3)
+	}
+	fmt.Fprintf(w, "%-6s %10s %12s %6s %14s  %s\n", "rank", "heap MB", "goroutines", "gc", "sched p95 µs", "open phase")
+	for _, r := range ranks {
+		heap, _ := rankGauge(f.Metrics.Gauges, r, "health.heap_bytes")
+		gor, _ := rankGauge(f.Metrics.Gauges, r, "health.goroutines")
+		gc, _ := rankGauge(f.Metrics.Gauges, r, "health.gc_cycles")
+		lat, _ := rankGauge(f.Metrics.Gauges, r, "health.sched_latency_p95_us")
+		o := open[r]
+		if o == "" {
+			o = "-"
+		}
+		fmt.Fprintf(w, "%-6d %10.1f %12.0f %6.0f %14.1f  %s\n", r, heap/(1<<20), gor, gc, lat, o)
+	}
+	fmt.Fprintln(w)
+
+	// Per-phase cumulative wall attribution, largest first.
+	type phaseRow struct {
+		name                   string
+		totalUS, meanUS, maxUS float64
+		maxRank                int
+		lambda                 float64
+	}
+	var rows []phaseRow
+	for name, per := range v.phaseWallUS {
+		row := phaseRow{name: name, maxRank: -1}
+		for r, us := range per {
+			row.totalUS += us
+			if us > row.maxUS || (us == row.maxUS && (row.maxRank < 0 || r < row.maxRank)) {
+				row.maxUS, row.maxRank = us, r
+			}
+		}
+		row.meanUS = row.totalUS / float64(len(per))
+		if row.meanUS > 0 {
+			row.lambda = row.maxUS / row.meanUS
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].totalUS != rows[j].totalUS {
+			return rows[i].totalUS > rows[j].totalUS
+		}
+		return rows[i].name < rows[j].name
+	})
+	fmt.Fprintf(w, "%-12s %12s %10s %10s %9s %6s\n", "phase", "total ms", "mean ms", "max ms", "max rank", "λ")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-12s %12.1f %10.1f %10.1f %9d %6.2f\n",
+			row.name, row.totalUS/1e3, row.meanUS/1e3, row.maxUS/1e3, row.maxRank, row.lambda)
+	}
+
+	if len(f.Verdicts) > 0 {
+		fmt.Fprintf(w, "\nwatchdog: %d anomal", len(f.Verdicts))
+		if len(f.Verdicts) == 1 {
+			fmt.Fprintln(w, "y")
+		} else {
+			fmt.Fprintln(w, "ies")
+		}
+		for _, vd := range f.Verdicts {
+			fmt.Fprintf(w, "  %s\n", vd.String())
+		}
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintf(w, `gbtrace — trace analytics for gbpolar timelines
 
 commands:
   report [-json] <trace.jsonl>...  per-phase wall/virtual breakdown, imbalance,
@@ -108,7 +371,13 @@ commands:
                                    cost; multiple files are merged into one
                                    multi-process timeline
   diff [-all] <a.jsonl> <b.jsonl>  run-to-run stat deltas, biggest movers first
+  top [-interval 1s] [-once] <host:port>
+                                   live terminal view of a running cluster:
+                                   per-rank health, per-phase imbalance, RTT
+                                   quantiles, watchdog verdicts — point it at
+                                   gbpol's -obs-addr
 
 produce traces with: gbpol -gen 5000 -runner resilient -procs 4 -trace run.jsonl
+watch a live run with: gbpol ... -obs-addr :9300 & gbtrace top 127.0.0.1:9300
 `)
 }

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gbpolar/internal/obs"
+	"gbpolar/internal/obs/serve"
+	"gbpolar/internal/obs/watch"
+)
+
+// writeTrace materializes a small two-rank timeline on disk, the way
+// gbpol -trace would.
+func writeTrace(t *testing.T, name string) string {
+	t.Helper()
+	tr := obs.NewTrace()
+	tr.Adopt(obs.Event{Name: "epol", Cat: "phase", Ph: "X", Rank: 0, WallDurUS: 70_000})
+	tr.Adopt(obs.Event{Name: "epol", Cat: "phase", Ph: "X", Rank: 1, WallDurUS: 90_000})
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := tr.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCmd(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestReportHappyPath(t *testing.T) {
+	code, out, errb := runCmd("report", writeTrace(t, "a.jsonl"))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	if !strings.Contains(out, "epol") {
+		t.Errorf("report output missing phase table:\n%s", out)
+	}
+}
+
+// Unreadable, malformed, and empty traces must each exit non-zero with
+// a single-line error, never a zero-event "perfect run" report.
+func TestReportBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	malformed := filepath.Join(dir, "bad.jsonl")
+	os.WriteFile(malformed, []byte("{\"name\": \"epol\", truncated\n"), 0o644)
+	empty := filepath.Join(dir, "empty.jsonl")
+	os.WriteFile(empty, nil, 0o644)
+
+	cases := []struct {
+		name string
+		path string
+		want string
+	}{
+		{"missing", filepath.Join(dir, "nope.jsonl"), "no such file"},
+		{"malformed", malformed, "bad.jsonl"},
+		{"empty", empty, "no trace events"},
+	}
+	for _, tc := range cases {
+		code, _, errb := runCmd("report", tc.path)
+		if code == 0 {
+			t.Errorf("%s: exit 0, want non-zero", tc.name)
+		}
+		if !strings.HasPrefix(errb, "gbtrace: ") || !strings.Contains(errb, tc.want) {
+			t.Errorf("%s: stderr = %q, want one gbtrace line mentioning %q", tc.name, errb, tc.want)
+		}
+		if n := strings.Count(strings.TrimRight(errb, "\n"), "\n"); n != 0 {
+			t.Errorf("%s: stderr is %d+1 lines, want exactly one", tc.name, n)
+		}
+	}
+}
+
+func TestDiffHappyAndBad(t *testing.T) {
+	a := writeTrace(t, "a.jsonl")
+	b := writeTrace(t, "b.jsonl")
+	if code, _, errb := runCmd("diff", a, b); code != 0 {
+		t.Fatalf("diff exit %d, stderr %q", code, errb)
+	}
+	code, _, errb := runCmd("diff", a, filepath.Join(t.TempDir(), "gone.jsonl"))
+	if code == 0 || !strings.Contains(errb, "gbtrace: ") {
+		t.Errorf("diff with missing file: exit %d, stderr %q", code, errb)
+	}
+}
+
+func TestUsageAndUnknown(t *testing.T) {
+	if code, _, _ := runCmd(); code != 2 {
+		t.Errorf("no args exit = %d, want 2", code)
+	}
+	code, _, errb := runCmd("frobnicate")
+	if code != 2 || !strings.Contains(errb, "unknown command") {
+		t.Errorf("unknown command: exit %d, stderr %q", code, errb)
+	}
+	if code, _, _ := runCmd("diff", "only-one.jsonl"); code != 2 {
+		t.Errorf("diff arity: exit %d, want 2", code)
+	}
+}
+
+// top -once against a canned /events stream: one frame in, one rendered
+// table out, exit 0.
+func TestTopOnce(t *testing.T) {
+	frame := serve.StreamFrame{
+		Seq:    1,
+		WallMS: 1234,
+		Health: serve.Health{State: "running", Ready: true, Size: 2, LiveRanks: 2, Rounds: 7, Anomalies: 1},
+		Metrics: obs.MetricsSnapshot{Gauges: map[string]float64{
+			"health.heap_bytes":               64 << 20,
+			"health.goroutines":               12,
+			"rank1.health.heap_bytes":         32 << 20,
+			"rank1.health.open.phase.epol_us": 83_000,
+		}},
+		Spans: []obs.Event{
+			{Name: "epol", Cat: "phase", Ph: "X", Rank: 0, WallDurUS: 70_000},
+			{Name: "epol", Cat: "phase", Ph: "X", Rank: 1, WallDurUS: 140_000},
+		},
+		RTT: &serve.RTTQuantiles{P50: 100, P95: 200, P99: 300},
+		Verdicts: []watch.Verdict{{
+			Stat: "phase.epol.wall_imbalance", Phase: "epol", Rank: 1,
+			Base: 1.05, Cur: 1.33, DeltaPct: 27, TolPct: 30, Windows: 3,
+		}},
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/events" {
+			http.NotFound(w, r)
+			return
+		}
+		if got := r.URL.Query().Get("interval"); got != "100ms" {
+			t.Errorf("interval query = %q, want 100ms", got)
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		json.NewEncoder(w).Encode(&frame)
+	}))
+	defer srv.Close()
+
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	code, out, errb := runCmd("top", "-once", "-interval", "100ms", addr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	for _, want := range []string{
+		"state running", "ranks 2/2", "rounds 7", "anomalies 1",
+		"p95 200",      // RTT quantiles
+		"epol 83ms",    // rank 1's open-span overlay
+		"epol", "1.33", // phase table λ sourced from 140/105
+		"phase.epol.wall_imbalance", // the verdict line
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("top output missing %q:\n%s", want, out)
+		}
+	}
+	// λ for epol = 140 / ((70+140)/2) = 1.33.
+	if !strings.Contains(out, "1.33") {
+		t.Errorf("imbalance column wrong:\n%s", out)
+	}
+	// -once must not clear the terminal.
+	if strings.Contains(out, "\x1b[2J") {
+		t.Error("-once emitted a clear-screen escape")
+	}
+}
+
+func TestTopErrors(t *testing.T) {
+	// Connection refused: one-line failure, exit 1.
+	code, _, errb := runCmd("top", "-once", "127.0.0.1:1")
+	if code != 1 || !strings.HasPrefix(errb, "gbtrace: ") {
+		t.Errorf("unreachable target: exit %d, stderr %q", code, errb)
+	}
+
+	// Non-200 from the endpoint surfaces status and body.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bad interval: nope", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	code, _, errb = runCmd("top", "-once", strings.TrimPrefix(srv.URL, "http://"))
+	if code != 1 || !strings.Contains(errb, "400") || !strings.Contains(errb, "bad interval") {
+		t.Errorf("bad status: exit %d, stderr %q", code, errb)
+	}
+
+	// Garbage mid-stream: one-line failure, exit 1.
+	srv2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "this is not json")
+	}))
+	defer srv2.Close()
+	code, _, errb = runCmd("top", "-once", strings.TrimPrefix(srv2.URL, "http://"))
+	if code != 1 || !strings.Contains(errb, "malformed frame") {
+		t.Errorf("garbage stream: exit %d, stderr %q", code, errb)
+	}
+}

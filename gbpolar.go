@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"time"
 
+	"gbpolar/internal/bench/gate"
 	"gbpolar/internal/cluster"
 	"gbpolar/internal/core"
 	"gbpolar/internal/geom"
@@ -31,6 +32,7 @@ import (
 	"gbpolar/internal/molecule"
 	"gbpolar/internal/obs"
 	"gbpolar/internal/obs/serve"
+	"gbpolar/internal/obs/watch"
 	"gbpolar/internal/octree"
 	"gbpolar/internal/surface"
 )
@@ -399,6 +401,13 @@ type NetRun struct {
 	// timestamped JSONL file here on death detection, degradation, or
 	// panic.
 	FlightDir string
+	// WatchBaseline, when non-empty, loads a perf-gate baseline
+	// (results/baseline.json) and runs the anomaly watchdog against the
+	// live merged timeline: a phase imbalance outside the baseline's
+	// tolerance envelope for several consecutive windows flips /healthz
+	// to "anomalous" and dumps the flight recorder tagged with the
+	// offending phase and rank. See DESIGN.md §14.
+	WatchBaseline string
 }
 
 // ComputeNet runs the distributed algorithm across real OS processes
@@ -406,7 +415,7 @@ type NetRun struct {
 // survive the run degrades to the shared-memory runner and reports the
 // reason in Result.Report.Faults.
 func (e *Engine) ComputeNet(ctx context.Context, nr NetRun) (*Result, error) {
-	return core.RunNetCoordinator(ctx, e.sys, core.NetOptions{
+	opts := core.NetOptions{
 		Procs:          nr.Procs,
 		Threads:        nr.ThreadsPerProc,
 		ListenAddr:     nr.ListenAddr,
@@ -418,7 +427,15 @@ func (e *Engine) ComputeNet(ctx context.Context, nr NetRun) (*Result, error) {
 		ObsAddr:        nr.ObsAddr,
 		FlightDir:      nr.FlightDir,
 		Obs:            e.obs,
-	})
+	}
+	if nr.WatchBaseline != "" {
+		base, err := gate.ReadBaseline(nr.WatchBaseline)
+		if err != nil {
+			return nil, fmt.Errorf("gbpolar: watch baseline: %w", err)
+		}
+		opts.Watch = &watch.Config{Baseline: base}
+	}
+	return core.RunNetCoordinator(ctx, e.sys, opts)
 }
 
 // NetWorkerOptions re-exports the worker-process configuration.

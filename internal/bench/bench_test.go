@@ -296,7 +296,7 @@ func TestObsOverheadExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tabs) != 1 || len(tabs[0].Rows) != 3 {
+	if len(tabs) != 1 || len(tabs[0].Rows) != 4 {
 		t.Fatalf("obs experiment shape: %d tables", len(tabs))
 	}
 	if tabs[0].Report == nil {

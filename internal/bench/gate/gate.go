@@ -1,0 +1,255 @@
+// Package gate is the statistical comparison core of the performance
+// regression gate: per-stat medians and run-to-run spreads snapshotted
+// into a baseline (results/baseline.json), and a noise-aware comparison
+// that fails only when a tracked stat regresses beyond a per-class
+// relative tolerance. It is a leaf package — only internal/obs below it —
+// so both the offline gate (internal/bench, cmd/gbbench) and the live
+// anomaly watchdog (internal/obs/watch) can share one definition of
+// "nominal, within tolerance". See DESIGN.md §9 for the tolerance policy
+// and §14 for the watchdog's use of it.
+package gate
+
+import (
+	"cmp"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"slices"
+	"sort"
+	"strings"
+	"time"
+
+	"gbpolar/internal/obs"
+)
+
+// Schema is the persisted baseline format version.
+const Schema = 1
+
+// Tolerance policy: wall-clock stats are real timings with scheduler and
+// thermal noise — a generous floor. Event counts and collective stats are
+// only weakly deterministic (failed collective attempts are retried after
+// a crash and the attempt count depends on goroutine interleaving) — a
+// middle floor. Everything else (virtual clocks, imbalance factors,
+// recovery rows) is deterministic for a pinned seed and cost model — a
+// tight floor that only absorbs fp jitter.
+const (
+	WallFloor   = 0.30
+	SchedFloor  = 0.15
+	StrictFloor = 0.005
+	SpreadMult  = 3.0
+)
+
+// Stat is one tracked stat's distribution over the repetitions.
+type Stat struct {
+	Median float64 `json:"median"`
+	// Spread is the relative run-to-run spread (max−min)/median, the
+	// noise estimate the comparison tolerance scales with.
+	Spread float64 `json:"spread"`
+}
+
+// Baseline is the persisted gate snapshot (results/baseline.json).
+type Baseline struct {
+	Schema  int    `json:"schema"`
+	Created string `json:"created,omitempty"`
+	Atoms   int    `json:"atoms"`
+	Procs   int    `json:"procs"`
+	Reps    int    `json:"reps"`
+	Seed    int64  `json:"seed"`
+	// Git identifies the commit the baseline was measured at.
+	Git   string          `json:"git,omitempty"`
+	Stats map[string]Stat `json:"stats"`
+}
+
+// Reduce collapses per-repetition stat maps to median + spread per stat.
+// Only stats present in every repetition are kept, so a one-off event can
+// never install a flaky gate stat.
+func Reduce(samples []map[string]float64) map[string]Stat {
+	stats := map[string]Stat{}
+	if len(samples) == 0 {
+		return stats
+	}
+	for key := range samples[0] {
+		vals := make([]float64, 0, len(samples))
+		for _, s := range samples {
+			v, ok := s[key]
+			if !ok {
+				vals = nil
+				break
+			}
+			vals = append(vals, v)
+		}
+		if vals == nil {
+			continue
+		}
+		sort.Float64s(vals)
+		med := Median(vals)
+		gs := Stat{Median: med}
+		if med != 0 {
+			gs.Spread = (vals[len(vals)-1] - vals[0]) / math.Abs(med)
+		}
+		stats[key] = gs
+	}
+	return stats
+}
+
+// Median returns the median of an ascending-sorted slice (0 when empty).
+func Median(sorted []float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// Row is one stat's baseline-vs-current verdict.
+type Row struct {
+	Stat     string  `json:"stat"`
+	Base     float64 `json:"base"`
+	Cur      float64 `json:"cur"`
+	DeltaPct float64 `json:"delta_pct"`
+	TolPct   float64 `json:"tol_pct"`
+	// Status: "ok", "improved", "REGRESSED", "new" (absent from the
+	// baseline), "gone" (absent from the current run). Only REGRESSED
+	// fails the gate; new/gone are surfaced for the operator to re-seed.
+	Status string `json:"status"`
+}
+
+// Tolerance is the noise-aware relative tolerance for one stat: a
+// per-class floor plus SpreadMult times the observed run-to-run spread on
+// both sides of the comparison.
+func Tolerance(stat string, base, cur Stat) float64 {
+	floor := StrictFloor
+	switch {
+	case strings.Contains(stat, "wall"):
+		floor = WallFloor
+	case stat == "events" || strings.HasPrefix(stat, "collective."):
+		floor = SchedFloor
+	}
+	return math.Max(floor, SpreadMult*(base.Spread+cur.Spread))
+}
+
+// Compare judges current against base stat-by-stat. ok is false when any
+// tracked stat regressed beyond its tolerance. All tracked stats are
+// costs (timings, wait times, imbalance factors, recovery rows) where
+// higher is worse, so only upward moves fail.
+func Compare(base, current *Baseline) (rows []Row, ok bool) {
+	ok = true
+	keys := map[string]bool{}
+	for k := range base.Stats {
+		keys[k] = true
+	}
+	for k := range current.Stats {
+		keys[k] = true
+	}
+	for k := range keys {
+		bs, inBase := base.Stats[k]
+		cs, inCur := current.Stats[k]
+		row := Row{Stat: k, Base: bs.Median, Cur: cs.Median}
+		switch {
+		case !inBase:
+			row.Status = "new"
+		case !inCur:
+			row.Status = "gone"
+		case bs.Median == 0:
+			if cs.Median == 0 {
+				row.Status = "ok"
+			} else {
+				row.Status = "new"
+			}
+		default:
+			row.DeltaPct = 100 * (cs.Median - bs.Median) / bs.Median
+			row.TolPct = 100 * Tolerance(k, bs, cs)
+			switch {
+			case row.DeltaPct > row.TolPct:
+				row.Status = "REGRESSED"
+				ok = false
+			case row.DeltaPct < -row.TolPct:
+				row.Status = "improved"
+			default:
+				row.Status = "ok"
+			}
+		}
+		rows = append(rows, row)
+	}
+	// Worst offenders first, then biggest movers, then lexical.
+	slices.SortFunc(rows, func(a, b Row) int {
+		ra, rb := a.Status == "REGRESSED", b.Status == "REGRESSED"
+		if ra != rb {
+			if ra {
+				return -1
+			}
+			return 1
+		}
+		if c := cmp.Compare(math.Abs(b.DeltaPct), math.Abs(a.DeltaPct)); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.Stat, b.Stat)
+	})
+	return rows, ok
+}
+
+// Fprint renders the comparison. When verbose is false only non-"ok" rows
+// are listed (with a count of the quiet ones).
+func Fprint(w io.Writer, rows []Row, verbose bool) error {
+	if _, err := fmt.Fprintf(w, "%-34s %12s %12s %9s %8s  %s\n",
+		"stat", "base", "current", "delta", "tol", "status"); err != nil {
+		return err
+	}
+	quiet := 0
+	for _, r := range rows {
+		if !verbose && r.Status == "ok" {
+			quiet++
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%-34s %12.4f %12.4f %+8.2f%% %7.2f%%  %s\n",
+			r.Stat, r.Base, r.Cur, r.DeltaPct, r.TolPct, r.Status); err != nil {
+			return err
+		}
+	}
+	if quiet > 0 {
+		if _, err := fmt.Fprintf(w, "(%d stats within tolerance)\n", quiet); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFile persists the baseline as indented JSON, stamping the creation
+// time and current commit.
+func (b *Baseline) WriteFile(path string) error {
+	b.Created = time.Now().UTC().Format(time.RFC3339)
+	b.Git = obs.GitDescribe()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBaseline loads a baseline written by WriteFile.
+func ReadBaseline(path string) (*Baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("gate: baseline %s: %w", path, err)
+	}
+	if b.Schema != Schema {
+		return nil, fmt.Errorf("gate: baseline %s: schema %d, want %d (re-seed with -baseline)",
+			path, b.Schema, Schema)
+	}
+	return &b, nil
+}

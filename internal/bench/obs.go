@@ -14,6 +14,8 @@ import (
 	"gbpolar/internal/mathx"
 	"gbpolar/internal/molecule"
 	"gbpolar/internal/obs"
+	"gbpolar/internal/obs/analyze"
+	"gbpolar/internal/obs/watch"
 )
 
 // obsOverhead measures the cost of the observability layer (DESIGN.md
@@ -117,8 +119,10 @@ func obsOverhead(cfg Config) ([]*Table, error) {
 	// The full distributed observability plane: per-worker observers
 	// shipping span batches and metric deltas over TCP, the coordinator
 	// folding them into the merged timeline. "On" here measures the
-	// whole plane — collection, encoding, shipping, absorbing.
-	netRun := func(observe bool) (float64, *obs.Obs, error) {
+	// whole plane — collection, encoding, shipping, absorbing. A
+	// negative health interval keeps the PR-9 sampler out of this row so
+	// it isolates the telemetry cost; the next row turns it on.
+	netRun := func(observe bool, health time.Duration, wcfg *watch.Config) (float64, *obs.Obs, error) {
 		dir, err := os.MkdirTemp("", "gbbench-net-*")
 		if err != nil {
 			return 0, nil, err
@@ -139,9 +143,10 @@ func obsOverhead(cfg Config) ([]*Table, error) {
 					wo = obs.New()
 				}
 				core.RunNetWorker(membership, r, core.NetWorkerOptions{
-					StallTimeout: time.Minute,
-					JoinBudget:   time.Minute,
-					Obs:          wo,
+					StallTimeout:   time.Minute,
+					JoinBudget:     time.Minute,
+					Obs:            wo,
+					HealthInterval: health,
 				})
 			}(r)
 		}
@@ -151,6 +156,8 @@ func obsOverhead(cfg Config) ([]*Table, error) {
 			CheckpointPath: filepath.Join(dir, "sys.ckpt"),
 			StallTimeout:   time.Minute,
 			Obs:            co,
+			HealthInterval: health,
+			Watch:          wcfg,
 		})
 		wg.Wait()
 		if err != nil {
@@ -158,30 +165,57 @@ func obsOverhead(cfg Config) ([]*Table, error) {
 		}
 		return res.WallSeconds, co, nil
 	}
-	if _, _, err := netRun(false); err != nil {
+	if _, _, err := netRun(false, -1, nil); err != nil {
 		return nil, err
 	}
 	offMin, onMin = math.Inf(1), math.Inf(1)
+	netOff := math.Inf(1)
 	var lastNet *obs.Obs
 	for rep := 0; rep < cfg.Repetitions; rep++ {
-		w, _, err := netRun(false)
+		w, _, err := netRun(false, -1, nil)
 		if err != nil {
 			return nil, err
 		}
 		offMin = math.Min(offMin, w)
-		if w, lastNet, err = netRun(true); err != nil {
+		if w, lastNet, err = netRun(true, -1, nil); err != nil {
 			return nil, err
 		}
 		onMin = math.Min(onMin, w)
 	}
+	netOff = offMin
 	t.AddRow("Net TCP (4 ranks, wire telemetry)", offMin, onMin,
 		fmt.Sprintf("%+.1f%%", 100*(onMin/offMin-1)),
 		lastNet.Trace.NumEvents(), metricCount(lastNet))
 
+	// --- Net transport + health sampler + anomaly watchdog ------------
+	// The PR-9 live-watch layer on top of the previous row: per-rank
+	// runtime health samplers feeding the shipped registries, and the
+	// coordinator-side watchdog evaluating every window against a
+	// baseline derived from the telemetry-only run above. Same off
+	// reference as the previous row, so the delta between the two rows
+	// is the sampler+watchdog cost alone.
+	baseline := watch.BaselineFromSummary(analyze.FromTrace(lastNet.Trace).Summary())
+	wcfg := &watch.Config{Baseline: baseline}
+	onMin = math.Inf(1)
+	var lastWatch *obs.Obs
+	for rep := 0; rep < cfg.Repetitions; rep++ {
+		w, o, err := netRun(true, 0, wcfg)
+		if err != nil {
+			return nil, err
+		}
+		if w < onMin {
+			onMin, lastWatch = w, o
+		}
+	}
+	t.AddRow("Net TCP + sampler + watchdog", netOff, onMin,
+		fmt.Sprintf("%+.1f%%", 100*(onMin/netOff-1)),
+		lastWatch.Trace.NumEvents(), metricCount(lastWatch))
+
 	t.Notes = append(t.Notes,
 		"overhead is on replay wall time; modeled virtual time is identical by construction",
 		"the disabled path (Obs=nil) is one pointer test per phase — guarded <2% by TestDisabledObsOverhead",
-		"the net row measures the full telemetry plane: per-worker collection, binary encoding, TCP shipping, and coordinator-side merging")
+		"the net row measures the full telemetry plane: per-worker collection, binary encoding, TCP shipping, and coordinator-side merging",
+		"the watchdog row adds per-rank runtime health samplers and the baseline-driven anomaly watchdog (DESIGN.md §14) against the same obs-off reference")
 	t.Report = lastRes.Report
 	return []*Table{t}, nil
 }

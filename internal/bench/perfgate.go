@@ -1,17 +1,11 @@
 package bench
 
 import (
-	"cmp"
-	"encoding/json"
 	"fmt"
 	"io"
-	"math"
-	"os"
-	"slices"
-	"sort"
-	"strings"
 	"time"
 
+	"gbpolar/internal/bench/gate"
 	"gbpolar/internal/cluster"
 	"gbpolar/internal/core"
 	"gbpolar/internal/mathx"
@@ -28,12 +22,13 @@ import (
 // per-stat medians snapshotted into results/baseline.json. A compare run
 // re-measures and fails when any tracked stat regresses beyond a
 // noise-aware relative tolerance: a per-axis floor plus a multiple of
-// the observed run-to-run spread on both sides. See DESIGN.md §9 for the
-// tolerance policy.
+// the observed run-to-run spread on both sides. The statistical core
+// (median/spread reduction, tolerance policy, comparison) lives in
+// internal/bench/gate so the live anomaly watchdog (internal/obs/watch)
+// shares it; this file keeps the gate workload itself. See DESIGN.md §9.
 
 const (
 	gateProcs     = 4
-	gateSchema    = 1
 	gateCrashRank = 1
 	gateCrashNth  = 2
 
@@ -42,44 +37,30 @@ const (
 	// on one host compares cleanly on another, and only the wall-axis
 	// stats carry real hardware speed.
 	gateOpsPerSecond = 1e9
-
-	// Tolerance policy: wall-clock stats are real timings with scheduler
-	// and thermal noise — a generous floor. Event counts and collective
-	// stats are only weakly deterministic: failed collective attempts
-	// are retried after a crash, and how many attempts (spans) the
-	// survivors rack up depends on goroutine interleaving, so a loaded
-	// host can shift the trace by a few events and move the wait/xfer
-	// attribution between attempts without touching any phase total —
-	// a middle floor absorbs that. Everything else (phase virtual
-	// clocks, imbalance factors, recovery rows) is deterministic for
-	// the pinned seed and cost model — a tight floor that only absorbs
-	// fp jitter.
-	gateWallFloor   = 0.30
-	gateSchedFloor  = 0.15
-	gateStrictFloor = 0.005
-	gateSpreadMult  = 3.0
 )
 
-// GateStat is one tracked stat's distribution over the repetitions.
-type GateStat struct {
-	Median float64 `json:"median"`
-	// Spread is the relative run-to-run spread (max−min)/median, the
-	// noise estimate the comparison tolerance scales with.
-	Spread float64 `json:"spread"`
+// GateStat re-exports the gate package's per-stat distribution.
+type GateStat = gate.Stat
+
+// Baseline re-exports the persisted gate snapshot (results/baseline.json).
+type Baseline = gate.Baseline
+
+// GateRow re-exports one stat's baseline-vs-current verdict.
+type GateRow = gate.Row
+
+// CompareBaselines judges current against base stat-by-stat (see
+// gate.Compare).
+func CompareBaselines(base, current *Baseline) (rows []GateRow, ok bool) {
+	return gate.Compare(base, current)
 }
 
-// Baseline is the persisted gate snapshot (results/baseline.json).
-type Baseline struct {
-	Schema  int    `json:"schema"`
-	Created string `json:"created,omitempty"`
-	Atoms   int    `json:"atoms"`
-	Procs   int    `json:"procs"`
-	Reps    int    `json:"reps"`
-	Seed    int64  `json:"seed"`
-	// Git identifies the commit the baseline was measured at.
-	Git   string              `json:"git,omitempty"`
-	Stats map[string]GateStat `json:"stats"`
+// FprintGate renders the comparison (see gate.Fprint).
+func FprintGate(w io.Writer, rows []GateRow, verbose bool) error {
+	return gate.Fprint(w, rows, verbose)
 }
+
+// ReadBaseline loads a baseline written by Baseline.WriteFile.
+func ReadBaseline(path string) (*Baseline, error) { return gate.ReadBaseline(path) }
 
 // gateRun executes the gate workload once against a prepared system:
 // the 4-rank resilient OCT_MPI replay with rank 1 crashing at its 2nd
@@ -171,197 +152,12 @@ func GateSamples(atoms, reps int, seed int64) ([]map[string]float64, error) {
 }
 
 // BuildBaseline reduces per-repetition summaries to median + spread per
-// stat. Only stats present in every repetition are tracked, so a
-// one-off event can never install a flaky gate stat.
+// stat (see gate.Reduce) and stamps the gate workload's shape.
 func BuildBaseline(samples []map[string]float64, atoms int, seed int64) *Baseline {
-	b := &Baseline{
-		Schema: gateSchema,
+	return &Baseline{
+		Schema: gate.Schema,
 		Atoms:  atoms, Procs: gateProcs,
 		Reps: len(samples), Seed: seed,
-		Stats: map[string]GateStat{},
+		Stats: gate.Reduce(samples),
 	}
-	if len(samples) == 0 {
-		return b
-	}
-	for key := range samples[0] {
-		vals := make([]float64, 0, len(samples))
-		for _, s := range samples {
-			v, ok := s[key]
-			if !ok {
-				vals = nil
-				break
-			}
-			vals = append(vals, v)
-		}
-		if vals == nil {
-			continue
-		}
-		sort.Float64s(vals)
-		med := median(vals)
-		gs := GateStat{Median: med}
-		if med != 0 {
-			gs.Spread = (vals[len(vals)-1] - vals[0]) / math.Abs(med)
-		}
-		b.Stats[key] = gs
-	}
-	return b
-}
-
-func median(sorted []float64) float64 {
-	n := len(sorted)
-	if n == 0 {
-		return 0
-	}
-	if n%2 == 1 {
-		return sorted[n/2]
-	}
-	return (sorted[n/2-1] + sorted[n/2]) / 2
-}
-
-// GateRow is one stat's baseline-vs-current verdict.
-type GateRow struct {
-	Stat     string  `json:"stat"`
-	Base     float64 `json:"base"`
-	Cur      float64 `json:"cur"`
-	DeltaPct float64 `json:"delta_pct"`
-	TolPct   float64 `json:"tol_pct"`
-	// Status: "ok", "improved", "REGRESSED", "new" (absent from the
-	// baseline), "gone" (absent from the current run). Only REGRESSED
-	// fails the gate; new/gone are surfaced for the operator to re-seed.
-	Status string `json:"status"`
-}
-
-// gateTolerance is the noise-aware relative tolerance for one stat:
-// a per-class floor plus gateSpreadMult times the observed run-to-run
-// spread on both sides of the comparison.
-func gateTolerance(stat string, base, cur GateStat) float64 {
-	floor := gateStrictFloor
-	switch {
-	case strings.Contains(stat, "wall"):
-		floor = gateWallFloor
-	case stat == "events" || strings.HasPrefix(stat, "collective."):
-		floor = gateSchedFloor
-	}
-	return math.Max(floor, gateSpreadMult*(base.Spread+cur.Spread))
-}
-
-// CompareBaselines judges current against base stat-by-stat. ok is
-// false when any tracked stat regressed beyond its tolerance. All
-// tracked stats are costs (timings, wait times, imbalance factors,
-// recovery rows) where higher is worse, so only upward moves fail.
-func CompareBaselines(base, current *Baseline) (rows []GateRow, ok bool) {
-	ok = true
-	keys := map[string]bool{}
-	for k := range base.Stats {
-		keys[k] = true
-	}
-	for k := range current.Stats {
-		keys[k] = true
-	}
-	for k := range keys {
-		bs, inBase := base.Stats[k]
-		cs, inCur := current.Stats[k]
-		row := GateRow{Stat: k, Base: bs.Median, Cur: cs.Median}
-		switch {
-		case !inBase:
-			row.Status = "new"
-		case !inCur:
-			row.Status = "gone"
-		case bs.Median == 0:
-			if cs.Median == 0 {
-				row.Status = "ok"
-			} else {
-				row.Status = "new"
-			}
-		default:
-			row.DeltaPct = 100 * (cs.Median - bs.Median) / bs.Median
-			row.TolPct = 100 * gateTolerance(k, bs, cs)
-			switch {
-			case row.DeltaPct > row.TolPct:
-				row.Status = "REGRESSED"
-				ok = false
-			case row.DeltaPct < -row.TolPct:
-				row.Status = "improved"
-			default:
-				row.Status = "ok"
-			}
-		}
-		rows = append(rows, row)
-	}
-	// Worst offenders first, then biggest movers, then lexical.
-	slices.SortFunc(rows, func(a, b GateRow) int {
-		ra, rb := a.Status == "REGRESSED", b.Status == "REGRESSED"
-		if ra != rb {
-			if ra {
-				return -1
-			}
-			return 1
-		}
-		if c := cmp.Compare(math.Abs(b.DeltaPct), math.Abs(a.DeltaPct)); c != 0 {
-			return c
-		}
-		return cmp.Compare(a.Stat, b.Stat)
-	})
-	return rows, ok
-}
-
-// FprintGate renders the comparison. When verbose is false only
-// non-"ok" rows are listed (with a count of the quiet ones).
-func FprintGate(w io.Writer, rows []GateRow, verbose bool) error {
-	if _, err := fmt.Fprintf(w, "%-34s %12s %12s %9s %8s  %s\n",
-		"stat", "base", "current", "delta", "tol", "status"); err != nil {
-		return err
-	}
-	quiet := 0
-	for _, r := range rows {
-		if !verbose && r.Status == "ok" {
-			quiet++
-			continue
-		}
-		if _, err := fmt.Fprintf(w, "%-34s %12.4f %12.4f %+8.2f%% %7.2f%%  %s\n",
-			r.Stat, r.Base, r.Cur, r.DeltaPct, r.TolPct, r.Status); err != nil {
-			return err
-		}
-	}
-	if quiet > 0 {
-		if _, err := fmt.Fprintf(w, "(%d stats within tolerance)\n", quiet); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// WriteFile persists the baseline as indented JSON, stamping the
-// creation time and current commit.
-func (b *Baseline) WriteFile(path string) error {
-	b.Created = time.Now().UTC().Format(time.RFC3339)
-	b.Git = obs.GitDescribe()
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(b); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-// ReadBaseline loads a baseline written by WriteFile.
-func ReadBaseline(path string) (*Baseline, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var b Baseline
-	if err := json.Unmarshal(raw, &b); err != nil {
-		return nil, fmt.Errorf("bench: baseline %s: %w", path, err)
-	}
-	if b.Schema != gateSchema {
-		return nil, fmt.Errorf("bench: baseline %s: schema %d, want %d (re-seed with -baseline)",
-			path, b.Schema, gateSchema)
-	}
-	return &b, nil
 }

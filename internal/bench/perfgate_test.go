@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"gbpolar/internal/bench/gate"
 	"gbpolar/internal/obs"
 	"gbpolar/internal/obs/analyze"
 )
@@ -139,7 +140,7 @@ func TestGateSelfCompare(t *testing.T) {
 	// The virtual axis is pinned: identical medians, zero spread. (Event
 	// counts are NOT in this list — collective retry attempts after the
 	// crash depend on goroutine interleaving, so a loaded host can shift
-	// the trace by a few events; the gate's gateSchedFloor absorbs that.)
+	// the trace by a few events; the gate's gate.SchedFloor absorbs that.)
 	for _, key := range []string{"critical.virt_ms", "makespan.virt_ms"} {
 		b, c := base.Stats[key], cur.Stats[key]
 		if b.Median != c.Median || b.Spread != 0 || c.Spread != 0 {
@@ -207,19 +208,19 @@ func TestGateRegressionDetected(t *testing.T) {
 // the generous floor, scheduling-sensitive counts the middle one,
 // everything else the strict one, and the observed spread widens all.
 func TestGateTolerancePolicy(t *testing.T) {
-	if got := gateTolerance("phase.epol.wall_ms", GateStat{}, GateStat{}); got != gateWallFloor {
-		t.Errorf("wall floor = %v, want %v", got, gateWallFloor)
+	if got := gate.Tolerance("phase.epol.wall_ms", GateStat{}, GateStat{}); got != gate.WallFloor {
+		t.Errorf("wall floor = %v, want %v", got, gate.WallFloor)
 	}
 	for _, stat := range []string{"events", "collective.allreduce.count", "collective.allreduce.wait_ms"} {
-		if got := gateTolerance(stat, GateStat{}, GateStat{}); got != gateSchedFloor {
-			t.Errorf("%s floor = %v, want %v", stat, got, gateSchedFloor)
+		if got := gate.Tolerance(stat, GateStat{}, GateStat{}); got != gate.SchedFloor {
+			t.Errorf("%s floor = %v, want %v", stat, got, gate.SchedFloor)
 		}
 	}
-	if got := gateTolerance("phase.epol.virt_ms", GateStat{}, GateStat{}); got != gateStrictFloor {
-		t.Errorf("strict floor = %v, want %v", got, gateStrictFloor)
+	if got := gate.Tolerance("phase.epol.virt_ms", GateStat{}, GateStat{}); got != gate.StrictFloor {
+		t.Errorf("strict floor = %v, want %v", got, gate.StrictFloor)
 	}
-	wide := gateTolerance("phase.epol.virt_ms", GateStat{Spread: 0.1}, GateStat{Spread: 0.05})
-	if want := gateSpreadMult * 0.15; math.Abs(wide-want) > 1e-12 {
+	wide := gate.Tolerance("phase.epol.virt_ms", GateStat{Spread: 0.1}, GateStat{Spread: 0.05})
+	if want := gate.SpreadMult * 0.15; math.Abs(wide-want) > 1e-12 {
 		t.Errorf("spread-widened tolerance = %v, want %v", wide, want)
 	}
 }

@@ -25,6 +25,13 @@ import (
 // reduction result, and the survivors' assignments shrink only BETWEEN
 // phases, never inside one.
 
+// testPhaseDrag, when non-nil, runs inside a rank's phase computation
+// just before the phase span ends — the watchdog acceptance tests'
+// synthetic-slowdown hook (it sleeps, so the span's wall duration and
+// the open-span age gauge both carry the drag). Set once before any run
+// starts and cleared after; never mutated while ranks are computing.
+var testPhaseDrag func(rank int, phase string)
+
 // ElasticSpans computes each rank's owned row spans after replaying the
 // ordered membership event log. Rank r starts with segment(n, P, r); a
 // death splits every span of the dead rank evenly among the ranks live
@@ -369,6 +376,9 @@ func elasticRank(sys *System, c cluster.Transport, out *rankOut, startPhase int,
 		out.ops += total
 		charged := modelPhaseOps(total, maxW, maxTask, p)
 		c.ChargeOps(charged)
+		if testPhaseDrag != nil {
+			testPhaseDrag(rank, "epol")
+		}
 		sp.End(c.Clock(), obs.F("rows", float64(len(rows))), obs.F("inherited", float64(inherited)))
 		o.Counter("kernel.epol.batches").Add(int64(len(rows)))
 		if inherited > 0 {

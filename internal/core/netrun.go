@@ -12,6 +12,7 @@ import (
 	"gbpolar/internal/cluster/net"
 	"gbpolar/internal/obs"
 	"gbpolar/internal/obs/serve"
+	"gbpolar/internal/obs/watch"
 )
 
 // This file is the multi-process runner: the elastic rank body of
@@ -68,6 +69,15 @@ type NetOptions struct {
 	// dumped to a timestamped JSONL file in this directory on death
 	// detection, degradation, or panic.
 	FlightDir string
+	// HealthInterval is the runtime health sampler cadence on the
+	// coordinator (0 = obs.DefaultHealthInterval, < 0 = sampler off).
+	HealthInterval time.Duration
+	// Watch, when non-nil (and Obs is enabled), runs the anomaly watchdog
+	// against the merged timeline: sustained per-phase imbalance outside
+	// the baseline envelope raises a verdict, flips /healthz to
+	// "anomalous", and dumps the flight recorder tagged with the
+	// offending phase and rank.
+	Watch *watch.Config
 }
 
 // RunNetCoordinator runs the full multi-process protocol from the
@@ -127,12 +137,43 @@ func RunNetCoordinator(ctx context.Context, sys *System, opts NetOptions) (*Resu
 	}
 	defer co.Close()
 
+	// Runtime health sampler: heap/GC/goroutine/scheduler gauges plus
+	// open-span ages, into the same registry the endpoint serves.
+	var sampler *obs.HealthSampler
+	if opts.HealthInterval >= 0 {
+		sampler = obs.StartHealthSampler(opts.Obs, opts.HealthInterval)
+	}
+	defer sampler.Stop()
+
+	// Anomaly watchdog: every verdict dumps the flight ring tagged with
+	// the offending phase and rank before the caller's own hook runs. The
+	// deferred Stop performs one final evaluation, and — being registered
+	// here — runs after the telemetry drain below, so a breach visible
+	// only in the last workers' frames still lands.
+	var dog *watch.Watchdog
+	if opts.Watch != nil {
+		cfg := *opts.Watch
+		after := cfg.OnAnomaly
+		cfg.OnAnomaly = func(v watch.Verdict) {
+			opts.Obs.DumpFlight(fmt.Sprintf("anomaly-%s-rank%d", v.Phase, v.Rank))
+			if after != nil {
+				after(v)
+			}
+		}
+		dog = watch.Start(opts.Obs, cfg)
+		defer dog.Stop()
+	}
+
 	// Live endpoint: membership-backed health plus the metrics registry.
 	// Started before the membership file is published so the bound
 	// address (ObsAddr may ask for port 0) rides along in it.
 	obsAddr := ""
 	if opts.ObsAddr != "" {
-		srv, serr := serve.Start(opts.ObsAddr, opts.Obs, func() serve.Health {
+		var verdicts func() any
+		if dog != nil {
+			verdicts = func() any { return dog.Verdicts() }
+		}
+		srv, serr := serve.StartWith(opts.ObsAddr, opts.Obs, func() serve.Health {
 			s := co.State()
 			h := serve.Health{
 				Ready:        s.Ready(),
@@ -140,17 +181,20 @@ func RunNetCoordinator(ctx context.Context, sys *System, opts NetOptions) (*Resu
 				LiveRanks:    s.Live,
 				Rounds:       s.Rounds,
 				PendingJoins: s.Pending,
+				Anomalies:    len(dog.Verdicts()),
 			}
 			switch {
 			case s.Dead > 0:
 				h.State = "degraded"
 			case !h.Ready && s.Rounds == 0:
 				h.State = "starting"
+			case dog.Anomalous():
+				h.State = "anomalous"
 			default:
 				h.State = "running"
 			}
 			return h
-		})
+		}, verdicts)
 		if serr != nil {
 			return nil, serr
 		}
@@ -330,6 +374,14 @@ type NetWorkerOptions struct {
 	// FlightDir, when non-empty, attaches a crash flight recorder (see
 	// NetOptions.FlightDir).
 	FlightDir string
+	// HealthInterval is the runtime health sampler cadence (0 =
+	// obs.DefaultHealthInterval, < 0 = sampler off). The sampler's
+	// open-span age gauges are what make this worker's in-flight phase
+	// visible to the coordinator's watchdog before the phase closes.
+	HealthInterval time.Duration
+	// TelemetryInterval overrides the periodic telemetry flush cadence
+	// (0 = net default, 1s). Tests and fine-grained watch runs lower it.
+	TelemetryInterval time.Duration
 }
 
 // RunNetWorker is the worker-process entry point: it waits for the
@@ -354,6 +406,11 @@ func RunNetWorker(membershipPath string, rank int, opts NetWorkerOptions) (*Elas
 		}
 		defer srv.Close()
 	}
+	var sampler *obs.HealthSampler
+	if opts.HealthInterval >= 0 {
+		sampler = obs.StartHealthSampler(opts.Obs, opts.HealthInterval)
+	}
+	defer sampler.Stop() // idempotent; covers every error path below
 	m, err := net.WaitMembership(membershipPath, opts.JoinBudget)
 	if err != nil {
 		return nil, err
@@ -373,11 +430,12 @@ func RunNetWorker(membershipPath string, rank int, opts NetWorkerOptions) (*Elas
 		return nil, fmt.Errorf("core: worker checkpoint: %w", err)
 	}
 	c, err := net.Dial(m.Addr, rank, net.Options{
-		StallTimeout:     opts.StallTimeout,
-		DialTimeout:      opts.JoinBudget,
-		Obs:              opts.Obs,
-		ShipTelemetry:    opts.Obs.Enabled(),
-		KillAtCollective: opts.KillAtCollective,
+		StallTimeout:      opts.StallTimeout,
+		DialTimeout:       opts.JoinBudget,
+		Obs:               opts.Obs,
+		ShipTelemetry:     opts.Obs.Enabled(),
+		TelemetryInterval: opts.TelemetryInterval,
+		KillAtCollective:  opts.KillAtCollective,
 	})
 	if err != nil {
 		return nil, err
@@ -392,6 +450,11 @@ func RunNetWorker(membershipPath string, rank int, opts NetWorkerOptions) (*Elas
 		c.Close()
 		return nil, err
 	}
+	// Stop the sampler before the goodbye: its final tick zeroes the
+	// open-span age gauges, and Bye's telemetry flush is the last frame
+	// this worker ships — without this ordering the coordinator would be
+	// left overlaying a stale positive age forever.
+	sampler.Stop()
 	c.Bye()
 	return out, nil
 }

@@ -76,6 +76,34 @@ func (f *FlightRecorder) Events() []Event {
 	return out
 }
 
+// EventsSince returns the events recorded after cursor (oldest first)
+// plus the new cursor — the per-client incremental window the /events
+// stream serves. A cursor of 0 starts at the oldest event still in the
+// ring; a client that fell more than the ring size behind is skipped
+// forward (the ring overwrote what it missed). Under concurrent writers
+// the snapshot is approximate, like Events. Nil-safe.
+func (f *FlightRecorder) EventsSince(cursor uint64) ([]Event, uint64) {
+	if f == nil {
+		return nil, cursor
+	}
+	n := uint64(len(f.slots))
+	end := f.pos.Load()
+	start := cursor
+	if end > n && start < end-n {
+		start = end - n
+	}
+	if start >= end {
+		return nil, end
+	}
+	out := make([]Event, 0, end-start)
+	for i := start; i < end; i++ {
+		if p := f.slots[i%n].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out, end
+}
+
 // Dump writes the ring to dir/flight-<reason>-<pid>-<unixnano>.jsonl and
 // returns the path. The file is one JSON event per line — loadable with
 // ReadJSONL, analyzable with gbtrace. Nil-safe (returns "" with no

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"runtime/metrics"
+	"time"
+)
+
+// HealthSampler is the per-rank runtime health probe: a single ticker
+// goroutine that samples the Go runtime (heap, GC, goroutines, scheduler
+// latency) and the trace's open spans into the observer's lock-free
+// registry. Everything lands in existing metric kinds — gauges and
+// power-of-two histograms — so a worker's health rides the PR-8
+// telemetry frames to the coordinator with zero new wire types: after
+// Absorb the coordinator sees each worker's gauges as
+// rank<r>.health.<name>.
+//
+// The open-span age gauges (health.open.phase.<name>_us) are the piece
+// the watchdog cannot get from the trace alone: telemetry ships only
+// closed spans, so a rank stuck inside a phase is invisible to the
+// coordinator until the phase ends — exactly when detection is too
+// late. The sampler publishes how long the current phase span has been
+// open, and zeroes the gauge once the span closes, giving the watchdog
+// a live view of in-flight work.
+type HealthSampler struct {
+	o        *Obs
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+
+	samples []metrics.Sample // reused across ticks; indexed by healthRuntimeMetrics
+	// prevPause holds the last-seen cumulative /gc/pauses counts so each
+	// tick folds only the new pauses into the health.gc_pause_us
+	// histogram.
+	prevPause []uint64
+	// openSet tracks the open-span gauges set on the previous tick so
+	// spans that closed since are zeroed rather than left stale.
+	openSet map[string]bool
+}
+
+// DefaultHealthInterval is the sampler cadence when interval <= 0:
+// coarse enough to stay far inside the observability budget (a tick is
+// a few runtime/metrics reads and a handful of atomic stores), fine
+// enough that a stalled phase shows up within a couple of watchdog
+// windows.
+const DefaultHealthInterval = 500 * time.Millisecond
+
+// Runtime metrics sampled each tick, in fixed order.
+const (
+	healthIdxHeap = iota
+	healthIdxGoroutines
+	healthIdxGCCycles
+	healthIdxSchedLat
+	healthIdxGCPause
+	healthNumMetrics
+)
+
+var healthRuntimeMetrics = [healthNumMetrics]string{
+	healthIdxHeap:       "/memory/classes/heap/objects:bytes",
+	healthIdxGoroutines: "/sched/goroutines:goroutines",
+	healthIdxGCCycles:   "/gc/cycles/total:gc-cycles",
+	healthIdxSchedLat:   "/sched/latencies:seconds",
+	healthIdxGCPause:    "/gc/pauses:seconds",
+}
+
+// StartHealthSampler launches the sampler goroutine against o at the
+// given cadence (<= 0 uses DefaultHealthInterval). Returns nil when the
+// observer is disabled; Stop is nil-safe, so callers need no branch.
+func StartHealthSampler(o *Obs, interval time.Duration) *HealthSampler {
+	if !o.Enabled() {
+		return nil
+	}
+	if interval <= 0 {
+		interval = DefaultHealthInterval
+	}
+	s := &HealthSampler{
+		o:        o,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		samples:  make([]metrics.Sample, healthNumMetrics),
+		openSet:  map[string]bool{},
+	}
+	for i, name := range healthRuntimeMetrics {
+		s.samples[i].Name = name
+	}
+	go s.loop()
+	return s
+}
+
+func (s *HealthSampler) loop() {
+	defer close(s.done)
+	tick := time.NewTicker(s.interval)
+	defer tick.Stop()
+	s.sample() // immediate first sample so short runs still get one
+	for {
+		select {
+		case <-s.stop:
+			s.sample() // final sample: zero closed open-span gauges
+			return
+		case <-tick.C:
+			s.sample()
+		}
+	}
+}
+
+// Stop halts the sampler and blocks until its goroutine has exited,
+// after one final sample so gauges reflect the end state. Idempotent
+// and nil-safe.
+func (s *HealthSampler) Stop() {
+	if s == nil {
+		return
+	}
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+}
+
+// sample reads the runtime metrics and the trace's open spans into the
+// registry. One tick is a few atomic stores — no allocation beyond the
+// first tick's gauge interning.
+func (s *HealthSampler) sample() {
+	metrics.Read(s.samples)
+
+	if v := s.samples[healthIdxHeap].Value; v.Kind() == metrics.KindUint64 {
+		s.o.Gauge("health.heap_bytes").Set(float64(v.Uint64()))
+	}
+	if v := s.samples[healthIdxGoroutines].Value; v.Kind() == metrics.KindUint64 {
+		s.o.Gauge("health.goroutines").Set(float64(v.Uint64()))
+	}
+	if v := s.samples[healthIdxGCCycles].Value; v.Kind() == metrics.KindUint64 {
+		s.o.Gauge("health.gc_cycles").Set(float64(v.Uint64()))
+	}
+	if v := s.samples[healthIdxSchedLat].Value; v.Kind() == metrics.KindFloat64Histogram {
+		if h := v.Float64Histogram(); h != nil {
+			p95 := histQuantileSeconds(h, 0.95)
+			s.o.Gauge("health.sched_latency_p95_us").Set(p95 * 1e6)
+		}
+	}
+	if v := s.samples[healthIdxGCPause].Value; v.Kind() == metrics.KindFloat64Histogram {
+		s.foldGCPauses(v.Float64Histogram())
+	}
+
+	s.sampleOpenSpans()
+}
+
+// foldGCPauses feeds the pauses accumulated since the previous tick into
+// the health.gc_pause_us power-of-two histogram, each bucket's new count
+// observed at the bucket midpoint in microseconds. The registry
+// histogram then travels as an exact delta in telemetry frames like any
+// other.
+func (s *HealthSampler) foldGCPauses(h *metrics.Float64Histogram) {
+	if h == nil {
+		return
+	}
+	if s.prevPause == nil || len(s.prevPause) != len(h.Counts) {
+		// First tick (or runtime changed bucket layout): swallow history,
+		// start folding deltas from here.
+		s.prevPause = append([]uint64(nil), h.Counts...)
+		return
+	}
+	dst := s.o.Histogram("health.gc_pause_us")
+	for i, c := range h.Counts {
+		d := c - s.prevPause[i]
+		if d == 0 || d > c { // d > c: counter reset, skip this lap
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := midpointSeconds(lo, hi)
+		us := int64(mid * 1e6)
+		if us < 1 {
+			us = 1
+		}
+		// Cap the per-bucket fold so a pathological tick cannot spin; the
+		// histogram still records the magnitude via repeated observation.
+		if d > 1024 {
+			d = 1024
+		}
+		for n := uint64(0); n < d; n++ {
+			dst.Observe(us)
+		}
+	}
+	copy(s.prevPause, h.Counts)
+}
+
+// sampleOpenSpans publishes the age of each currently-open phase span as
+// health.open.phase.<name>_us and zeroes gauges for spans that closed
+// since the previous tick. Non-phase categories are skipped: phases are
+// what the watchdog judges, and collective spans open and close far
+// faster than any useful cadence.
+func (s *HealthSampler) sampleOpenSpans() {
+	cur := map[string]bool{}
+	for _, ev := range s.o.Trace.OpenSpans() {
+		if ev.Cat != "phase" {
+			continue
+		}
+		name := fmt.Sprintf("health.open.phase.%s_us", ev.Name)
+		s.o.Gauge(name).Set(ev.WallDurUS)
+		cur[name] = true
+	}
+	for name := range s.openSet {
+		if !cur[name] {
+			s.o.Gauge(name).Set(0)
+		}
+	}
+	s.openSet = cur
+}
+
+// histQuantileSeconds interpolates quantile q from a runtime/metrics
+// cumulative histogram (values in seconds). Infinite edge buckets
+// collapse to their finite boundary.
+func histQuantileSeconds(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= target {
+			return midpointSeconds(h.Buckets[i], h.Buckets[i+1])
+		}
+	}
+	return midpointSeconds(h.Buckets[len(h.Buckets)-2], h.Buckets[len(h.Buckets)-1])
+}
+
+// midpointSeconds is the representative value for a histogram bucket,
+// tolerating the ±Inf edge buckets runtime/metrics uses.
+func midpointSeconds(lo, hi float64) float64 {
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, +1):
+		return 0
+	case math.IsInf(lo, -1):
+		return hi
+	case math.IsInf(hi, +1):
+		return lo
+	default:
+		return (lo + hi) / 2
+	}
+}

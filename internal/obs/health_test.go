@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The sampler must populate the runtime gauges, publish open-phase span
+// ages, zero them once the span closes, and leave no goroutine behind
+// after Stop.
+func TestHealthSamplerGaugesAndOpenSpans(t *testing.T) {
+	o := New()
+	base := runtime.NumGoroutine()
+
+	sp := o.Begin(2, "phase", "epol", NoVirtual)
+	s := StartHealthSampler(o, time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if o.Gauge("health.open.phase.epol_us").Value() > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := o.Gauge("health.open.phase.epol_us").Value(); got <= 0 {
+		t.Fatalf("open-span gauge not published: %v", got)
+	}
+	if o.Gauge("health.heap_bytes").Value() <= 0 {
+		t.Error("health.heap_bytes not sampled")
+	}
+	if o.Gauge("health.goroutines").Value() <= 0 {
+		t.Error("health.goroutines not sampled")
+	}
+
+	sp.End(NoVirtual)
+	for time.Now().Before(deadline) {
+		if o.Gauge("health.open.phase.epol_us").Value() == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := o.Gauge("health.open.phase.epol_us").Value(); got != 0 {
+		t.Errorf("open-span gauge not zeroed after span end: %v", got)
+	}
+
+	s.Stop()
+	s.Stop() // idempotent
+
+	// Goroutine restored (allow unrelated runtime churn a moment).
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Errorf("sampler leaked goroutines: %d > %d", n, base)
+	}
+}
+
+// A disabled observer must yield a nil sampler whose Stop is a no-op.
+func TestHealthSamplerDisabled(t *testing.T) {
+	var o *Obs
+	s := StartHealthSampler(o, time.Millisecond)
+	if s != nil {
+		t.Fatalf("sampler on disabled observer: %v", s)
+	}
+	s.Stop() // must not panic
+}
+
+// Health gauges must survive the telemetry round trip rank-prefixed, so
+// the coordinator can attribute them.
+func TestHealthGaugesShipViaTelemetry(t *testing.T) {
+	worker := New()
+	sp := worker.Begin(1, "phase", "epol", NoVirtual)
+	s := StartHealthSampler(worker, time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if worker.Gauge("health.open.phase.epol_us").Value() > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	sp.End(NoVirtual)
+
+	frame := worker.NewShipper().Collect()
+	if frame == nil {
+		t.Fatal("nothing to ship")
+	}
+	tl, err := DecodeTelemetry(frame)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	coord := New()
+	coord.Absorb(tl, 1, 0)
+	snap := coord.Metrics.Snapshot()
+	found := false
+	for name := range snap.Gauges {
+		if strings.HasPrefix(name, "rank1.health.") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no rank1.health.* gauge after absorb; gauges: %v", snap.Gauges)
+	}
+}
+
+func TestTraceOpenSpans(t *testing.T) {
+	o := New()
+	sp := o.Begin(3, "phase", "born", NoVirtual)
+	time.Sleep(2 * time.Millisecond)
+	open := o.Trace.OpenSpans()
+	if len(open) != 1 {
+		t.Fatalf("open spans = %d, want 1", len(open))
+	}
+	ev := open[0]
+	if ev.Name != "born" || ev.Cat != "phase" || ev.Rank != 3 || ev.Ph != "X" {
+		t.Errorf("unexpected open span: %+v", ev)
+	}
+	if ev.WallDurUS < 1000 {
+		t.Errorf("open span age %v us, want >= 1000", ev.WallDurUS)
+	}
+	if ev.Args["truncated"] != 1 {
+		t.Errorf("open span missing truncated marker: %v", ev.Args)
+	}
+	sp.End(NoVirtual)
+	if n := len(o.Trace.OpenSpans()); n != 0 {
+		t.Errorf("open spans after End = %d, want 0", n)
+	}
+
+	var nilTrace *Trace
+	if nilTrace.OpenSpans() != nil {
+		t.Error("nil trace OpenSpans should be nil")
+	}
+}
+
+func TestFlightEventsSince(t *testing.T) {
+	f := NewFlightRecorder(4, t.TempDir())
+	var cur uint64
+	evs, cur := f.EventsSince(cur)
+	if len(evs) != 0 {
+		t.Fatalf("events before any record: %d", len(evs))
+	}
+	for i := 0; i < 3; i++ {
+		f.Record(Event{Name: "a", WallUS: float64(i)})
+	}
+	evs, cur = f.EventsSince(cur)
+	if len(evs) != 3 {
+		t.Fatalf("first window = %d events, want 3", len(evs))
+	}
+	// No new events: empty window, cursor stable.
+	evs, cur2 := f.EventsSince(cur)
+	if len(evs) != 0 || cur2 != cur {
+		t.Fatalf("idle window = %d events, cursor %d -> %d", len(evs), cur, cur2)
+	}
+	// Overflow the ring: client skips forward to the oldest survivor.
+	for i := 0; i < 10; i++ {
+		f.Record(Event{Name: "b", WallUS: float64(100 + i)})
+	}
+	evs, _ = f.EventsSince(cur)
+	if len(evs) != 4 {
+		t.Fatalf("post-overflow window = %d events, want ring size 4", len(evs))
+	}
+	if evs[0].WallUS != 106 {
+		t.Errorf("oldest survivor WallUS = %v, want 106", evs[0].WallUS)
+	}
+
+	var nilF *FlightRecorder
+	evs, c := nilF.EventsSince(7)
+	if evs != nil || c != 7 {
+		t.Errorf("nil recorder EventsSince = %v, %d", evs, c)
+	}
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"gbpolar/internal/obs"
+)
+
+// The /events endpoint streams newline-delimited JSON snapshots — one
+// StreamFrame per line — at a client-chosen interval. It is the feed
+// behind `gbtrace top`: each frame carries the merged registry (with
+// histogram quantiles but without the 65-bucket arrays, to keep lines
+// terminal-sized), the span window recorded since the client's previous
+// frame, the health summary, the heartbeat RTT quantiles, and the
+// watchdog's verdicts when one is wired. Span deltas come from the
+// flight-recorder ring when one is attached (cheap, lock-free, bounded)
+// and fall back to the trace's event log otherwise; either way the
+// cursor is per-client, so concurrent watchers never steal each other's
+// deltas. The handler exits as soon as the client disconnects — leaving
+// no goroutine behind — which the serve tests pin down.
+
+// StreamFrame is one line of the /events NDJSON stream.
+type StreamFrame struct {
+	// Seq numbers frames per client, starting at 1.
+	Seq int64 `json:"seq"`
+	// WallMS is the coordinator's wall-clock time of the snapshot, in
+	// milliseconds since its trace epoch.
+	WallMS  float64             `json:"wall_ms"`
+	Health  Health              `json:"health"`
+	Metrics obs.MetricsSnapshot `json:"metrics"`
+	// Spans is the window of trace events recorded since the previous
+	// frame (all of them on the first frame, bounded by the flight ring).
+	Spans []obs.Event `json:"spans,omitempty"`
+	// RTT surfaces the heartbeat round-trip quantiles (µs) when the
+	// net.heartbeat.rtt_us histogram exists.
+	RTT *RTTQuantiles `json:"rtt_us,omitempty"`
+	// Verdicts is the watchdog's current anomaly list, when one is wired.
+	Verdicts any `json:"verdicts,omitempty"`
+}
+
+// RTTQuantiles are the heartbeat round-trip percentiles in microseconds.
+type RTTQuantiles struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+const (
+	defaultStreamInterval = time.Second
+	minStreamInterval     = 50 * time.Millisecond
+	maxStreamInterval     = 30 * time.Second
+)
+
+// streamEvents serves one /events client until it disconnects.
+func streamEvents(w http.ResponseWriter, r *http.Request, o *obs.Obs, health func() Health, verdicts func() any) {
+	interval := defaultStreamInterval
+	if raw := r.URL.Query().Get("interval"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil {
+			// Bare numbers are seconds, for curl ergonomics.
+			if secs, err2 := strconv.ParseFloat(raw, 64); err2 == nil {
+				d, err = time.Duration(secs*float64(time.Second)), nil
+			}
+		}
+		if err != nil {
+			http.Error(w, "bad interval: "+raw, http.StatusBadRequest)
+			return
+		}
+		interval = min(max(d, minStreamInterval), maxStreamInterval)
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+
+	enc := json.NewEncoder(w)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var (
+		seq       int64
+		flightCur uint64
+		traceCur  int
+		useFlight = o.Flight() != nil
+		ctx       = r.Context()
+	)
+	for {
+		seq++
+		frame := StreamFrame{Seq: seq}
+		if o != nil {
+			frame.WallMS = o.Trace.NowUS() / 1e3
+			if useFlight {
+				frame.Spans, flightCur = o.Flight().EventsSince(flightCur)
+			} else {
+				frame.Spans, traceCur = o.Trace.EventsSince(traceCur)
+			}
+			if o.Metrics != nil {
+				frame.Metrics = o.Metrics.Snapshot()
+				trimBuckets(&frame.Metrics)
+				if h, ok := frame.Metrics.Histograms["net.heartbeat.rtt_us"]; ok {
+					frame.RTT = &RTTQuantiles{P50: h.P50, P95: h.P95, P99: h.P99}
+				}
+			}
+		}
+		if health != nil {
+			frame.Health = health()
+		}
+		if verdicts != nil {
+			frame.Verdicts = verdicts()
+		}
+		if err := enc.Encode(&frame); err != nil {
+			return // client went away mid-write
+		}
+		flusher.Flush()
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// trimBuckets drops the per-histogram bucket arrays from a snapshot: the
+// stream's consumers read the precomputed quantiles, and 65 buckets per
+// histogram per frame would dominate the line size.
+func trimBuckets(snap *obs.MetricsSnapshot) {
+	for k, h := range snap.Histograms {
+		h.Buckets = nil
+		snap.Histograms[k] = h
+	}
+}

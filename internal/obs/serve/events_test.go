@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gbpolar/internal/obs"
+)
+
+// streamFixture serves an observer with a little of everything the
+// /events frame carries: metrics, a heartbeat RTT histogram, a flight
+// ring mirroring the trace, and a verdicts source.
+func streamFixture(t *testing.T, verdicts func() any) (*Server, *obs.Obs) {
+	t.Helper()
+	o := obs.New()
+	o.AttachFlight(obs.NewFlightRecorder(64, t.TempDir()))
+	o.Counter("net.frames.sent").Add(3)
+	for i := int64(1); i <= 100; i++ {
+		o.Histogram("net.heartbeat.rtt_us").Observe(i * 10)
+	}
+	sp := o.Begin(1, "phase", "epol", obs.NoVirtual)
+	sp.End(obs.NoVirtual)
+	s, err := StartWith("127.0.0.1:0", o, func() Health {
+		return Health{State: "running", Ready: true, Size: 4, LiveRanks: 4}
+	}, verdicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, o
+}
+
+// Two sequential frames of one client: the first carries the span
+// backlog, RTT quantiles, trimmed histograms and verdicts; the second
+// only the spans recorded in between.
+func TestEventsStream(t *testing.T) {
+	s, o := streamFixture(t, func() any { return []string{"phase epol rank 1"} })
+
+	resp, err := http.Get("http://" + s.Addr() + "/events?interval=60ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "ndjson") {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	readFrame := func() StreamFrame {
+		t.Helper()
+		if !sc.Scan() {
+			t.Fatalf("stream ended early: %v", sc.Err())
+		}
+		var f StreamFrame
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			t.Fatalf("bad frame %q: %v", sc.Text(), err)
+		}
+		return f
+	}
+
+	f1 := readFrame()
+	if f1.Seq != 1 {
+		t.Errorf("first frame seq = %d", f1.Seq)
+	}
+	if len(f1.Spans) != 1 || f1.Spans[0].Name != "epol" {
+		t.Errorf("first frame spans = %+v, want the epol span", f1.Spans)
+	}
+	if f1.Health.LiveRanks != 4 {
+		t.Errorf("health missing: %+v", f1.Health)
+	}
+	if f1.RTT == nil || f1.RTT.P95 <= f1.RTT.P50 || f1.RTT.P50 <= 0 {
+		t.Errorf("rtt quantiles = %+v", f1.RTT)
+	}
+	h, ok := f1.Metrics.Histograms["net.heartbeat.rtt_us"]
+	if !ok {
+		t.Fatalf("histogram missing from frame metrics")
+	}
+	if len(h.Buckets) != 0 {
+		t.Errorf("buckets not trimmed: %d", len(h.Buckets))
+	}
+	if f1.Verdicts == nil {
+		t.Errorf("verdicts missing")
+	}
+
+	// New span between frames: only it should appear in the next window.
+	sp := o.Begin(2, "phase", "push", obs.NoVirtual)
+	sp.End(obs.NoVirtual)
+	f2 := readFrame()
+	if f2.Seq != 2 {
+		t.Errorf("second frame seq = %d", f2.Seq)
+	}
+	found := false
+	for _, ev := range f2.Spans {
+		if ev.Name == "epol" {
+			t.Errorf("second frame re-delivered the epol span")
+		}
+		if ev.Name == "push" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("second frame missing the push span: %+v", f2.Spans)
+	}
+}
+
+func TestEventsBadInterval(t *testing.T) {
+	s, _ := streamFixture(t, nil)
+	resp, err := http.Get("http://" + s.Addr() + "/events?interval=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad interval status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// Clients that vanish mid-stream must not leave handler goroutines (or
+// write-after-close panics) behind, and concurrent /metrics scrapes must
+// survive alongside the streams.
+func TestEventsDisconnectLeak(t *testing.T) {
+	s, _ := streamFixture(t, nil)
+	base := "http://" + s.Addr()
+
+	goroutines := func() int {
+		runtime.GC()
+		return runtime.NumGoroutine()
+	}
+	before := goroutines()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			req, _ := http.NewRequestWithContext(ctx, "GET", base+"/events?interval=50ms", nil)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				cancel()
+				return
+			}
+			// Read one frame, then drop the connection mid-stream.
+			buf := make([]byte, 256)
+			resp.Body.Read(buf)
+			cancel()
+			resp.Body.Close()
+		}()
+	}
+	// Concurrent scrapes while the streams churn.
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				code, body, _ := get(t, base+"/metrics")
+				if code != http.StatusOK || !strings.Contains(body, "gbpol_up 1") {
+					t.Errorf("/metrics during streams = %d", code)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Drop the client side's pooled keep-alive connections so only
+	// server-side leaks would remain visible.
+	http.DefaultClient.CloseIdleConnections()
+
+	// All handler goroutines must drain once the clients are gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if goroutines() <= before {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines after disconnects: %d, want <= %d", goroutines(), before)
+}
+
+// The quantile satellite: /metrics must carry p50/p95/p99 gauges per
+// histogram.
+func TestMetricsQuantileGauges(t *testing.T) {
+	s, _ := streamFixture(t, nil)
+	code, body, _ := get(t, "http://"+s.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE gbpol_net_heartbeat_rtt_us_quantile gauge",
+		`gbpol_net_heartbeat_rtt_us_quantile{q="0.5"}`,
+		`gbpol_net_heartbeat_rtt_us_quantile{q="0.95"}`,
+		`gbpol_net_heartbeat_rtt_us_quantile{q="0.99"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+	// The rendered quantiles must be ordered and inside the observed range.
+	var p50, p99 float64
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, `gbpol_net_heartbeat_rtt_us_quantile{q="0.5"}`) {
+			fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &p50)
+		}
+		if strings.HasPrefix(line, `gbpol_net_heartbeat_rtt_us_quantile{q="0.99"}`) {
+			fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &p99)
+		}
+	}
+	if !(p50 > 0 && p99 >= p50 && p99 <= 2048) {
+		t.Fatalf("quantile values p50=%v p99=%v out of range", p50, p99)
+	}
+}

@@ -24,7 +24,9 @@ import (
 // Health is the cluster-state summary behind /healthz and /readyz.
 type Health struct {
 	// State names the process's phase: "starting", "running",
-	// "degraded", "worker", "done".
+	// "degraded", "anomalous", "worker", "done". "anomalous" means the
+	// watchdog has a standing verdict but the cluster is structurally
+	// healthy; "degraded" (a dead rank) takes precedence over it.
 	State string `json:"state"`
 	// Ready reports whether the process is fully operational — for a
 	// coordinator, every founding rank joined and none is dead.
@@ -36,6 +38,8 @@ type Health struct {
 	Rounds int `json:"rounds_completed"`
 	// PendingJoins counts rejoiners queued for the next boundary.
 	PendingJoins int `json:"pending_joins,omitempty"`
+	// Anomalies counts watchdog verdicts fired so far.
+	Anomalies int `json:"anomalies,omitempty"`
 }
 
 // Server is a running observability endpoint.
@@ -49,11 +53,22 @@ type Server struct {
 // when non-nil, backs /healthz and /readyz; a nil health makes /readyz
 // always ready (a standalone process with no membership to wait for).
 func Start(addr string, o *obs.Obs, health func() Health) (*Server, error) {
+	return StartWith(addr, o, health, nil)
+}
+
+// StartWith is Start plus a verdicts source: when non-nil it is polled
+// per /events frame so the stream (and `gbtrace top`) carries the
+// anomaly watchdog's current verdict list. Kept separate so existing
+// Start callers need no churn.
+func StartWith(addr string, o *obs.Obs, health func() Health, verdicts func() any) (*Server, error) {
 	ln, err := gonet.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: serve listen %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		streamEvents(w, r, o, health, verdicts)
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WriteMetrics(w, o)
@@ -143,7 +158,13 @@ func WriteMetrics(w io.Writer, o *obs.Obs) error {
 		}
 		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
 		fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum)
-		if _, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count); err != nil {
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+		// Precomputed percentiles as labeled gauges, so dashboards get
+		// p50/p95/p99 without re-deriving them from the bucket counts.
+		fmt.Fprintf(w, "# TYPE %s_quantile gauge\n", name)
+		fmt.Fprintf(w, "%s_quantile{q=\"0.5\"} %g\n", name, h.P50)
+		fmt.Fprintf(w, "%s_quantile{q=\"0.95\"} %g\n", name, h.P95)
+		if _, err := fmt.Fprintf(w, "%s_quantile{q=\"0.99\"} %g\n", name, h.P99); err != nil {
 			return err
 		}
 	}

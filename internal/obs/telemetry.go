@@ -277,7 +277,7 @@ func (s *Shipper) Collect() []byte {
 	defer s.mu.Unlock()
 	var tl Telemetry
 	if t := s.o.Trace; t != nil {
-		tl.Events, s.next = t.eventsSince(s.next)
+		tl.Events, s.next = t.EventsSince(s.next)
 	}
 	if m := s.o.Metrics; m != nil {
 		s.collectMetrics(m, &tl)

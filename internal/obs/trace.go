@@ -286,10 +286,15 @@ func (t *Trace) Adopt(ev Event) {
 	t.record(ev)
 }
 
-// eventsSince returns a copy of the recorded events from index n on (in
-// emission order) plus the new high-water mark — the telemetry shipper's
-// incremental cursor. Open spans are not included; they ship once ended.
-func (t *Trace) eventsSince(n int) ([]Event, int) {
+// EventsSince returns a copy of the recorded events from index n on (in
+// emission order) plus the new high-water mark — the incremental cursor
+// the telemetry shipper, the /events stream and the anomaly watchdog all
+// poll with. Open spans are not included; they ship once ended (the live
+// view of in-flight spans is OpenSpans). Nil-safe.
+func (t *Trace) EventsSince(n int) ([]Event, int) {
+	if t == nil {
+		return nil, n
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if n < 0 {
@@ -300,6 +305,36 @@ func (t *Trace) eventsSince(n int) ([]Event, int) {
 	}
 	out := append([]Event(nil), t.events[n:]...)
 	return out, len(t.events)
+}
+
+// OpenSpans returns the spans currently open, as "X" events carrying
+// Args["truncated"] = 1 with the wall duration measured up to now and no
+// virtual duration — the same convention Events uses for spans still open
+// at export. The health sampler publishes these as open-span age gauges
+// so a remote watchdog can see where each rank currently is without the
+// span having ended. Nil-safe.
+func (t *Trace) OpenSpans() []Event {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.open))
+	for _, os := range t.open {
+		ev := Event{
+			Name: os.name, Cat: os.cat, Ph: "X", Rank: os.rank,
+			WallUS:    float64(os.wallStart.Sub(t.wall0)) / float64(time.Microsecond),
+			WallDurUS: float64(now.Sub(os.wallStart)) / float64(time.Microsecond),
+			HasVirt:   os.hasVirt,
+			Args:      map[string]float64{"truncated": 1},
+		}
+		if os.hasVirt {
+			ev.VirtUS = os.virtStart * 1e6
+		}
+		out = append(out, ev)
+	}
+	return out
 }
 
 // NumEvents returns the number of events an export would emit: recorded
