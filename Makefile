@@ -7,7 +7,7 @@ GO ?= go
 # hosts. Usage: make bench-lanes GOAMD64=v3
 GOAMD64 ?=
 
-.PHONY: check build test vet race faults bench-warm bench-lanes obs perfgate net
+.PHONY: check build test vet race faults bench-warm bench-lanes bench-far obs perfgate net
 
 ## check: the tier-1 gate — vet, build, full test suite, race detector,
 ## the fault-injection matrix, the observability suite, and the perf
@@ -82,6 +82,14 @@ bench-warm:
 ## kernel ablation section). Honors GOAMD64 (see above).
 bench-lanes:
 	GOAMD64=$(GOAMD64) $(GO) run ./cmd/gbbench -exp lanes -reps 3
+
+## bench-far: the far-order accuracy/cost frontier — E_pol error vs
+## compiled far-list size vs warm pose time across eps x FarOrder
+## (EXPERIMENTS.md far-order section), plus the per-order warm pose
+## microbenchmarks.
+bench-far:
+	$(GO) run ./cmd/gbbench -exp pareto -reps 3
+	$(GO) test -run '^$$' -bench 'BenchmarkWarmPoseFarOrder' -benchtime 3x -count 2 ./internal/core/
 
 ## bench-cold: the cold-path pair — octree construction benchmarks
 ## (recursive vs Morton at 1k/10k/100k points) and the coldstart

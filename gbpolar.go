@@ -80,6 +80,12 @@ type Options struct {
 	QuadratureDegree int
 	// LeafCap is the octree leaf capacity (0 = 8).
 	LeafCap int
+	// FarOrder raises the far-field multipole order: 0 (default) is the
+	// paper's pseudo-particle far field, 1 adds dipole corrections to
+	// every far interaction, 2 adds quadrupoles AND loosens the Born
+	// opening criterion to consolidate the far lists at equal certified
+	// error (core/farorder.go).
+	FarOrder int
 	// Builder selects the octree construction algorithm: "recursive"
 	// (the reference top-down builder, the default) or "morton" (the
 	// Morton-key radix build — same tree, faster cold start, and the
@@ -103,6 +109,9 @@ func (o Options) params() core.Params {
 	}
 	if o.LeafCap > 0 {
 		p.LeafCap = o.LeafCap
+	}
+	if o.FarOrder > 0 {
+		p.FarOrder = o.FarOrder
 	}
 	return p
 }

@@ -36,6 +36,7 @@ func Registry() []Experiment {
 		{"obs", "Observability overhead: tracing+metrics on vs off", obsOverhead},
 		{"coldstart", "Cold-path performance: Morton vs recursive build + incremental list repair", coldstart},
 		{"lanes", "Kernel ablation: scalar vs laned x exact vs approx vs f32 precision tiers", lanes},
+		{"pareto", "Far-order frontier: error vs far-list size vs warm pose time across eps x FarOrder", pareto},
 	}
 }
 
@@ -46,7 +47,7 @@ func ByID(id string) (Experiment, error) {
 			return e, nil
 		}
 	}
-	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have tableI, tableII, fig5..fig11, extensions, obs, coldstart, lanes)", id)
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have tableI, tableII, fig5..fig11, extensions, obs, coldstart, lanes, pareto)", id)
 }
 
 // tableI reports the modeled environment — the analogue of the paper's

@@ -3,11 +3,13 @@ package bench
 import (
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"gbpolar/internal/bench/gate"
 	"gbpolar/internal/cluster"
 	"gbpolar/internal/core"
+	"gbpolar/internal/geom"
 	"gbpolar/internal/mathx"
 	"gbpolar/internal/molecule"
 	"gbpolar/internal/obs"
@@ -146,9 +148,50 @@ func GateSamples(atoms, reps int, seed int64) ([]map[string]float64, error) {
 		for k, v := range kernels {
 			s[k] = v
 		}
+		fars, err := gateFarStats(p)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range fars {
+			s[k] = v
+		}
 		samples = append(samples, s)
 	}
 	return samples, nil
+}
+
+// gateFarStats is the "far" perfgate measurement class: the warm pose
+// scan of the gate molecule at each far-field multipole order, best-of-2
+// per-pose wall milliseconds. It keeps the order-0 path honest (the
+// ladder branch in bornRow must stay off the FarOrder=0 fast path) and
+// pins the correction kernels' cost at orders 1 and 2. Stat names carry
+// "wall" so the comparison applies the wall-clock tolerance floor.
+func gateFarStats(p *prepared) (map[string]float64, error) {
+	sys := p.sys
+	saved := sys.Params
+	defer func() { sys.Params = saved }()
+	step := geom.Translate(geom.V(0.9, 0.4, -1.1)).Compose(geom.RotateAxis(geom.V(1, 1, 0), 0.04))
+	out := make(map[string]float64, 3)
+	for ord := 0; ord <= 2; ord++ {
+		sys.Params = saved
+		sys.Params.FarOrder = ord
+		if _, err := core.RunShared(sys, core.SharedOptions{}); err != nil { // order warm-up (recompiles lists)
+			return nil, err
+		}
+		best := math.Inf(1)
+		for rep := 0; rep < 2; rep++ {
+			sys.ApplyRigidTransform(step)
+			t0 := time.Now()
+			if _, err := core.RunShared(sys, core.SharedOptions{}); err != nil {
+				return nil, err
+			}
+			if ms := float64(time.Since(t0)) / float64(time.Millisecond); ms < best {
+				best = ms
+			}
+		}
+		out[fmt.Sprintf("far.p%d.wall_ms", ord)] = best
+	}
+	return out, nil
 }
 
 // BuildBaseline reduces per-repetition summaries to median + spread per

@@ -50,6 +50,48 @@ func TestDistributedMatchesShared(t *testing.T) {
 	}
 }
 
+// Under the loosened ladder the cross-rank Born reduction must carry the
+// receiver-expansion grad/hess alongside the node/atom scalars — each
+// rank evaluates only its own rows, so a scalar-only reduce would hand
+// PushIntegralsToAtoms just that rank's moment corrections (a bug the
+// cross-runner verify actually caught: mpi/net diverged from shared by
+// 0.4% at FarOrder=2). Both distributed paths — the modeled mpi runner
+// and the elastic rank body the resilient/net runners share — must
+// reproduce the shared runner to reduction round-off.
+func TestDistributedFarOrderMatchesShared(t *testing.T) {
+	sys, _, _ := testSystem(t, 400, 81, farOrderParams(2, 0.5))
+	shared, err := RunShared(sys, SharedOptions{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(t *testing.T, res *Result) {
+		t.Helper()
+		if relErr(res.Epol, shared.Epol) > 1e-9 {
+			t.Errorf("distributed E=%v shared E=%v", res.Epol, shared.Epol)
+		}
+		for i := range res.BornRadii {
+			if relErr(res.BornRadii[i], shared.BornRadii[i]) > 1e-9 {
+				t.Fatalf("atom %d radius mismatch: %v vs %v",
+					i, res.BornRadii[i], shared.BornRadii[i])
+			}
+		}
+	}
+	t.Run("mpi", func(t *testing.T) {
+		res, err := RunDistributed(sys, distCfg(4, 1, 4, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, res)
+	})
+	t.Run("elastic", func(t *testing.T) {
+		res, err := RunDistributedResilient(sys, distCfg(4, 1, 4, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, res)
+	})
+}
+
 func TestDistributedReportPresent(t *testing.T) {
 	sys, _, _ := testSystem(t, 200, 82, DefaultParams())
 	res, err := RunDistributed(sys, distCfg(4, 1, 4, 1))

@@ -58,9 +58,9 @@ func TestDualTreeFewerOpsOnLargeMolecules(t *testing.T) {
 	_, dualOps := DualTreeBornRadii(sys, pool)
 
 	acc := newBornAccum(sys)
-	mac := sys.bornMAC()
+	macs := sys.bornMACs()
 	for _, q := range sys.QPts.Leaves() {
-		ApproxIntegrals(sys, acc, sys.Atoms.Root(), q, mac)
+		ApproxIntegrals(sys, acc, sys.Atoms.Root(), q, &macs)
 	}
 	singleOps := acc.ops
 	if dualOps >= singleOps {

@@ -114,7 +114,6 @@ func bornPhase(sys *System, c *Comm, pool *sched.Pool, out *rankOut) ([]float64,
 	P, rank := c.Size(), c.Rank()
 	p := pool.NumWorkers()
 	qLeaves := sys.QPts.Leaves()
-	nNodes := sys.Atoms.NumNodes()
 	nAtoms := sys.Mol.NumAtoms()
 
 	// Ranks share the System's compiled lists (first caller compiles,
@@ -153,15 +152,14 @@ func bornPhase(sys *System, c *Comm, pool *sched.Pool, out *rankOut) ([]float64,
 	sp.End(c.Clock(), obs.F("rows", float64(hi-lo)), obs.F("ops", merged.ops))
 	o.Counter("kernel.born.batches").Add(int64(hi - lo))
 
-	vec := make([]float64, nNodes+nAtoms)
-	copy(vec, merged.node)
-	copy(vec[nNodes:], merged.atom)
-	sum, err := c.Allreduce(vec, cluster.Sum)
+	// The reduced vector carries the full receiver expansion (node/atom
+	// scalars plus grad/hess under FarOrder > 0 — see bornAccum.vecLen);
+	// each rank then pushes globally-summed corrections to its atoms.
+	sum, err := c.Allreduce(merged.appendVec(make([]float64, 0, merged.vecLen())), cluster.Sum)
 	if err != nil {
 		return nil, err
 	}
-	copy(merged.node, sum[:nNodes])
-	copy(merged.atom, sum[nNodes:])
+	merged.readVec(sum)
 
 	aLo, aHi := segment(nAtoms, P, rank)
 	sp = o.Begin(rank, "phase", "push", c.Clock())

@@ -150,8 +150,10 @@ type ElasticOut struct {
 // startPhase is 1 + the number of collectives already completed globally
 // when this rank joined (founding ranks pass 1); a late joiner passes the
 // last completed reduction's result as seed so it resumes mid-protocol:
-// after phase 1 the merged integral vector (nNodes+nAtoms values), after
-// phase 2 the full Born-radii vector (nAtoms values).
+// after phase 1 the merged integral vector (bornAccum.vecLen values:
+// nNodes+nAtoms scalars, plus the per-node receiver-expansion grad/hess
+// components when Params.FarOrder > 0), after phase 2 the full
+// Born-radii vector (nAtoms values).
 func RunElasticRank(sys *System, c cluster.Transport, startPhase int, seed []float64) (*ElasticOut, error) {
 	var out rankOut
 	if err := elasticRank(sys, c, &out, startPhase, seed); err != nil {
@@ -181,7 +183,6 @@ func elasticRank(sys *System, c cluster.Transport, out *rankOut, startPhase int,
 	}
 	qLeaves := sys.QPts.Leaves()
 	aLeaves := sys.Atoms.Leaves()
-	nNodes := sys.Atoms.NumNodes()
 	nAtoms := sys.Mol.NumAtoms()
 	rate := c.OpsPerSecond()
 	if startPhase < 1 {
@@ -219,8 +220,7 @@ func elasticRank(sys *System, c cluster.Transport, out *rankOut, startPhase int,
 	// globally, and its result arrived as the seed.
 	merged := newBornAccum(sys)
 	if startPhase >= 2 {
-		want := nNodes + nAtoms
-		if startPhase == 2 && len(seed) != want {
+		if want := merged.vecLen(); startPhase == 2 && len(seed) != want {
 			return fmt.Errorf("core: phase-2 join seed has %d values, want %d", len(seed), want)
 		}
 	} else {
@@ -263,11 +263,12 @@ func elasticRank(sys *System, c cluster.Transport, out *rankOut, startPhase int,
 			}
 		}
 		computeBorn(c.MemberEvents())
+		// The reduced vector carries the full receiver expansion (node/
+		// atom scalars plus grad/hess under FarOrder > 0 — see
+		// bornAccum.vecLen), so the push phase sees every rank's moment
+		// corrections, not just locally-owned rows'.
 		sum, err := allreduce(func() []float64 {
-			vec := make([]float64, nNodes+nAtoms)
-			copy(vec, merged.node)
-			copy(vec[nNodes:], merged.atom)
-			return vec
+			return merged.appendVec(make([]float64, 0, merged.vecLen()))
 		}, func(events []cluster.MemberEvent) error {
 			computeBorn(events)
 			return nil
@@ -278,8 +279,7 @@ func elasticRank(sys *System, c cluster.Transport, out *rankOut, startPhase int,
 		seed = sum
 	}
 	if startPhase <= 2 {
-		copy(merged.node, seed[:nNodes])
-		copy(merged.atom, seed[nNodes:])
+		merged.readVec(seed)
 	}
 
 	// Phase 2 (steps 4–5): Born radii for owned atom slots, shared via an

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"gbpolar/internal/gbmodels"
+	"gbpolar/internal/geom"
 	"gbpolar/internal/mathx"
 	"gbpolar/internal/octree"
 )
@@ -40,8 +41,21 @@ type EpolContext struct {
 	inv4rr   []float64
 	// farFactor is (1 + 2/ε); nodes are far when dist > (r_U+r_V)·farFactor.
 	farFactor float64
-	lnBase    float64
-	tau       float64
+	// farMACs is the opening-multiplier ladder derived from farFactor
+	// (farorder.go) and farOrd the admitted-order cap (Params.FarOrder);
+	// farMACs[0] == farFactor always, so order 0 stays bit-identical.
+	farMACs [maxFarOrder + 1]float64
+	farOrd  int
+	// mW/mD/mTh view the atoms tree's per-node charge moments (total
+	// charge, dipole, DETRACED quadrupole) consumed by the far-field
+	// moment corrections; nil at farOrd = 0. Built per context — the
+	// octree's arrays can be reallocated by updates, and the detraced
+	// tensors are derived state.
+	mW     []float64
+	mD     []geom.Vec3
+	mTh    []geom.Sym3
+	lnBase float64
+	tau    float64
 	// kern holds the scalar math kernels resolved ONCE at context build —
 	// the recursive path hoists these function values into locals at row
 	// start instead of re-resolving (and indirect-calling) per pair.
@@ -101,6 +115,16 @@ func NewEpolContext(sys *System, slotRadii []float64) *EpolContext {
 		}
 	}
 	ctx.farFactor = epolFarFactor(eps)
+	ctx.farOrd = sys.Params.FarOrder
+	ctx.farMACs = macLadder(ctx.farFactor, ctx.farOrd, epolLadderDeg)
+	if ctx.farOrd > 0 {
+		ch := &sys.Atoms.MomentsOf(momentSetCharge).Ch[0]
+		ctx.mW, ctx.mD = ch.W, ch.D
+		ctx.mTh = make([]geom.Sym3, len(ch.Q))
+		for i := range ch.Q {
+			ctx.mTh[i] = ch.Q[i].Detraced()
+		}
+	}
 	if eps <= 0 {
 		// ε = 0 disables the far field entirely (see macFactor); a single
 		// bin keeps the structures well-formed.
@@ -240,7 +264,12 @@ func ApproxEpol(ctx *EpolContext, uNode, vLeaf int32, acc *epolAccum) {
 		return
 	}
 
-	_, d2, far := farSeparated(v.Center, u.Center, v.Radius, u.Radius, ctx.farFactor)
+	// The opening test is farSeparated's, extended to the multiplier
+	// ladder: farMACs[0] == farFactor, so farOrd = 0 reproduces the
+	// original single-multiplier verdict bit for bit.
+	d := u.Center.Sub(v.Center)
+	d2 := d.Norm2()
+	_, far := farOrderOf(d2, v.Radius, u.Radius, &ctx.farMACs, ctx.farOrd)
 	if far {
 		// Far enough: interact the charge histograms bin-by-bin, using
 		// R_min²(1+ε)^{i+j} as the R_u·R_v surrogate.
@@ -260,6 +289,11 @@ func ApproxEpol(ctx *EpolContext, uNode, vLeaf int32, acc *epolAccum) {
 				s += qi * qj * rsqrt(f2)
 				acc.ops++
 			}
+		}
+		// Every far admission is corrected through the RUN order — the
+		// admitted rung decides admission only (see farField's comment).
+		if ctx.farOrd > 0 {
+			s += ctx.epolFarCorrection(uNode, vLeaf, d.X, d.Y, d.Z, d2, ctx.farOrd)
 		}
 		acc.energy += s
 		return

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"gbpolar/internal/geom"
+	"gbpolar/internal/sched"
+)
+
+// benchWarmPoseFarOrder times the warm pose-scan (compiled lists reused
+// across rigid poses) at a given far order — the workload the pareto
+// bench experiment reports per (ε, FarOrder) cell. Run with -cpuprofile
+// to see where the moment-correction time goes.
+func benchWarmPoseFarOrder(b *testing.B, ord int, eps float64) {
+	b.Helper()
+	params := DefaultParams()
+	params.EpsBorn, params.EpsEpol = eps, eps
+	params.FarOrder = ord
+	sys, _, _ := testSystem(b, 8000, 42, params)
+	pool := sched.NewPool(runtime.GOMAXPROCS(0))
+	defer pool.Close()
+	opts := SharedOptions{Pool: pool}
+	if _, err := RunShared(sys, opts); err != nil {
+		b.Fatal(err)
+	}
+	step := geom.Translate(geom.V(1.5, -0.7, 0.9)).Compose(geom.RotateAxis(geom.V(0, 0, 1), 0.05))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.ApplyRigidTransform(step)
+		if _, err := RunShared(sys, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWarmPoseFarOrder0(b *testing.B) { benchWarmPoseFarOrder(b, 0, 0.3) }
+func BenchmarkWarmPoseFarOrder1(b *testing.B) { benchWarmPoseFarOrder(b, 1, 0.3) }
+func BenchmarkWarmPoseFarOrder2(b *testing.B) { benchWarmPoseFarOrder(b, 2, 0.3) }
+
+// The equal-error pair of the pareto experiment: order 2 at the
+// loosened ε=0.5 lands at or below the order-0 ε=0.3 error (the
+// anchor above) and must win this benchmark.
+func BenchmarkWarmPoseFarOrder2Loose(b *testing.B) { benchWarmPoseFarOrder(b, 2, 0.5) }

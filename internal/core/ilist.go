@@ -85,6 +85,16 @@ type InteractionLists struct {
 	NearPath   []float64
 	SymPath    []float64
 	CedePath   []float64
+	// FarOrd[k] is the expansion order the ladder admitted Far[k] at
+	// (farorder.go): the batch kernels dispatch the moment corrections on
+	// it without re-testing geometry. nil when compiled at FarOrder = 0,
+	// where every far entry is order 0 — the margin semantics are then
+	// exactly the pre-ladder ones. Under a ladder the margins change
+	// meaning slightly: an entry's FarMargin is its distance to the
+	// nearest ORDER boundary (drifting across one reclassifies the entry
+	// even if it stays far), and near/path margins measure to the loosest
+	// rung, macs[FarOrder].
+	FarOrd []uint8
 }
 
 // NumFar returns the total far-field entry count.
@@ -99,15 +109,18 @@ func (il *InteractionLists) MemoryBytes() int64 {
 		len(il.NearOff)+len(il.Near)+len(il.SymOff)+len(il.Sym)+
 		len(il.CedeOff)+len(il.Cede))*4 +
 		int64(len(il.FarMargin)+len(il.FarPath)+len(il.NearMargin)+
-			len(il.NearPath)+len(il.SymPath)+len(il.CedePath))*8
+			len(il.NearPath)+len(il.SymPath)+len(il.CedePath))*8 +
+		int64(len(il.FarOrd))
 }
 
 // CompiledLists bundles the per-phase lists with the opening-criterion
 // signature they were compiled under, so parameter changes trigger a
 // recompile instead of silently evaluating stale classifications.
 type CompiledLists struct {
-	// bornMAC and epolFar are the opening multipliers at compile time.
+	// bornMAC and epolFar are the base opening multipliers at compile
+	// time; farOrder is the Params.FarOrder the ladder was derived from.
 	bornMAC, epolFar float64
+	farOrder         int
 	// Born rows are q-point leaves (Figure 2); Epol rows are atom leaves
 	// (Figure 3).
 	Born, Epol *InteractionLists
@@ -124,7 +137,8 @@ type CompiledLists struct {
 // matches reports whether the cached lists were compiled under the
 // system's current opening criteria.
 func (cl *CompiledLists) matches(sys *System) bool {
-	return cl != nil && cl.bornMAC == sys.bornMAC() && cl.epolFar == epolFarFactor(sys.Params.EpsEpol)
+	return cl != nil && cl.bornMAC == sys.bornMAC() && cl.epolFar == epolFarFactor(sys.Params.EpsEpol) &&
+		cl.farOrder == sys.Params.FarOrder
 }
 
 // MemoryBytes reports the total compiled-list footprint.
@@ -140,6 +154,9 @@ type rowLists struct {
 	// InteractionLists). nearM stays nil for leaf-first (E_pol) rows;
 	// symP/cedeP are carved out of nearP by symmetrizeNear.
 	farM, farP, nearM, nearP, symP, cedeP []float64
+	// farO is the per-entry admitted order; nil when compiled at
+	// FarOrder = 0.
+	farO []uint8
 }
 
 // classify descends the atoms octree from node n against a row cluster
@@ -148,25 +165,62 @@ type rowLists struct {
 // structural difference: APPROX-EPOL tests u.IsLeaf BEFORE the opening
 // test (a leaf U is always evaluated exactly), while APPROX-INTEGRALS
 // tests openness first (a far leaf uses the pseudo-q-point shortcut).
-// leafFirst selects between the two orderings. pmin is the minimum
-// internal-test slack accumulated on the root path so far (math.Inf(1)
-// at the root): every emitted entry records it, so the repair can check
-// each entry's path against the drift on THAT path alone.
-func classify(t *octree.Tree, n int32, center geom.Vec3, radius, mac float64, leafFirst bool, pmin float64, out *rowLists) {
+// leafFirst selects between the two orderings. macs/pmax are the opening
+// multiplier ladder (farorder.go); pmax = 0 degenerates to the original
+// single-multiplier classification, margins included, bit for bit. pmin
+// is the minimum internal-test slack accumulated on the root path so far
+// (math.Inf(1) at the root): every emitted entry records it, so the
+// repair can check each entry's path against the drift on THAT path
+// alone.
+func classify(t *octree.Tree, n int32, center geom.Vec3, radius float64, macs *[maxFarOrder + 1]float64, pmax int, leafFirst bool, pmin float64, out *rowLists) {
 	node := &t.Nodes[n]
 	if leafFirst && node.IsLeaf {
 		out.near = append(out.near, n)
 		out.nearP = append(out.nearP, pmin)
 		return
 	}
-	_, d2, far := farSeparated(node.Center, center, node.Radius, radius, mac)
-	m := math.Abs(math.Sqrt(d2) - (node.Radius+radius)*mac)
+	d2 := center.Sub(node.Center).Norm2()
+	// Loosened rungs admit INTERNAL nodes only: admitting a leaf pair
+	// early has nothing to consolidate — it would trade an exact near
+	// block for an approximate far entry, spending error budget while
+	// GROWING the far list. A leaf therefore classifies by the base
+	// multiplier alone (identical to pre-ladder), and rungs ≥ 1 fire
+	// exactly where they pay: a rung admission at an internal node
+	// replaces its subtree's whole far/near expansion with one entry.
+	p := pmax
+	if node.IsLeaf {
+		p = 0
+	}
+	ord, far := farOrderOf(d2, node.Radius, radius, macs, p)
+	dist := math.Sqrt(d2)
 	if far {
+		// The slack is the distance to the nearest boundary that would
+		// RECLASSIFY the entry. For an order-0 entry that is the base
+		// multiplier (one-sided under a ladder: drifting below macs[0]
+		// demotes the entry to order 1 — or to near for a leaf — so the
+		// absolute value matches the pre-ladder expression bitwise). An
+		// order-k entry sits between rungs k and k−1 and can flip either
+		// way.
+		m := math.Abs(dist - (node.Radius+radius)*macs[0])
+		if ord > 0 {
+			m = dist - (node.Radius+radius)*macs[ord]
+			if up := (node.Radius+radius)*macs[ord-1] - dist; up < m {
+				m = up
+			}
+		}
 		out.far = append(out.far, n)
 		out.farM = append(out.farM, m)
 		out.farP = append(out.farP, pmin)
+		if pmax > 0 {
+			out.farO = append(out.farO, uint8(ord))
+		}
 		return
 	}
+	// Not admitted at any order: the nearest boundary is the loosest
+	// rung the node is ELIGIBLE for — macs[pmax] for internal nodes,
+	// macs[0] for leaves (== pre-ladder, where math.Abs of the negated
+	// difference yields the same bits).
+	m := (node.Radius+radius)*macs[p] - dist
 	if node.IsLeaf {
 		out.near = append(out.near, n)
 		out.nearM = append(out.nearM, m)
@@ -180,7 +234,7 @@ func classify(t *octree.Tree, n int32, center geom.Vec3, radius, mac float64, le
 	}
 	for _, child := range node.Children {
 		if child != octree.NoChild {
-			classify(t, child, center, radius, mac, leafFirst, pmin, out)
+			classify(t, child, center, radius, macs, pmax, leafFirst, pmin, out)
 		}
 	}
 }
@@ -190,12 +244,13 @@ func classify(t *octree.Tree, n int32, center geom.Vec3, radius, mac float64, le
 // classified against the atoms octree. symmetrize moves mutual near leaf
 // pairs into the Sym list of the lower-indexed row (valid only when
 // rowTree == atoms, i.e. the E_pol phase).
-func compileLists(atoms *octree.Tree, rowTree *octree.Tree, mac float64, leafFirst bool, symmetrize bool, pool *sched.Pool) *InteractionLists {
+func compileLists(atoms *octree.Tree, rowTree *octree.Tree, mac float64, pmax, deg int, leafFirst bool, symmetrize bool, pool *sched.Pool) *InteractionLists {
+	macs := macLadder(mac, pmax, deg)
 	rows := rowTree.Leaves()
 	per := make([]rowLists, len(rows))
 	compileRow := func(i int) {
 		rn := &rowTree.Nodes[rows[i]]
-		classify(atoms, atoms.Root(), rn.Center, rn.Radius, mac, leafFirst, math.Inf(1), &per[i])
+		classify(atoms, atoms.Root(), rn.Center, rn.Radius, &macs, pmax, leafFirst, math.Inf(1), &per[i])
 	}
 	if pool == nil {
 		for i := range rows {
@@ -247,7 +302,7 @@ func assembleLists(rows []int32, per []rowLists) *InteractionLists {
 	il.NearPath = make([]float64, 0, nn)
 	il.SymPath = make([]float64, 0, ns)
 	il.CedePath = make([]float64, 0, nc)
-	withNearM := false
+	withNearM, withFarO := false, false
 	for i := range per {
 		il.Far = append(il.Far, per[i].far...)
 		il.Near = append(il.Near, per[i].near...)
@@ -261,11 +316,20 @@ func assembleLists(rows []int32, per []rowLists) *InteractionLists {
 		if per[i].nearM != nil {
 			withNearM = true
 		}
+		if per[i].farO != nil {
+			withFarO = true
+		}
 	}
 	if withNearM { // Born lists; E_pol's leaf-first rows carry no near tests
 		il.NearMargin = make([]float64, 0, nn)
 		for i := range per {
 			il.NearMargin = append(il.NearMargin, per[i].nearM...)
+		}
+	}
+	if withFarO { // ladder compiles; every far entry carries its order
+		il.FarOrd = make([]uint8, 0, nf)
+		for i := range per {
+			il.FarOrd = append(il.FarOrd, per[i].farO...)
 		}
 	}
 	return il
@@ -331,11 +395,12 @@ func symmetrizeNear(t *octree.Tree, rows []int32, per []rowLists) {
 // and parameters.
 func (s *System) compile(pool *sched.Pool) *CompiledLists {
 	cl := &CompiledLists{
-		bornMAC: s.bornMAC(),
-		epolFar: epolFarFactor(s.Params.EpsEpol),
+		bornMAC:  s.bornMAC(),
+		epolFar:  epolFarFactor(s.Params.EpsEpol),
+		farOrder: s.Params.FarOrder,
 	}
-	cl.Born = compileLists(s.Atoms, s.QPts, cl.bornMAC, false, false, pool)
-	cl.Epol = compileLists(s.Atoms, s.Atoms, cl.epolFar, true, true, pool)
+	cl.Born = compileLists(s.Atoms, s.QPts, cl.bornMAC, cl.farOrder, bornLadderDeg(s.Params.Kernel), false, false, pool)
+	cl.Epol = compileLists(s.Atoms, s.Atoms, cl.epolFar, cl.farOrder, epolLadderDeg, true, true, pool)
 	cl.nodeC, cl.nodeR = snapshotNodes(s.Atoms)
 	return cl
 }
@@ -365,6 +430,20 @@ func (cl *CompiledLists) RecordMetrics(o *obs.Obs) {
 	rec := func(prefix string, il *InteractionLists) {
 		o.Counter(prefix + ".rows").Add(int64(len(il.Rows)))
 		o.Counter(prefix + ".far_entries").Add(int64(il.NumFar()))
+		// Split by admitted expansion order: without a ladder every far
+		// entry is order 0, so the .p0 counter always equals the total at
+		// FarOrder = 0 and the three orders always sum to far_entries.
+		var perOrd [maxFarOrder + 1]int64
+		if il.FarOrd == nil {
+			perOrd[0] = int64(il.NumFar())
+		} else {
+			for _, fo := range il.FarOrd {
+				perOrd[fo]++
+			}
+		}
+		for p, n := range perOrd {
+			o.Counter(fmt.Sprintf("%s.far_entries.p%d", prefix, p)).Add(n)
+		}
 		o.Counter(prefix + ".near_pairs").Add(int64(il.NumNear()))
 		o.Counter(prefix + ".sym_pairs").Add(int64(len(il.Sym)))
 		rowFar := o.Histogram(prefix + ".row_far")
@@ -412,8 +491,9 @@ func (s *System) RecheckLists(pool *sched.Pool) error {
 		return nil
 	}
 	if !cached.matches(s) {
-		return fmt.Errorf("core: cached lists compiled under bornMAC=%g epolFar=%g, system now wants %g/%g",
-			cached.bornMAC, cached.epolFar, s.bornMAC(), epolFarFactor(s.Params.EpsEpol))
+		return fmt.Errorf("core: cached lists compiled under bornMAC=%g epolFar=%g farOrder=%d, system now wants %g/%g/%d",
+			cached.bornMAC, cached.epolFar, cached.farOrder,
+			s.bornMAC(), epolFarFactor(s.Params.EpsEpol), s.Params.FarOrder)
 	}
 	fresh := s.compile(pool)
 	if err := diffLists("born", cached.Born, fresh.Born); err != nil {
@@ -445,6 +525,20 @@ func diffLists(phase string, a, b *InteractionLists) error {
 		if !equalInt32(as, bs) {
 			return fmt.Errorf("core: %s list row %d (leaf %d) sym set drifted: %d -> %d entries",
 				phase, i, a.Rows[i], len(as), len(bs))
+		}
+		if (a.FarOrd == nil) != (b.FarOrd == nil) {
+			return fmt.Errorf("core: %s lists disagree on order annotations (%v -> %v)",
+				phase, a.FarOrd != nil, b.FarOrd != nil)
+		}
+		if a.FarOrd != nil {
+			ao := a.FarOrd[a.FarOff[i]:a.FarOff[i+1]]
+			bo := b.FarOrd[b.FarOff[i]:b.FarOff[i+1]]
+			for k := range ao {
+				if ao[k] != bo[k] {
+					return fmt.Errorf("core: %s list row %d (leaf %d) far entry %d admitted order drifted: %d -> %d",
+						phase, i, a.Rows[i], k, ao[k], bo[k])
+				}
+			}
 		}
 	}
 	return nil

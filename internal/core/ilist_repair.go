@@ -88,11 +88,11 @@ func (s *System) UpdateAtomsRepair(newPositions []geom.Vec3, pool *sched.Pool, o
 		return stats, nil
 	}
 	cert := buildRepairCert(s.Atoms, cl.nodeC, cl.nodeR, res.Struct)
-	born, nb := repairPhase(s.Atoms, s.QPts, cl.Born, cert, cl.bornMAC, false, false, pool)
-	epol, ne := repairPhase(s.Atoms, s.Atoms, cl.Epol, cert, cl.epolFar, true, true, pool)
+	born, nb := repairPhase(s.Atoms, s.QPts, cl.Born, cert, cl.bornMAC, cl.farOrder, bornLadderDeg(s.Params.Kernel), false, false, pool)
+	epol, ne := repairPhase(s.Atoms, s.Atoms, cl.Epol, cert, cl.epolFar, cl.farOrder, epolLadderDeg, true, true, pool)
 	nc, nr := snapshotNodes(s.Atoms)
 	s.lists = &CompiledLists{
-		bornMAC: cl.bornMAC, epolFar: cl.epolFar,
+		bornMAC: cl.bornMAC, epolFar: cl.epolFar, farOrder: cl.farOrder,
 		Born: born, Epol: epol,
 		nodeC: nc, nodeR: nr,
 	}
@@ -216,7 +216,17 @@ func buildRepairCert(atoms *octree.Tree, snapC []geom.Vec3, snapR []float64, str
 // leaf that lost an atom drifts by its cell size) sits on only a few
 // entries' paths, and only those entries' rows need recomputing. It
 // returns the repaired lists and the number of rows recomputed.
-func repairPhase(atoms, rowTree *octree.Tree, il *InteractionLists, cert *repairCert, mac float64, leafFirst, symmetrize bool, pool *sched.Pool) (*InteractionLists, int) {
+//
+// Under an opening-multiplier ladder (pmax > 0) the certificate is
+// unchanged: all drift scaling keeps the BASE multiplier mac = macs[0],
+// the largest rung, which upper-bounds how much any rung's test operand
+// (r_a+r_b)·macs[k] can move — conservative for k ≥ 1 — while the
+// margins themselves were recorded against the nearest reclassification
+// boundary of each entry's admitted order (classify), so a certified
+// row's FarOrd annotations are exactly what a fresh classification would
+// emit.
+func repairPhase(atoms, rowTree *octree.Tree, il *InteractionLists, cert *repairCert, mac float64, pmax, deg int, leafFirst, symmetrize bool, pool *sched.Pool) (*InteractionLists, int) {
+	macs := macLadder(mac, pmax, deg)
 	oldIdx := make([]int32, len(rowTree.Nodes))
 	for i := range oldIdx {
 		oldIdx[i] = -1
@@ -334,6 +344,10 @@ func repairPhase(atoms, rowTree *octree.Tree, il *InteractionLists, cert *repair
 				nearM[x] = il.NearMargin[il.NearOff[i]+int32(x)] - (drow + cert.dc[e] + mac*cert.dr[e])
 			}
 		}
+		var farO []uint8
+		if il.FarOrd != nil {
+			farO = il.FarOrd[il.FarOff[i]:il.FarOff[i+1]]
+		}
 		per[k] = rowLists{
 			far:   il.Far[il.FarOff[i]:il.FarOff[i+1]],
 			near:  pn,
@@ -341,13 +355,14 @@ func repairPhase(atoms, rowTree *octree.Tree, il *InteractionLists, cert *repair
 			farP:  farP,
 			nearM: nearM,
 			nearP: nearP,
+			farO:  farO,
 		}
 	}
 	recompute := func(j int) {
 		k := dirtyRows[j]
 		per[k] = rowLists{}
 		rn := &rowTree.Nodes[rows[k]]
-		classify(atoms, atoms.Root(), rn.Center, rn.Radius, mac, leafFirst, math.Inf(1), &per[k])
+		classify(atoms, atoms.Root(), rn.Center, rn.Radius, &macs, pmax, leafFirst, math.Inf(1), &per[k])
 	}
 	if pool == nil || len(dirtyRows) < 16 {
 		for j := range dirtyRows {

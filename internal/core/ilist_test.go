@@ -168,8 +168,8 @@ func TestAccumulatorsCacheLineSized(t *testing.T) {
 	if s := unsafe.Sizeof(epolAccum{}); s != 64 {
 		t.Errorf("epolAccum is %d bytes, want exactly 64", s)
 	}
-	if s := unsafe.Sizeof(bornAccum{}); s != 64 {
-		t.Errorf("bornAccum is %d bytes, want exactly 64", s)
+	if s := unsafe.Sizeof(bornAccum{}); s != 128 {
+		t.Errorf("bornAccum is %d bytes, want exactly 128 (two lines)", s)
 	}
 }
 

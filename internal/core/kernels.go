@@ -58,16 +58,137 @@ func bornRow(sys *System, il *InteractionLists, row int, acc *bornAccum) {
 	r4 := sys.Params.Kernel == R4
 
 	far := il.Far[il.FarOff[row]:il.FarOff[row+1]]
-	for _, a := range far {
-		dx := qc.X - sys.ANodeX[a]
-		dy := qc.Y - sys.ANodeY[a]
-		dz := qc.Z - sys.ANodeZ[a]
-		d2 := dx*dx + dy*dy + dz*dz
-		den := d2 * d2
-		if !r4 {
-			den *= d2
+	if il.FarOrd == nil {
+		for _, a := range far {
+			dx := qc.X - sys.ANodeX[a]
+			dy := qc.Y - sys.ANodeY[a]
+			dz := qc.Z - sys.ANodeZ[a]
+			d2 := dx*dx + dy*dy + dz*dz
+			den := d2 * d2
+			if !r4 {
+				den *= d2
+			}
+			acc.node[a] += (wn.X*dx + wn.Y*dy + wn.Z*dz) / den
 		}
-		acc.node[a] += (wn.X*dx + wn.Y*dy + wn.Z*dz) / den
+	} else if sys.Params.FarOrder < 2 {
+		// Ladder-compiled lists, dipole order: same order-0 term per
+		// entry, plus the run order's moment correction into the node's
+		// receiver expansion (farorder.go; translated to atoms by
+		// PushIntegralsToAtoms). Every far entry is corrected through
+		// Params.FarOrder — the per-entry admitted rung (FarOrd) governs
+		// admission and repair margins only; correcting a rung-0 entry
+		// through the full order is strictly MORE accurate, and keeping
+		// the order uniform keeps this loop branch-free. The dipole arm
+		// of bornFarCorrection is hand-expanded here (ds = a0·tr(M1) −
+		// 2a1·dᵀM1d, dg = 2a1(M0·d)·d − a0·M0): at ~30 flops the call
+		// and its 10-float return dominated the math, and the order-1
+		// Hessian piece is identically zero so the per-entry hess
+		// read-modify-write is skipped entirely. The recursive path
+		// keeps calling the shared kernel; TestFarOrderCompiledMatches-
+		// Recursive pins the two expansions to 1e-12.
+		fm := bornRowMoments(sys.QPts.MomentsOf(momentSetWN), leaf)
+		kap := 3.0
+		if r4 {
+			kap = 2
+		}
+		trM1 := fm.d[0].X + fm.d[1].Y + fm.d[2].Z
+		for _, a := range far {
+			dx := qc.X - sys.ANodeX[a]
+			dy := qc.Y - sys.ANodeY[a]
+			dz := qc.Z - sys.ANodeZ[a]
+			d2 := dx*dx + dy*dy + dz*dz
+			den := d2 * d2
+			if !r4 {
+				den *= d2
+			}
+			a0 := 1 / den
+			a1 := kap * a0 / d2
+			m1dx := fm.d[0].X*dx + fm.d[0].Y*dy + fm.d[0].Z*dz
+			m1dy := fm.d[1].X*dx + fm.d[1].Y*dy + fm.d[1].Z*dz
+			m1dz := fm.d[2].X*dx + fm.d[2].Y*dy + fm.d[2].Z*dz
+			dM1d := dx*m1dx + dy*m1dy + dz*m1dz
+			m0d := fm.m0.X*dx + fm.m0.Y*dy + fm.m0.Z*dz
+			acc.node[a] += (wn.X*dx+wn.Y*dy+wn.Z*dz)/den + a0*trM1 - 2*a1*dM1d
+			g := &acc.grad[a]
+			s := 2 * a1 * m0d
+			g.X += s*dx - a0*fm.m0.X
+			g.Y += s*dy - a0*fm.m0.Y
+			g.Z += s*dz - a0*fm.m0.Z
+		}
+	} else {
+		// Quadrupole order: the full order-2 arm of bornFarCorrection,
+		// hand-expanded for the same reason as the dipole loop above —
+		// the shared kernel's call, its 10-float value return and the
+		// Sym3 method-chain copies cost as much as the ~110 flops of
+		// actual contraction. The recursive path keeps calling the
+		// shared kernel; TestFarOrderCompiledMatchesRecursive pins the
+		// two expansions to 1e-12.
+		fm := bornRowMoments(sys.QPts.MomentsOf(momentSetWN), leaf)
+		kap := 3.0
+		if r4 {
+			kap = 2
+		}
+		m0x, m0y, m0z := fm.m0.X, fm.m0.Y, fm.m0.Z
+		d0, d1, d2r := fm.d[0], fm.d[1], fm.d[2]
+		q0, q1, q2 := &fm.q[0], &fm.q[1], &fm.q[2]
+		trM1 := d0.X + d1.Y + d2r.Z
+		trQ0, trQ1, trQ2 := q0.Trace(), q1.Trace(), q2.Trace()
+		for _, a := range far {
+			dx := qc.X - sys.ANodeX[a]
+			dy := qc.Y - sys.ANodeY[a]
+			dz := qc.Z - sys.ANodeZ[a]
+			d2 := dx*dx + dy*dy + dz*dz
+			den := d2 * d2
+			if !r4 {
+				den *= d2
+			}
+			a0 := 1 / den
+			a1 := kap * a0 / d2
+			a2 := (kap + 1) * a1 / d2
+
+			m1dx := d0.X*dx + d0.Y*dy + d0.Z*dz // M1·d (rows = channels)
+			m1dy := d1.X*dx + d1.Y*dy + d1.Z*dz
+			m1dz := d2r.X*dx + d2r.Y*dy + d2r.Z*dz
+			dM1d := dx*m1dx + dy*m1dy + dz*m1dz
+			m0d := m0x*dx + m0y*dy + m0z*dz
+			m1tdx := d0.X*dx + d1.X*dy + d2r.X*dz // M1ᵀ·d
+			m1tdy := d0.Y*dx + d1.Y*dy + d2r.Y*dz
+			m1tdz := d0.Z*dx + d1.Z*dy + d2r.Z*dz
+
+			q0dx := q0.XX*dx + q0.XY*dy + q0.XZ*dz // M2γ·d per channel γ
+			q0dy := q0.XY*dx + q0.YY*dy + q0.YZ*dz
+			q0dz := q0.XZ*dx + q0.YZ*dy + q0.ZZ*dz
+			q1dx := q1.XX*dx + q1.XY*dy + q1.XZ*dz
+			q1dy := q1.XY*dx + q1.YY*dy + q1.YZ*dz
+			q1dz := q1.XZ*dx + q1.YZ*dy + q1.ZZ*dz
+			q2dx := q2.XX*dx + q2.XY*dy + q2.XZ*dz
+			q2dy := q2.XY*dx + q2.YY*dy + q2.YZ*dz
+			q2dz := q2.XZ*dx + q2.YZ*dy + q2.ZZ*dz
+			diagQd := q0dx + q1dy + q2dz
+			trQd := dx*trQ0 + dy*trQ1 + dz*trQ2
+			quadQd := dx*(dx*q0dx+dy*q0dy+dz*q0dz) +
+				dy*(dx*q1dx+dy*q1dy+dz*q1dz) +
+				dz*(dx*q2dx+dy*q2dy+dz*q2dz)
+
+			acc.node[a] += (wn.X*dx+wn.Y*dy+wn.Z*dz)/den +
+				a0*trM1 - 2*a1*dM1d - a1*(2*diagQd+trQd) + 2*a2*quadQd
+
+			g := &acc.grad[a]
+			gs := 2 * a1 * m0d
+			g.X += gs*dx - a0*m0x + 2*a1*(m1dx+m1tdx+trM1*dx) - 4*a2*dM1d*dx
+			g.Y += gs*dy - a0*m0y + 2*a1*(m1dy+m1tdy+trM1*dy) - 4*a2*dM1d*dy
+			g.Z += gs*dz - a0*m0z + 2*a1*(m1dz+m1tdz+trM1*dz) - 4*a2*dM1d*dz
+
+			h := &acc.hess[a]
+			hc := 2 * a2 * m0d
+			hd := a1 * m0d
+			h.XX += hc*dx*dx - 2*a1*m0x*dx - hd
+			h.YY += hc*dy*dy - 2*a1*m0y*dy - hd
+			h.ZZ += hc*dz*dz - 2*a1*m0z*dz - hd
+			h.XY += hc*dx*dy - a1*(m0x*dy+m0y*dx)
+			h.XZ += hc*dx*dz - a1*(m0x*dz+m0z*dx)
+			h.YZ += hc*dy*dz - a1*(m0y*dz+m0z*dy)
+		}
 	}
 	acc.ops += float64(len(far))
 
@@ -173,7 +294,16 @@ func epolRow(ctx *EpolContext, il *InteractionLists, row int, conv []float64, ac
 	if len(far) == 0 {
 		return
 	}
-	farField(ctx, sys, leaf, far, exact, conv, acc)
+	farField(ctx, sys, leaf, far, farOrdRow(il, row), exact, conv, acc)
+}
+
+// farOrdRow returns row's slice of per-entry admitted orders, nil when
+// the lists were compiled without a ladder (FarOrder = 0).
+func farOrdRow(il *InteractionLists, row int) []uint8 {
+	if il.FarOrd == nil {
+		return nil
+	}
+	return il.FarOrd[il.FarOff[row]:il.FarOff[row+1]]
 }
 
 // epolNearBlock sweeps one exact near block: every atom of leaf ul
@@ -221,20 +351,37 @@ func epolNearBlock(ctx *EpolContext, sys *System, ul int32, vx, vy, vz, cv, rv, 
 // small convolution of the two nonzero-bin lists) and the transcendental
 // kernel runs once per occupied k instead of once per bin pair. With the
 // expSkip shortcut the kernel for most far pairs degenerates to a single
-// 1/√d² per k.
-func farField(ctx *EpolContext, sys *System, leaf int32, far []int32, exact bool, conv []float64, acc *epolAccum) {
+// 1/√d² per k. fo is the row's admitted-order slice (nil at
+// FarOrder = 0); when present EVERY entry adds the run order's moment
+// correction of farorder.go to its pair sum — the identical scalar
+// float64 expression at the identical position in every tier. The
+// per-entry rung is admission/repair metadata, not an evaluation order:
+// correcting rung-0 entries through the full order is strictly more
+// accurate and keeps the loop branch-free.
+func farField(ctx *EpolContext, sys *System, leaf int32, far []int32, fo []uint8, exact bool, conv []float64, acc *epolAccum) {
 	vcx, vcy, vcz := sys.ANodeX[leaf], sys.ANodeY[leaf], sys.ANodeZ[leaf]
 	vb := ctx.nzBin[ctx.nzOff[leaf]:ctx.nzOff[leaf+1]]
 	vq := ctx.nzQ[ctx.nzOff[leaf]:ctx.nzOff[leaf+1]]
 	if len(vb) == 0 {
+		// No populated bins (charges can cancel bin-wise) — but the moment
+		// corrections do not go through the histogram, so the recursion
+		// still emits them and the compiled path must too.
+		farFieldMomentsOnly(ctx, sys, leaf, far, fo, acc)
 		acc.ops += float64(len(far))
 		return
+	}
+	ord := 0
+	if fo != nil {
+		ord = ctx.farOrd
 	}
 	for _, un := range far {
 		dx := sys.ANodeX[un] - vcx
 		dy := sys.ANodeY[un] - vcy
 		dz := sys.ANodeZ[un] - vcz
 		d2 := dx*dx + dy*dy + dz*dz
+		if ord > 0 {
+			acc.energy += ctx.epolFarCorrection(un, leaf, dx, dy, dz, d2, ord)
+		}
 		ub := ctx.nzBin[ctx.nzOff[un]:ctx.nzOff[un+1]]
 		uq := ctx.nzQ[ctx.nzOff[un]:ctx.nzOff[un+1]]
 		if len(ub) == 0 {
@@ -281,5 +428,24 @@ func farField(ctx *EpolContext, sys *System, leaf int32, far []int32, exact bool
 		}
 		acc.energy += s
 		acc.ops += float64(len(ub)*len(vb)) + 1
+	}
+}
+
+// farFieldMomentsOnly emits the moment corrections for a far run whose
+// histogram product vanished identically (an empty nonzero-bin list on
+// either side): the corrections read the charge moments, not the bins,
+// so they survive bin-wise cancellation — exactly as in the recursion.
+func farFieldMomentsOnly(ctx *EpolContext, sys *System, leaf int32, far []int32, fo []uint8, acc *epolAccum) {
+	if fo == nil {
+		return
+	}
+	ord := ctx.farOrd
+	vcx, vcy, vcz := sys.ANodeX[leaf], sys.ANodeY[leaf], sys.ANodeZ[leaf]
+	for _, un := range far {
+		dx := sys.ANodeX[un] - vcx
+		dy := sys.ANodeY[un] - vcy
+		dz := sys.ANodeZ[un] - vcz
+		d2 := dx*dx + dy*dy + dz*dz
+		acc.energy += ctx.epolFarCorrection(un, leaf, dx, dy, dz, d2, ord)
 	}
 }

@@ -34,16 +34,41 @@ func bornRowF32(sys *System, il *InteractionLists, row int, acc *bornAccum) {
 	r4 := sys.Params.Kernel == R4
 
 	far := il.Far[il.FarOff[row]:il.FarOff[row+1]]
-	for _, a := range far {
-		dx := qcx - f.aNodeX[a]
-		dy := qcy - f.aNodeY[a]
-		dz := qcz - f.aNodeZ[a]
-		d2 := dx*dx + dy*dy + dz*dz
-		den := d2 * d2
-		if !r4 {
-			den *= d2
+	if il.FarOrd == nil {
+		for _, a := range far {
+			dx := qcx - f.aNodeX[a]
+			dy := qcy - f.aNodeY[a]
+			dz := qcz - f.aNodeZ[a]
+			d2 := dx*dx + dy*dy + dz*dz
+			den := d2 * d2
+			if !r4 {
+				den *= d2
+			}
+			acc.node[a] += float64((wnx*dx + wny*dy + wnz*dz) / den)
 		}
-		acc.node[a] += float64((wnx*dx + wny*dy + wnz*dz) / den)
+	} else {
+		// The f32 pseudo-q-point term stays in float32; the moment
+		// corrections are evaluated in float64 from the widened f32 center
+		// offsets (their magnitude is a small fraction of the order-0 term,
+		// so f32 rounding of d costs nothing against the tier's 1e-4
+		// budget, while the f64 tensor algebra avoids a second kernel).
+		ord := sys.Params.FarOrder
+		fm := bornRowMoments(sys.QPts.MomentsOf(momentSetWN), leaf)
+		for _, a := range far {
+			dx := qcx - f.aNodeX[a]
+			dy := qcy - f.aNodeY[a]
+			dz := qcz - f.aNodeZ[a]
+			d2 := dx*dx + dy*dy + dz*dz
+			den := d2 * d2
+			if !r4 {
+				den *= d2
+			}
+			acc.node[a] += float64((wnx*dx + wny*dy + wnz*dz) / den)
+			ds, dg, dh := bornFarCorrection(&fm, float64(dx), float64(dy), float64(dz), float64(d2), r4, ord)
+			acc.node[a] += ds
+			acc.grad[a] = acc.grad[a].Add(dg)
+			acc.hess[a] = acc.hess[a].Add(dh)
+		}
 	}
 	acc.ops += float64(len(far))
 
@@ -148,7 +173,7 @@ func epolRowF32(ctx *EpolContext, il *InteractionLists, row int, conv []float64,
 	if len(far) == 0 {
 		return
 	}
-	farFieldF32(ctx, f, leaf, far, conv, acc)
+	farFieldF32(ctx, f, leaf, far, farOrdRow(il, row), conv, acc)
 }
 
 // epolNearBlockF32 sweeps one near block in float32 width-4 lanes with
@@ -200,20 +225,30 @@ func epolNearBlockF32(ctx *EpolContext, f *f32SoA, sys *System, ul int32, vx, vy
 // farFieldF32 keeps the histogram convolution in float64 (the charges
 // and conv scratch are shared with the other tiers) and evaluates the
 // per-occupied-k transcendental kernel in float32, streamed through
-// width-4 lanes like farFieldLanes.
-func farFieldF32(ctx *EpolContext, f *f32SoA, leaf int32, far []int32, conv []float64, acc *epolAccum) {
+// width-4 lanes like farFieldLanes. The moment corrections (fo,
+// farorder.go) evaluate in float64 from the widened f32 center offsets —
+// well inside the tier's 1e-4 budget.
+func farFieldF32(ctx *EpolContext, f *f32SoA, leaf int32, far []int32, fo []uint8, conv []float64, acc *epolAccum) {
 	vcx, vcy, vcz := f.aNodeX[leaf], f.aNodeY[leaf], f.aNodeZ[leaf]
 	vb := ctx.nzBin[ctx.nzOff[leaf]:ctx.nzOff[leaf+1]]
 	vq := ctx.nzQ[ctx.nzOff[leaf]:ctx.nzOff[leaf+1]]
 	if len(vb) == 0 {
+		farFieldMomentsOnly(ctx, ctx.sys, leaf, far, fo, acc)
 		acc.ops += float64(len(far))
 		return
+	}
+	ord := 0
+	if fo != nil {
+		ord = ctx.farOrd
 	}
 	for _, un := range far {
 		dx := f.aNodeX[un] - vcx
 		dy := f.aNodeY[un] - vcy
 		dz := f.aNodeZ[un] - vcz
 		d2 := dx*dx + dy*dy + dz*dz
+		if ord > 0 {
+			acc.energy += ctx.epolFarCorrection(un, leaf, float64(dx), float64(dy), float64(dz), float64(d2), ord)
+		}
 		ub := ctx.nzBin[ctx.nzOff[un]:ctx.nzOff[un+1]]
 		uq := ctx.nzQ[ctx.nzOff[un]:ctx.nzOff[un+1]]
 		if len(ub) == 0 {

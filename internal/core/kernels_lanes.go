@@ -68,7 +68,7 @@ func epolRowLanes(ctx *EpolContext, il *InteractionLists, row int, conv []float6
 	if len(far) == 0 {
 		return
 	}
-	farFieldLanes(ctx, sys, leaf, far, conv, acc)
+	farFieldLanes(ctx, sys, leaf, far, farOrdRow(il, row), conv, acc)
 }
 
 // epolNearBlockLanes sweeps one near block in width-4 lanes: distances
@@ -124,20 +124,31 @@ func epolNearBlockLanes(ctx *EpolContext, sys *System, ul int32, vx, vy, vz, cv,
 // scalar-order epilogue — the same bit-compatibility argument as the
 // near blocks). The occupied-k runs are short (a handful of bins), so
 // most of the work lands in the scalar peel; the lanes matter for wide
-// Born-radius spectra where M_ε grows.
-func farFieldLanes(ctx *EpolContext, sys *System, leaf int32, far []int32, conv []float64, acc *epolAccum) {
+// Born-radius spectra where M_ε grows. The moment corrections (fo,
+// farorder.go) are the identical scalar float64 expression added at the
+// identical position as in farField, so the tier's bit-compatibility
+// with the scalar path is preserved at every FarOrder.
+func farFieldLanes(ctx *EpolContext, sys *System, leaf int32, far []int32, fo []uint8, conv []float64, acc *epolAccum) {
 	vcx, vcy, vcz := sys.ANodeX[leaf], sys.ANodeY[leaf], sys.ANodeZ[leaf]
 	vb := ctx.nzBin[ctx.nzOff[leaf]:ctx.nzOff[leaf+1]]
 	vq := ctx.nzQ[ctx.nzOff[leaf]:ctx.nzOff[leaf+1]]
 	if len(vb) == 0 {
+		farFieldMomentsOnly(ctx, sys, leaf, far, fo, acc)
 		acc.ops += float64(len(far))
 		return
+	}
+	ord := 0
+	if fo != nil {
+		ord = ctx.farOrd
 	}
 	for _, un := range far {
 		dx := sys.ANodeX[un] - vcx
 		dy := sys.ANodeY[un] - vcy
 		dz := sys.ANodeZ[un] - vcz
 		d2 := dx*dx + dy*dy + dz*dz
+		if ord > 0 {
+			acc.energy += ctx.epolFarCorrection(un, leaf, dx, dy, dz, d2, ord)
+		}
 		ub := ctx.nzBin[ctx.nzOff[un]:ctx.nzOff[un+1]]
 		uq := ctx.nzQ[ctx.nzOff[un]:ctx.nzOff[un+1]]
 		if len(ub) == 0 {

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"testing"
 	"time"
 
@@ -61,6 +62,36 @@ func TestSharedRunTraceAndMetrics(t *testing.T) {
 	}
 	if o.Metrics.Histogram("ilist.born.row_far").Count() != rows {
 		t.Error("row_far histogram missing rows")
+	}
+}
+
+// The far-entry counters split by admitted expansion order: the three
+// .p* counters always tile the total, order 0 puts everything in .p0,
+// and a loosened FarOrder=2 compile actually admits rung-2 entries —
+// the list-size shift gbtrace report and the watchdog observe.
+func TestFarEntriesMetricsSplitByOrder(t *testing.T) {
+	for _, order := range []int{0, 2} {
+		sys, _, _ := testSystem(t, 400, 7, farOrderParams(order, 0.5))
+		o := obs.New()
+		if _, err := RunShared(sys, SharedOptions{Threads: 2, Obs: o}); err != nil {
+			t.Fatal(err)
+		}
+		for _, phase := range []string{"born", "epol"} {
+			total := o.Metrics.Counter("ilist." + phase + ".far_entries").Value()
+			var sum int64
+			for p := 0; p <= 2; p++ {
+				sum += o.Metrics.Counter(fmt.Sprintf("ilist.%s.far_entries.p%d", phase, p)).Value()
+			}
+			if total <= 0 || sum != total {
+				t.Errorf("order %d %s: per-order counters sum to %d, far_entries %d", order, phase, sum, total)
+			}
+			if p0 := o.Metrics.Counter("ilist." + phase + ".far_entries.p0").Value(); order == 0 && p0 != total {
+				t.Errorf("order 0 %s: .p0 = %d, want the full %d", phase, p0, total)
+			}
+		}
+		if p2 := o.Metrics.Counter("ilist.born.far_entries.p2").Value(); order == 2 && p2 <= 0 {
+			t.Error("order 2: no rung-2 Born far entries recorded — the loosened ladder admitted nothing")
+		}
 	}
 }
 

@@ -104,7 +104,7 @@ func RunShared(sys *System, opts SharedOptions) (*Result, error) {
 	for i := range accs {
 		accs[i] = newBornAccum(sys)
 	}
-	mac := sys.bornMAC()
+	macs := sys.bornMACs()
 	qLeaves := sys.QPts.Leaves()
 	if lists != nil {
 		il := lists.Born
@@ -121,7 +121,7 @@ func RunShared(sys *System, opts SharedOptions) (*Result, error) {
 		sched.ParallelFor(pool, len(qLeaves), 1, func(lo, hi, w int) {
 			for i := lo; i < hi; i++ {
 				before := accs[w].ops
-				ApproxIntegrals(sys, accs[w], sys.Atoms.Root(), qLeaves[i], mac)
+				ApproxIntegrals(sys, accs[w], sys.Atoms.Root(), qLeaves[i], &macs)
 				if d := accs[w].ops - before; d > accs[w].maxTask {
 					accs[w].maxTask = d
 				}

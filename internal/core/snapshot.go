@@ -43,8 +43,13 @@ var (
 )
 
 const (
-	snapshotMagic   = "GBPSNAP1"
-	snapshotVersion = 1
+	snapshotMagic = "GBPSNAP1"
+	// Version 2 added the far-order machinery: Params.FarOrder in the
+	// parameter stamp, the octrees' moment registries, and the per-entry
+	// admitted orders (FarOrd) plus the compiled farOrder in the list
+	// block. Version-1 snapshots are refused with ErrSnapshotVersion —
+	// their lists lack the orders the kernels now require.
+	snapshotVersion = 2
 )
 
 var snapshotCRC = crc32.MakeTable(crc32.Castagnoli)
@@ -63,6 +68,7 @@ func appendParams(w *wire.Writer, p Params) {
 	w.U8(uint8(p.Builder))
 	w.Bool(p.StrictBornMAC)
 	w.U32(uint32(p.LeafCap))
+	w.U8(uint8(p.FarOrder))
 }
 
 // ParamsFingerprint hashes the result-determining parameters (after
@@ -118,6 +124,7 @@ func EncodeSnapshot(sys *System) ([]byte, error) {
 		w.Bool(true)
 		w.F64(lists.bornMAC)
 		w.F64(lists.epolFar)
+		w.U8(uint8(lists.farOrder))
 		appendIL(&w, lists.Born)
 		appendIL(&w, lists.Epol)
 		nodeC := make([]float64, 0, 3*len(lists.nodeC))
@@ -190,7 +197,7 @@ func DecodeSnapshot(data []byte) (*System, error) {
 
 	var lists *CompiledLists
 	if r.Bool() {
-		cl := &CompiledLists{bornMAC: r.F64(), epolFar: r.F64()}
+		cl := &CompiledLists{bornMAC: r.F64(), epolFar: r.F64(), farOrder: int(r.U8())}
 		cl.Born = decodeIL(r)
 		cl.Epol = decodeIL(r)
 		nodeC := r.F64s()
@@ -227,8 +234,9 @@ func DecodeSnapshot(data []byte) (*System, error) {
 		// parameters can only be a crafted inconsistency: reject rather
 		// than silently recompiling on first use.
 		if !lists.matches(sys) {
-			return nil, fmt.Errorf("%w: list block compiled under bornMAC=%g epolFar=%g, parameters imply %g/%g",
-				ErrSnapshotCorrupt, lists.bornMAC, lists.epolFar, sys.bornMAC(), epolFarFactor(sys.Params.EpsEpol))
+			return nil, fmt.Errorf("%w: list block compiled under bornMAC=%g epolFar=%g farOrder=%d, parameters imply %g/%g/%d",
+				ErrSnapshotCorrupt, lists.bornMAC, lists.epolFar, lists.farOrder,
+				sys.bornMAC(), epolFarFactor(sys.Params.EpsEpol), sys.Params.FarOrder)
 		}
 		sys.lists = lists
 	}
@@ -247,6 +255,7 @@ func decodeParams(r *wire.Reader) (Params, error) {
 	p.Builder = octree.Builder(r.U8())
 	p.StrictBornMAC = r.Bool()
 	p.LeafCap = int(r.U32())
+	p.FarOrder = int(r.U8())
 	if r.Err() != nil {
 		return Params{}, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, r.Err())
 	}
@@ -390,6 +399,7 @@ func validateIL(phase string, il *InteractionLists, rowTree, atomTree *octree.Tr
 	}{
 		{"far margins", len(il.FarMargin), len(il.Far), false},
 		{"far paths", len(il.FarPath), len(il.Far), false},
+		{"far orders", len(il.FarOrd), len(il.Far), true},
 		{"near margins", len(il.NearMargin), len(il.Near), true},
 		{"near paths", len(il.NearPath), len(il.Near), false},
 		{"sym paths", len(il.SymPath), len(il.Sym), false},
@@ -398,6 +408,14 @@ func validateIL(phase string, il *InteractionLists, rowTree, atomTree *octree.Tr
 		if m.got != m.want && !(m.optional && m.got == 0) {
 			return fmt.Errorf("%w: %s %s sized %d for %d entries",
 				ErrSnapshotCorrupt, phase, m.name, m.got, m.want)
+		}
+	}
+	// The kernels and RecordMetrics index by admitted order, so a
+	// corrupted order byte must be rejected here, not panic there.
+	for k, fo := range il.FarOrd {
+		if fo > maxFarOrder {
+			return fmt.Errorf("%w: %s far order %d is %d, max %d",
+				ErrSnapshotCorrupt, phase, k, fo, maxFarOrder)
 		}
 	}
 	return nil
@@ -421,6 +439,7 @@ func decodeIL(r *wire.Reader) *InteractionLists {
 		NearPath:   r.F64s(),
 		SymPath:    r.F64s(),
 		CedePath:   r.F64s(),
+		FarOrd:     r.U8s(),
 	}
 }
 
@@ -441,6 +460,7 @@ func appendIL(w *wire.Writer, il *InteractionLists) {
 	w.F64s(il.NearPath)
 	w.F64s(il.SymPath)
 	w.F64s(il.CedePath)
+	w.U8s(il.FarOrd)
 }
 
 // checkGeometryConsistent verifies the trees index exactly the

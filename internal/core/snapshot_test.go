@@ -111,6 +111,13 @@ func TestSnapshotCorruptions(t *testing.T) {
 			binary.LittleEndian.PutUint16(b[8:10], 99)
 			return restamp(b)
 		}, ErrSnapshotVersion},
+		// No restamp on purpose: the version gate must fire before the
+		// CRC check, so a genuine version-1 file (whose layout this build
+		// cannot parse) reports "unsupported", not "corrupt".
+		{"old version", func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[8:10], 1)
+			return b
+		}, ErrSnapshotVersion},
 		{"stamp mismatch", func(b []byte) []byte {
 			b[10] ^= 0xff // first byte of the u64 parameter stamp
 			return restamp(b)
@@ -135,6 +142,54 @@ func TestSnapshotCorruptions(t *testing.T) {
 			}
 		})
 	}
+}
+
+// Corruptions specific to the far-order additions: a truncated moment
+// array inside an octree block, and an out-of-range admitted order in a
+// list block. Both must fail with ErrSnapshotCorrupt, never panic the
+// kernels or RecordMetrics downstream.
+func TestSnapshotFarFieldCorruptions(t *testing.T) {
+	t.Run("truncated moments", func(t *testing.T) {
+		// Without a list block the stream ends ...qptsTree Bool(false) CRC.
+		// The q-points tree's moment registry is the tail of its block, and
+		// the very last array is qFlat of channel 2 of the "wn" set
+		// (6*nNodes float64s behind a u32 count). Shrink the count: the
+		// codec's length validation must reject the set.
+		sys, data := snapshotFixture(t, false)
+		nq := sys.QPts.NumNodes()
+		cnt := len(data) - 4 - 1 - 6*nq*8 - 4
+		if got := binary.LittleEndian.Uint32(data[cnt:]); got != uint32(6*nq) {
+			t.Fatalf("expected qFlat count %d at offset %d, found %d (layout drifted?)", 6*nq, cnt, got)
+		}
+		binary.LittleEndian.PutUint32(data[cnt:], uint32(6*nq-6))
+		if _, err := DecodeSnapshot(restamp(data)); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("got %v, want ErrSnapshotCorrupt", err)
+		}
+	})
+	t.Run("far order out of range", func(t *testing.T) {
+		p := DefaultParams()
+		p.FarOrder = 2
+		sys, _, _ := testSystem(t, 150, 7, p)
+		lists := sys.Lists(nil)
+		if len(lists.Epol.FarOrd) == 0 {
+			t.Fatal("fixture compiled no far orders")
+		}
+		data, err := EncodeSnapshot(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The epol list's FarOrd bytes sit right before the nodeC/nodeR
+		// geometry arrays at the end of the list block.
+		na := sys.Atoms.NumNodes()
+		last := len(data) - 4 - (4 + na*8) - (4 + 3*na*8) - 1
+		if got := data[last]; got > maxFarOrder {
+			t.Fatalf("expected a FarOrd byte at offset %d, found %d (layout drifted?)", last, got)
+		}
+		data[last] = maxFarOrder + 7
+		if _, err := DecodeSnapshot(restamp(data)); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("got %v, want ErrSnapshotCorrupt", err)
+		}
+	})
 }
 
 // Save/Load round-trips through a file; loading under different
@@ -194,6 +249,7 @@ func TestParamsFingerprint(t *testing.T) {
 		func(p *Params) { p.StrictBornMAC = true },
 		func(p *Params) { p.LeafCap = 16 },
 		func(p *Params) { p.Precision = PrecisionLanes },
+		func(p *Params) { p.FarOrder = 1 },
 	}
 	for i, mut := range muts {
 		p := base

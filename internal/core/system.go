@@ -80,6 +80,15 @@ type Params struct {
 	// float64, or float32 lanes with float64 row reduction. It does not
 	// affect the interaction lists or the recursive reference paths.
 	Precision Precision
+	// FarOrder is the multipole order of the far-field approximation
+	// (farorder.go, DESIGN.md §15): 0 keeps the paper's zeroth-order
+	// pseudo-particle and is bit-identical to the pre-moment code; 1 adds
+	// dipole corrections, 2 adds traceless-quadrupole corrections. Each
+	// order loosens the opening criterion analytically (the first
+	// neglected moment order keeps the same error budget), so higher
+	// orders admit far interactions at shorter separations — fewer,
+	// larger far entries at equal error.
+	FarOrder int
 }
 
 // DefaultParams returns the configuration of the paper's headline runs:
@@ -114,6 +123,9 @@ func (p Params) Validate() error {
 	}
 	if p.EpsSolv <= 1 {
 		return fmt.Errorf("core: EpsSolv %g must exceed 1", p.EpsSolv)
+	}
+	if p.FarOrder < 0 || p.FarOrder > 2 {
+		return fmt.Errorf("core: FarOrder %d out of range [0,2]", p.FarOrder)
 	}
 	return nil
 }
@@ -229,9 +241,48 @@ func assembleSystem(mol *molecule.Molecule, surf *surface.Surface, ta, tq *octre
 		s.WN[slot] = p.Normal.Scale(p.Weight)
 	}
 	s.QNodeWN = qNodeAggregates(tq, s.WN)
+	s.attachMoments()
 	s.refreshAtomSoA()
 	s.refreshQPointSoA()
 	return s
+}
+
+// Names of the moment sets the higher-order far kernels read
+// (farorder.go): the atom charge density on T_A and the
+// weight-premultiplied surface-normal vector density on T_Q.
+const (
+	momentSetCharge = "charge"
+	momentSetWN     = "wn"
+)
+
+// attachMoments registers the two moment sets the higher-order far
+// kernels read (farorder.go). Both are cheap O(N) aggregates, so they
+// are always attached — Params.FarOrder may be raised after NewSystem
+// and the moments are already there. Snapshot-restored trees arrive with
+// their moment sets decoded; those are kept verbatim (re-attaching would
+// also work, but keeping them is what makes a truncated moment block in
+// the snapshot detectable).
+func (s *System) attachMoments() {
+	if s.Atoms.MomentsOf(momentSetCharge) == nil {
+		q := make([]float64, s.Mol.NumAtoms())
+		for i, a := range s.Mol.Atoms {
+			q[i] = a.Charge
+		}
+		if err := s.Atoms.AttachMoments(momentSetCharge, [][]float64{q}, false); err != nil {
+			panic(err) // lengths are derived from the molecule; cannot fail
+		}
+	}
+	if s.QPts.MomentsOf(momentSetWN) == nil {
+		n := s.Surf.NumPoints()
+		wn := [][]float64{make([]float64, n), make([]float64, n), make([]float64, n)}
+		for i, p := range s.Surf.Points {
+			v := p.Normal.Scale(p.Weight)
+			wn[0][i], wn[1][i], wn[2][i] = v.X, v.Y, v.Z
+		}
+		if err := s.QPts.AttachMoments(momentSetWN, wn, true); err != nil {
+			panic(err)
+		}
+	}
 }
 
 // refreshAtomSoA rebuilds the flat atom-position and node-center arrays

@@ -1,0 +1,83 @@
+package geom
+
+// Sym3 is a symmetric 3×3 tensor stored by its six independent
+// components. It is the natural container for second moments (Σ w δ⊗δ)
+// and for the Hessians of radially symmetric far-field kernels, both of
+// which the higher-order far-field expansions carry per octree node.
+type Sym3 struct {
+	XX, YY, ZZ float64
+	XY, XZ, YZ float64
+}
+
+// Add returns s + t.
+func (s Sym3) Add(t Sym3) Sym3 {
+	return Sym3{s.XX + t.XX, s.YY + t.YY, s.ZZ + t.ZZ,
+		s.XY + t.XY, s.XZ + t.XZ, s.YZ + t.YZ}
+}
+
+// Scale returns k·s.
+func (s Sym3) Scale(k float64) Sym3 {
+	return Sym3{k * s.XX, k * s.YY, k * s.ZZ, k * s.XY, k * s.XZ, k * s.YZ}
+}
+
+// Trace returns tr(s).
+func (s Sym3) Trace() float64 { return s.XX + s.YY + s.ZZ }
+
+// Quad returns the quadratic form vᵀ s v.
+func (s Sym3) Quad(v Vec3) float64 {
+	return v.X*v.X*s.XX + v.Y*v.Y*s.YY + v.Z*v.Z*s.ZZ +
+		2*(v.X*v.Y*s.XY+v.X*v.Z*s.XZ+v.Y*v.Z*s.YZ)
+}
+
+// MulVec returns s·v.
+func (s Sym3) MulVec(v Vec3) Vec3 {
+	return Vec3{
+		X: s.XX*v.X + s.XY*v.Y + s.XZ*v.Z,
+		Y: s.XY*v.X + s.YY*v.Y + s.YZ*v.Z,
+		Z: s.XZ*v.X + s.YZ*v.Y + s.ZZ*v.Z,
+	}
+}
+
+// Detraced returns the traceless part s − (tr(s)/3)·I.
+func (s Sym3) Detraced() Sym3 {
+	t := s.Trace() / 3
+	return Sym3{s.XX - t, s.YY - t, s.ZZ - t, s.XY, s.XZ, s.YZ}
+}
+
+// Outer returns v ⊗ v.
+func Outer(v Vec3) Sym3 {
+	return Sym3{v.X * v.X, v.Y * v.Y, v.Z * v.Z, v.X * v.Y, v.X * v.Z, v.Y * v.Z}
+}
+
+// SymOuter returns the symmetrized outer product a ⊗ b + b ⊗ a.
+func SymOuter(a, b Vec3) Sym3 {
+	return Sym3{
+		XX: 2 * a.X * b.X, YY: 2 * a.Y * b.Y, ZZ: 2 * a.Z * b.Z,
+		XY: a.X*b.Y + a.Y*b.X, XZ: a.X*b.Z + a.Z*b.X, YZ: a.Y*b.Z + a.Z*b.Y,
+	}
+}
+
+// Rotated returns R s Rᵀ for a row-major rotation matrix R (the form a
+// second moment transforms under when its points rotate by R).
+func (s Sym3) Rotated(r [3][3]float64) Sym3 {
+	// t = s Rᵀ: t[k][j] = Σ_l s[k][l]·R[j][l].
+	m := [3][3]float64{
+		{s.XX, s.XY, s.XZ},
+		{s.XY, s.YY, s.YZ},
+		{s.XZ, s.YZ, s.ZZ},
+	}
+	var t [3][3]float64
+	for k := 0; k < 3; k++ {
+		for j := 0; j < 3; j++ {
+			t[k][j] = m[k][0]*r[j][0] + m[k][1]*r[j][1] + m[k][2]*r[j][2]
+		}
+	}
+	// out[i][j] = Σ_k R[i][k]·t[k][j]; only the upper triangle is needed.
+	out := func(i, j int) float64 {
+		return r[i][0]*t[0][j] + r[i][1]*t[1][j] + r[i][2]*t[2][j]
+	}
+	return Sym3{
+		XX: out(0, 0), YY: out(1, 1), ZZ: out(2, 2),
+		XY: out(0, 1), XZ: out(0, 2), YZ: out(1, 2),
+	}
+}

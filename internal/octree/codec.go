@@ -47,6 +47,27 @@ func (t *Tree) AppendTo(w *wire.Writer) {
 	}
 	w.U8(uint8(t.builder))
 	w.U64s(t.keys)
+	w.U32(uint32(len(t.moments)))
+	for _, ms := range t.moments {
+		w.Str(ms.Name)
+		w.Bool(ms.Vec)
+		w.U32(uint32(len(ms.Ch)))
+		for c := range ms.Ch {
+			ch := &ms.Ch[c]
+			w.F64s(ch.w)
+			w.F64s(ch.W)
+			dFlat := make([]float64, 0, 3*len(ch.D))
+			for _, d := range ch.D {
+				dFlat = append(dFlat, d.X, d.Y, d.Z)
+			}
+			w.F64s(dFlat)
+			qFlat := make([]float64, 0, 6*len(ch.Q))
+			for _, q := range ch.Q {
+				qFlat = append(qFlat, q.XX, q.YY, q.ZZ, q.XY, q.XZ, q.YZ)
+			}
+			w.F64s(qFlat)
+		}
+	}
 }
 
 // encodedNodeBytes is the fixed per-node size of the encoding above,
@@ -90,6 +111,45 @@ func DecodeTree(r *wire.Reader) (*Tree, error) {
 	t.rootBox.Max = geom.Vec3{X: r.F64(), Y: r.F64(), Z: r.F64()}
 	b := Builder(r.U8())
 	t.keys = r.U64s()
+	// Moment sets: decoded verbatim (a snapshot restores moments without
+	// recomputation), every array length validated against the node and
+	// point counts so a truncated or corrupted moment block fails here
+	// rather than inside a far-kernel sweep.
+	nSets := int(r.U32())
+	if r.Err() != nil || nSets < 0 || nSets > 16 {
+		return nil, fmt.Errorf("octree: decode: bad moment-set count %d", nSets)
+	}
+	for s := 0; s < nSets; s++ {
+		ms := &MomentSet{Name: r.Str(), Vec: r.Bool()}
+		nCh := int(r.U32())
+		if r.Err() != nil || nCh <= 0 || nCh > 8 || (ms.Vec && nCh != 3) {
+			return nil, fmt.Errorf("octree: decode: moment set %q has bad channel count %d", ms.Name, nCh)
+		}
+		ms.Ch = make([]MomentChannel, nCh)
+		for c := 0; c < nCh; c++ {
+			ch := &ms.Ch[c]
+			ch.w = r.F64s()
+			ch.W = r.F64s()
+			dFlat := r.F64s()
+			qFlat := r.F64s()
+			if r.Err() != nil {
+				break
+			}
+			if len(ch.w) != nPts || len(ch.W) != nNodes ||
+				len(dFlat) != 3*nNodes || len(qFlat) != 6*nNodes {
+				return nil, fmt.Errorf("octree: decode: moment set %q channel %d arrays truncated (%d/%d/%d/%d for %d nodes, %d points)",
+					ms.Name, c, len(ch.w), len(ch.W), len(dFlat), len(qFlat), nNodes, nPts)
+			}
+			ch.D = make([]geom.Vec3, nNodes)
+			ch.Q = make([]geom.Sym3, nNodes)
+			for i := 0; i < nNodes; i++ {
+				ch.D[i] = geom.Vec3{X: dFlat[3*i], Y: dFlat[3*i+1], Z: dFlat[3*i+2]}
+				ch.Q[i] = geom.Sym3{XX: qFlat[6*i], YY: qFlat[6*i+1], ZZ: qFlat[6*i+2],
+					XY: qFlat[6*i+3], XZ: qFlat[6*i+4], YZ: qFlat[6*i+5]}
+			}
+		}
+		t.moments = append(t.moments, ms)
+	}
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("octree: decode: %w", err)
 	}

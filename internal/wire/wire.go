@@ -96,6 +96,12 @@ func (w *Writer) U64s(vs []uint64) {
 	}
 }
 
+// U8s appends a uint32 count followed by the bytes.
+func (w *Writer) U8s(vs []uint8) {
+	w.U32(uint32(len(vs)))
+	w.buf = append(w.buf, vs...)
+}
+
 // Reader consumes binary values from a buffer. After the first failure
 // every method returns zero values and Err reports ErrTruncated, so
 // decoders can read a whole structure and check the error once.
@@ -236,5 +242,21 @@ func (r *Reader) U64s() []uint64 {
 	for i := range out {
 		out[i] = r.U64()
 	}
+	return out
+}
+
+// U8s reads a length-prefixed []uint8. Returns nil for count 0. The
+// returned slice is a copy, never a view into the input buffer.
+func (r *Reader) U8s() []uint8 {
+	n := r.count(1)
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]uint8, n)
+	copy(out, b)
 	return out
 }
